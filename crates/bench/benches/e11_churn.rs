@@ -1,0 +1,65 @@
+//! E11 — Identity churn under update workloads (paper §5.1, Example 6).
+//!
+//! Measures the two Client-view designs under an address-update workload:
+//! the poorly designed view (Address as a core attribute) re-creates a
+//! client object per update and its identity table grows without bound;
+//! the fixed design (Address virtual) keeps identity stable. The benchmark
+//! measures population re-evaluation after each update; churn *counts* are
+//! reported by the harness binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ov_bench::insurance;
+use ov_oodb::{sym, Value};
+use ov_views::ViewDef;
+
+const POOR: &str = r#"
+    create view Poor;
+    import all classes from database Insurance;
+    class Client includes imaginary
+        (select [CName: P.PName, SS: P.SS, CAddress: P.PAddress, Policy: P]
+         from P in Policy);
+"#;
+const FIXED: &str = r#"
+    create view Fixed;
+    import all classes from database Insurance;
+    class Client includes imaginary
+        (select [CName: P.PName, SS: P.SS, Policy: P] from P in Policy);
+    attribute CAddress in class Client has value self.Policy.PAddress;
+"#;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_churn");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (label, script) in [("poor", POOR), ("fixed", FIXED)] {
+        {
+            let n = 1_000usize;
+            let sys = insurance(n);
+            let view = ViewDef::from_script(script).unwrap().bind(&sys).unwrap();
+            let db = sys.database(sym("Insurance")).unwrap();
+            let policies = {
+                let d = db.read();
+                d.deep_extent(d.schema.class_by_name(sym("Policy")).unwrap())
+            };
+            let mut i = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}_update_then_extent"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let p = policies[i % policies.len()];
+                        i += 1;
+                        db.write()
+                            .set_attr(p, sym("PAddress"), Value::str(&format!("new {i}")))
+                            .unwrap();
+                        std::hint::black_box(view.extent_of(sym("Client")).unwrap());
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E12 — Object views of relational data (paper §5, application 1).
+//!
+//! Measures staging a relational database into the object world, building
+//! the imaginary-class view, querying through it, and re-staging after
+//! updates (identity stability maintained by the §5.1 tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ov_bench::payroll;
+use ov_oodb::sym;
+use ov_relational::bridge;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_relational");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[1_000usize, 10_000] {
+        let rdb = payroll(n, 16);
+        group.bench_with_input(BenchmarkId::new("stage", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(bridge::stage(&rdb).unwrap()))
+        });
+        let (sys, _) = bridge::stage(&rdb).unwrap();
+        let view = bridge::object_view(&rdb, &sys).unwrap();
+        group.bench_with_input(BenchmarkId::new("populate", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(view.extent_of(sym("Emp")).unwrap()))
+        });
+        view.extent_of(sym("Emp")).unwrap();
+        group.bench_with_input(BenchmarkId::new("select_through_view", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    view.query("count((select E from E in Emp where E.Salary > 100000))")
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("restage", n), &n, |b, _| {
+            b.iter(|| {
+                bridge::restage(&rdb, &sys).unwrap();
+                std::hint::black_box(());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

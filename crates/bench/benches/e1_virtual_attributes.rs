@@ -1,0 +1,56 @@
+//! E1 — Virtual attributes (paper §2, Example 1).
+//!
+//! Measures the cost of the paper's central move: erasing the
+//! stored/computed distinction. Series:
+//! * `stored_base`   — reading a stored attribute directly on the database;
+//! * `stored_view`   — the same read through a view (indirection only);
+//! * `computed_view` — a computed Address tuple (merge of two stored
+//!   attributes), i.e. a genuine virtual attribute.
+//!
+//! Expected shape: virtuality costs a constant factor per access (a body
+//! evaluation), not an asymptotic blowup; stored access through a view is
+//! close to base access and independent of database size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ov_bench::{bench_syms, people, person_oids, staff_view};
+use ov_query::eval_attr;
+use ov_views::ViewOptions;
+
+fn bench(c: &mut Criterion) {
+    let (age, address, _) = bench_syms();
+    let mut group = c.benchmark_group("e1_virtual_attributes");
+    group.sample_size(30);
+    for &n in &[1_000usize, 10_000] {
+        let sys = people(n);
+        let view = staff_view(&sys, ViewOptions::default());
+        let oids = person_oids(&sys, 64);
+        let db = sys.database(ov_oodb::sym("Staff")).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("stored_base", n), &n, |b, _| {
+            let db = db.read();
+            b.iter(|| {
+                for &o in &oids {
+                    std::hint::black_box(eval_attr(&*db, o, age, &[]).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("stored_view", n), &n, |b, _| {
+            b.iter(|| {
+                for &o in &oids {
+                    std::hint::black_box(eval_attr(&view, o, age, &[]).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("computed_view", n), &n, |b, _| {
+            b.iter(|| {
+                for &o in &oids {
+                    std::hint::black_box(eval_attr(&view, o, address, &[]).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

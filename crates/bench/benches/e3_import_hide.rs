@@ -1,0 +1,45 @@
+//! E3 — Import/hide view construction (paper §3).
+//!
+//! Measures the cost of *binding* a view (copying the imported schema,
+//! applying hides) as the schema grows, and — with a data-size sweep at a
+//! constant schema — demonstrates that binding is a schema-sized operation
+//! ("a view has a schema, like all databases, but no proper data of its
+//! own").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ov_bench::market;
+use ov_views::ViewDef;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_import_hide");
+    group.sample_size(20);
+    // Schema size sweep with constant tiny data.
+    for &classes in &[10usize, 50, 200] {
+        let sys = market(classes, 8, 1);
+        let def = ViewDef::from_script(
+            "create view V; import all classes from database Market; \
+             hide attribute Id in class Item;",
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("bind_schema_classes", classes),
+            &classes,
+            |b, _| b.iter(|| std::hint::black_box(def.bind(&sys).unwrap())),
+        );
+    }
+    // Data size sweep with constant schema: binding must not scale with it.
+    for &objs in &[10usize, 1_000] {
+        let sys = market(20, 8, objs);
+        let def = ViewDef::from_script("create view V; import all classes from database Market;")
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("bind_data_objects", objs),
+            &objs,
+            |b, _| b.iter(|| std::hint::black_box(def.bind(&sys).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

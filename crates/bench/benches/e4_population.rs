@@ -1,0 +1,73 @@
+//! E4 — Virtual-class population (paper §4.1).
+//!
+//! Measures evaluating the population of a specialization class (`Adult`)
+//! against extent size, and what the version-keyed cache buys on repeated
+//! access (`cached` vs `recompute`). Expected shape: population evaluation
+//! is linear in the base extent; cached access is near-constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ov_bench::{people, staff_view};
+use ov_oodb::sym;
+use ov_views::{Materialization, ViewOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_population");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[1_000usize, 10_000] {
+        let sys = people(n);
+        let cached = staff_view(&sys, ViewOptions::default());
+        let incremental = staff_view(
+            &sys,
+            ViewOptions {
+                materialization: Materialization::Incremental,
+                ..Default::default()
+            },
+        );
+        let recompute = staff_view(
+            &sys,
+            ViewOptions {
+                materialization: Materialization::AlwaysRecompute,
+                ..Default::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
+            // Warm the cache, then measure repeated access.
+            cached.extent_of(sym("Adult")).unwrap();
+            b.iter(|| std::hint::black_box(cached.extent_of(sym("Adult")).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("recompute", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(recompute.extent_of(sym("Adult")).unwrap()))
+        });
+        // Chained specialization (Senior over Adult): two query layers.
+        group.bench_with_input(BenchmarkId::new("chained_recompute", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(recompute.extent_of(sym("Senior")).unwrap()))
+        });
+        // Update-heavy access: one base update then one extent read.
+        // Incremental maintenance re-tests only the changed object; the
+        // plain cache must recompute from scratch.
+        let db = sys.database(sym("Staff")).unwrap();
+        let victims = ov_bench::person_oids(&sys, 16);
+        for (label, view) in [
+            ("update_cached", &cached),
+            ("update_incremental", &incremental),
+        ] {
+            view.extent_of(sym("Adult")).unwrap();
+            let mut i = 0usize;
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let o = victims[i % victims.len()];
+                    i += 1;
+                    db.write()
+                        .set_attr(o, sym("Age"), ov_oodb::Value::Int((i % 90) as i64))
+                        .unwrap();
+                    std::hint::black_box(view.extent_of(sym("Adult")).unwrap());
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! E5 — Attribute resolution and schizophrenia (paper §2 overloading, §4.3).
+//!
+//! Measures upward resolution through a deep inheritance chain, resolution
+//! through a view with overlapping virtual classes (membership checks), and
+//! the conflict policies when schizophrenia actually occurs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ov_bench::{people, person_oids};
+use ov_oodb::{sym, ConflictPolicy};
+use ov_query::eval_attr;
+use ov_views::{ViewDef, ViewOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_resolution");
+    group.sample_size(30);
+    let sys = people(2_000);
+    let oids = person_oids(&sys, 64);
+
+    // Overlapping virtual classes that both define Print.
+    let def = ViewDef::from_script(
+        r#"
+        create view V;
+        import all classes from database Staff;
+        class Rich includes (select P from Person where P.Income >= 100000);
+        class Senior includes (select P from Person where P.Age >= 65);
+        attribute Print in class Rich has value "rich";
+        attribute Print in class Senior has value "senior";
+        attribute Plain in class Person has value "plain";
+        "#,
+    )
+    .unwrap();
+    let creation = def.bind(&sys).unwrap();
+    let priority = def
+        .bind_with(
+            &sys,
+            ViewOptions {
+                policy: ConflictPolicy::Priority(vec![sym("Senior"), sym("Rich")]),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+    // Resolution that never needs virtual memberships (Plain is defined on
+    // Person): the relevance filter should keep this cheap.
+    group.bench_function("base_chain_attr", |b| {
+        b.iter(|| {
+            for &o in &oids {
+                std::hint::black_box(eval_attr(&creation, o, sym("Plain"), &[]).unwrap());
+            }
+        })
+    });
+    // Resolution that must consult virtual memberships (Print lives on
+    // Rich/Senior only) — includes the population lookups. Some objects are
+    // in neither class, so errors are expected and blackboxed.
+    group.bench_function("overlap_attr_creation_order", |b| {
+        b.iter(|| {
+            for &o in &oids {
+                std::hint::black_box(eval_attr(&creation, o, sym("Print"), &[]).ok());
+            }
+        })
+    });
+    group.bench_function("overlap_attr_priority", |b| {
+        b.iter(|| {
+            for &o in &oids {
+                std::hint::black_box(eval_attr(&priority, o, sym("Print"), &[]).ok());
+            }
+        })
+    });
+
+    // Deep chains in a plain schema: resolution vs depth.
+    for &depth in &[2usize, 8, 32] {
+        let mut db = ov_oodb::Database::new(sym(&format!("Deep{depth}")));
+        let mut parent = db
+            .create_class(
+                sym(&format!("D{depth}_0")),
+                &[],
+                vec![ov_oodb::AttrDef::stored(sym("X"), ov_oodb::Type::Int)],
+            )
+            .unwrap();
+        for i in 1..depth {
+            parent = db
+                .create_class(sym(&format!("D{depth}_{i}")), &[parent], vec![])
+                .unwrap();
+        }
+        let oid = db
+            .create_object(
+                parent,
+                ov_oodb::Value::tuple([("X", ov_oodb::Value::Int(1))]),
+            )
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("chain_depth", depth), &depth, |b, _| {
+            b.iter(|| std::hint::black_box(eval_attr(&db, oid, sym("X"), &[]).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E6 — Hierarchy inference (paper §4.2).
+//!
+//! Measures binding views whose virtual classes must be positioned by rules
+//! R1/R2 — generalizations over k siblings, and behavioral (`like`)
+//! matching over schemas of growing width. Expected shape: inference is
+//! polynomial in schema size and independent of data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ov_bench::market;
+use ov_views::ViewDef;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_inference");
+    group.sample_size(20);
+    for &classes in &[10usize, 50, 200] {
+        let sys = market(classes, 6, 1);
+        // One generalization over every fifth class.
+        let picked: Vec<String> = (0..classes)
+            .step_by(5)
+            .map(|i| format!("Kind{i}"))
+            .collect();
+        let gen_script = format!(
+            "create view V; import all classes from database Market; \
+             class Grouped includes {};",
+            picked.join(", ")
+        );
+        let gen_def = ViewDef::from_script(&gen_script).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("generalization_bind", classes),
+            &classes,
+            |b, _| b.iter(|| std::hint::black_box(gen_def.bind(&sys).unwrap())),
+        );
+        // Behavioral generalization: conformance test against every class.
+        let like_def = ViewDef::from_script(
+            "create view V; import all classes from database Market; \
+             class On_Sale includes like Sale_Spec;",
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("behavioral_bind", classes),
+            &classes,
+            |b, _| b.iter(|| std::hint::black_box(like_def.bind(&sys).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E7 — Parameterized classes (paper §4.1).
+//!
+//! Measures first instantiation of `Resident(X)` (definition + hierarchy
+//! inference + population) vs repeated use of a cached instance, and the
+//! total cost of partitioning the population by a parameter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ov_bench::people;
+use ov_oodb::Value;
+use ov_views::ViewDef;
+
+const CITIES: &[&str] = &["London", "Paris", "Roma", "Berlin"];
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_parameterized");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[1_000usize, 10_000] {
+        let sys = people(n);
+        let def = ViewDef::from_script(
+            "create view V; import all classes from database Staff; \
+             class Resident(X) includes (select P from Person where P.City = X);",
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("first_instantiation", n), &n, |b, _| {
+            // A fresh view per iteration so the instance cache is cold.
+            b.iter_with_setup(
+                || def.bind(&sys).unwrap(),
+                |view| {
+                    std::hint::black_box(view.query(r#"count(Resident("London"))"#).unwrap());
+                },
+            )
+        });
+        let view = def.bind(&sys).unwrap();
+        view.query(r#"count(Resident("London"))"#).unwrap();
+        group.bench_with_input(BenchmarkId::new("cached_instance", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(view.query(r#"count(Resident("London"))"#).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("partition_4_cities", n), &n, |b, _| {
+            let view = def.bind(&sys).unwrap();
+            b.iter(|| {
+                for city in CITIES {
+                    std::hint::black_box(
+                        view.instantiate(ov_oodb::sym("Resident"), &[Value::str(city)])
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E9 — Imaginary-object identity (paper §5/§5.1).
+//!
+//! Measures imaginary population evaluation with the identity-table
+//! semantics vs the naive fresh-oid baseline, and verifies/measures the
+//! paper's "two seemingly equivalent queries": under identity tables the
+//! nested-membership query costs two population evaluations but returns
+//! the same objects; under fresh oids it returns nothing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ov_bench::{people, staff_view};
+use ov_oodb::sym;
+use ov_views::{IdentityMode, Materialization, ViewOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_identity");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[500usize, 4_000] {
+        let sys = people(n);
+        let table = staff_view(
+            &sys,
+            ViewOptions {
+                materialization: Materialization::AlwaysRecompute,
+                ..Default::default()
+            },
+        );
+        let fresh = staff_view(
+            &sys,
+            ViewOptions {
+                materialization: Materialization::AlwaysRecompute,
+                identity_mode: IdentityMode::Fresh,
+                ..Default::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("table_population", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(table.extent_of(sym("Family")).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("fresh_population", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(fresh.extent_of(sym("Family")).unwrap()))
+        });
+        let nested = "count((select F from F in Family \
+                      where F in (select G from G in Family where G.Husband.Age < 50)))";
+        group.bench_with_input(BenchmarkId::new("nested_query_table", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(table.query(nested).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,607 @@
+//! The experiment harness: regenerates every table in EXPERIMENTS.md.
+//!
+//! Run with: `cargo run --release -p ov-bench --bin harness`
+//!
+//! Each section corresponds to an experiment id (E1–E12) in EXPERIMENTS.md,
+//! which maps them back to the paper's sections. Timings are coarse
+//! wall-clock means (use the Criterion benches for statistically careful
+//! numbers); the semantic rows are exact.
+
+use ov_bench::*;
+use ov_oodb::{sym, ConflictPolicy, Value};
+use ov_query::eval_attr;
+use ov_views::{IdentityMode, Materialization, ViewDef, ViewOptions};
+
+fn main() {
+    println!("# Objects-and-Views experiment harness");
+    println!("# (sections correspond to EXPERIMENTS.md)");
+    e1_virtual_attributes();
+    e2_overloading();
+    e3_import_hide();
+    e4_population();
+    e5_resolution();
+    e6_inference();
+    e7_parameterized();
+    e8_upward_and_schizophrenia();
+    e9_identity();
+    e10_value_to_object();
+    e11_churn();
+    e12_relational();
+    e13_indexes();
+    println!("\nall experiments completed.");
+}
+
+fn header(id: &str, title: &str) {
+    println!("\n## {id} — {title}");
+}
+
+fn row(label: &str, cells: &[String]) {
+    println!("{label:<34} {}", cells.join("  "));
+}
+
+fn e1_virtual_attributes() {
+    header(
+        "E1",
+        "virtual attributes: stored vs computed access (64 objects/op)",
+    );
+    let (age, address, _) = bench_syms();
+    row(
+        "n",
+        &[
+            "stored@base".into(),
+            "stored@view".into(),
+            "computed@view".into(),
+        ],
+    );
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let sys = people(n);
+        let view = staff_view(&sys, ViewOptions::default());
+        let oids = person_oids(&sys, 64);
+        let db = sys.database(sym("Staff")).unwrap();
+        let base = {
+            let db = db.read();
+            time_ns(50, || {
+                for &o in &oids {
+                    std::hint::black_box(eval_attr(&*db, o, age, &[]).unwrap());
+                }
+            })
+        };
+        let stored_view = time_ns(50, || {
+            for &o in &oids {
+                std::hint::black_box(eval_attr(&view, o, age, &[]).unwrap());
+            }
+        });
+        let computed = time_ns(50, || {
+            for &o in &oids {
+                std::hint::black_box(eval_attr(&view, o, address, &[]).unwrap());
+            }
+        });
+        row(
+            &n.to_string(),
+            &[fmt_ns(base), fmt_ns(stored_view), fmt_ns(computed)],
+        );
+    }
+}
+
+fn e2_overloading() {
+    header(
+        "E2",
+        "stored/computed overloading resolves per class (semantic)",
+    );
+    let sys = people(100);
+    let view = ViewDef::from_script(
+        r#"
+        create view V;
+        import all classes from database Staff;
+        attribute Tag in class Person has value "person";
+        attribute Tag in class Employee has value "employee";
+        attribute Tag in class Manager has value "manager";
+        "#,
+    )
+    .unwrap()
+    .bind(&sys)
+    .unwrap();
+    for class in ["Person", "Employee", "Manager"] {
+        let v = view
+            .query(&format!("select distinct X.Tag from X in {class}"))
+            .unwrap();
+        println!("Tag over deep extent of {class:<9} = {v}");
+    }
+}
+
+fn e3_import_hide() {
+    header("E3", "view binding cost: schema-sized, data-independent");
+    row("schema classes (1 obj each)", &["bind time".into()]);
+    for &classes in &[10usize, 50, 200, 800] {
+        let sys = market(classes, 8, 1);
+        let def = ViewDef::from_script(
+            "create view V; import all classes from database Market; \
+             hide attribute Id in class Item;",
+        )
+        .unwrap();
+        let t = time_ns(10, || {
+            std::hint::black_box(def.bind(&sys).unwrap());
+        });
+        row(&classes.to_string(), &[fmt_ns(t)]);
+    }
+    row("data objects (20 classes)", &["bind time".into()]);
+    for &objs in &[10usize, 100, 1_000, 10_000] {
+        let sys = market(20, 8, objs);
+        let def = ViewDef::from_script("create view V; import all classes from database Market;")
+            .unwrap();
+        let t = time_ns(10, || {
+            std::hint::black_box(def.bind(&sys).unwrap());
+        });
+        row(&(objs * 20).to_string(), &[fmt_ns(t)]);
+    }
+}
+
+fn e4_population() {
+    header(
+        "E4",
+        "virtual-class population: recompute vs cache vs incremental",
+    );
+    row(
+        "n",
+        &[
+            "recompute".into(),
+            "cached".into(),
+            "upd+read cached".into(),
+            "upd+read incr.".into(),
+        ],
+    );
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let sys = people(n);
+        let cached = staff_view(&sys, ViewOptions::default());
+        let incremental = staff_view(
+            &sys,
+            ViewOptions {
+                materialization: Materialization::Incremental,
+                ..Default::default()
+            },
+        );
+        let recompute = staff_view(
+            &sys,
+            ViewOptions {
+                materialization: Materialization::AlwaysRecompute,
+                ..Default::default()
+            },
+        );
+        cached.extent_of(sym("Adult")).unwrap();
+        incremental.extent_of(sym("Adult")).unwrap();
+        let t_rec = time_ns(5, || {
+            std::hint::black_box(recompute.extent_of(sym("Adult")).unwrap());
+        });
+        let t_cache = time_ns(50, || {
+            std::hint::black_box(cached.extent_of(sym("Adult")).unwrap());
+        });
+        // Update-heavy pattern: one base write, then one extent read.
+        let db = sys.database(sym("Staff")).unwrap();
+        let victims = person_oids(&sys, 16);
+        let mut i = 0usize;
+        let t_upd_cache = time_ns(5, || {
+            let o = victims[i % victims.len()];
+            i += 1;
+            db.write()
+                .set_attr(o, sym("Age"), Value::Int((i % 90) as i64))
+                .unwrap();
+            std::hint::black_box(cached.extent_of(sym("Adult")).unwrap());
+        });
+        let t_upd_incr = time_ns(5, || {
+            let o = victims[i % victims.len()];
+            i += 1;
+            db.write()
+                .set_attr(o, sym("Age"), Value::Int((i % 90) as i64))
+                .unwrap();
+            std::hint::black_box(incremental.extent_of(sym("Adult")).unwrap());
+        });
+        row(
+            &n.to_string(),
+            &[
+                fmt_ns(t_rec),
+                fmt_ns(t_cache),
+                fmt_ns(t_upd_cache),
+                fmt_ns(t_upd_incr),
+            ],
+        );
+    }
+}
+
+fn e5_resolution() {
+    header("E5", "attribute resolution (64 objects/op)");
+    let sys = people(2_000);
+    let oids = person_oids(&sys, 64);
+    let def = ViewDef::from_script(
+        r#"
+        create view V;
+        import all classes from database Staff;
+        class Rich includes (select P from Person where P.Income >= 100000);
+        class Senior includes (select P from Person where P.Age >= 65);
+        attribute Print in class Rich has value "rich";
+        attribute Print in class Senior has value "senior";
+        attribute Plain in class Person has value "plain";
+        "#,
+    )
+    .unwrap();
+    let view = def.bind(&sys).unwrap();
+    let t_plain = time_ns(50, || {
+        for &o in &oids {
+            std::hint::black_box(eval_attr(&view, o, sym("Plain"), &[]).unwrap());
+        }
+    });
+    let t_overlap = time_ns(50, || {
+        for &o in &oids {
+            std::hint::black_box(eval_attr(&view, o, sym("Print"), &[]).ok());
+        }
+    });
+    row("base-chain attribute", &[fmt_ns(t_plain)]);
+    row("overlap attribute (memberships)", &[fmt_ns(t_overlap)]);
+    row("chain depth (plain schema)", &["resolve+eval".into()]);
+    for &depth in &[2usize, 8, 32, 128] {
+        let mut db = ov_oodb::Database::new(sym(&format!("HDeep{depth}")));
+        let mut parent = db
+            .create_class(
+                sym(&format!("HD{depth}_0")),
+                &[],
+                vec![ov_oodb::AttrDef::stored(sym("X"), ov_oodb::Type::Int)],
+            )
+            .unwrap();
+        for i in 1..depth {
+            parent = db
+                .create_class(sym(&format!("HD{depth}_{i}")), &[parent], vec![])
+                .unwrap();
+        }
+        let oid = db
+            .create_object(parent, ov_oodb::Value::tuple([("X", Value::Int(1))]))
+            .unwrap();
+        let t = time_ns(200, || {
+            std::hint::black_box(eval_attr(&db, oid, sym("X"), &[]).unwrap());
+        });
+        row(&depth.to_string(), &[fmt_ns(t)]);
+    }
+}
+
+fn e6_inference() {
+    header("E6", "hierarchy inference at bind time");
+    row(
+        "schema classes",
+        &["generalization".into(), "behavioral(like)".into()],
+    );
+    for &classes in &[10usize, 50, 200, 800] {
+        let sys = market(classes, 6, 1);
+        let picked: Vec<String> = (0..classes)
+            .step_by(5)
+            .map(|i| format!("Kind{i}"))
+            .collect();
+        let gen_def = ViewDef::from_script(&format!(
+            "create view V; import all classes from database Market; \
+             class Grouped includes {};",
+            picked.join(", ")
+        ))
+        .unwrap();
+        let like_def = ViewDef::from_script(
+            "create view V; import all classes from database Market; \
+             class On_Sale includes like Sale_Spec;",
+        )
+        .unwrap();
+        let t_gen = time_ns(5, || {
+            std::hint::black_box(gen_def.bind(&sys).unwrap());
+        });
+        let t_like = time_ns(5, || {
+            std::hint::black_box(like_def.bind(&sys).unwrap());
+        });
+        row(&classes.to_string(), &[fmt_ns(t_gen), fmt_ns(t_like)]);
+    }
+}
+
+fn e7_parameterized() {
+    header("E7", "parameterized classes: Resident(X)");
+    row("n", &["first instantiation".into(), "cached".into()]);
+    for &n in &[1_000usize, 10_000] {
+        let sys = people(n);
+        let def = ViewDef::from_script(
+            "create view V; import all classes from database Staff; \
+             class Resident(X) includes (select P from Person where P.City = X);",
+        )
+        .unwrap();
+        let t_first = time_ns(5, || {
+            let view = def.bind(&sys).unwrap();
+            std::hint::black_box(view.query(r#"count(Resident("London"))"#).unwrap());
+        });
+        let view = def.bind(&sys).unwrap();
+        view.query(r#"count(Resident("London"))"#).unwrap();
+        let t_cached = time_ns(50, || {
+            std::hint::black_box(view.query(r#"count(Resident("London"))"#).unwrap());
+        });
+        row(&n.to_string(), &[fmt_ns(t_first), fmt_ns(t_cached)]);
+    }
+}
+
+fn e8_upward_and_schizophrenia() {
+    header(
+        "E8",
+        "upward inheritance + schizophrenia policies (semantic)",
+    );
+    let sys = people(200);
+    let def = ViewDef::from_script(
+        r#"
+        create view V;
+        import all classes from database Staff;
+        class Rich includes (select P from Person where P.Income >= 100000);
+        class Senior includes (select P from Person where P.Age >= 65);
+        attribute Print in class Rich has value "rich";
+        attribute Print in class Senior has value "senior";
+        "#,
+    )
+    .unwrap();
+    // A person who is both rich and senior: find one.
+    let strict = def
+        .bind_with(
+            &sys,
+            ViewOptions {
+                policy: ConflictPolicy::Error,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let overlap = strict
+        .query("count((select P from P in Rich where P in Senior))")
+        .unwrap();
+    println!("objects in Rich ∩ Senior: {overlap}");
+    let both = strict
+        .query("select P from P in Rich where P in Senior")
+        .unwrap();
+    if let Some(Value::Oid(o)) = both.as_set().and_then(|s| s.iter().next().cloned()) {
+        let e = eval_attr(&strict, o, sym("Print"), &[]);
+        println!(
+            "policy=Error            → {:?}",
+            e.err().map(|x| x.to_string())
+        );
+        let creation = def.bind(&sys).unwrap();
+        println!(
+            "policy=CreationOrder    → {}",
+            eval_attr(&creation, o, sym("Print"), &[]).unwrap()
+        );
+        let pri = def
+            .bind_with(
+                &sys,
+                ViewOptions {
+                    policy: ConflictPolicy::Priority(vec![sym("Senior")]),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        println!(
+            "policy=Priority(Senior) → {}",
+            eval_attr(&pri, o, sym("Print"), &[]).unwrap()
+        );
+    }
+}
+
+fn e9_identity() {
+    header(
+        "E9",
+        "imaginary identity: the two 'seemingly equivalent' queries",
+    );
+    let nested = "count((select F from F in Family \
+                  where F in (select G from G in Family where G.Husband.Age < 50)))";
+    let flat = "count((select F from F in Family where F.Husband.Age < 50))";
+    row(
+        "n",
+        &[
+            "flat".into(),
+            "nested@table".into(),
+            "nested@fresh".into(),
+            "pop time (table)".into(),
+        ],
+    );
+    for &n in &[1_000usize, 10_000] {
+        let sys = people(n);
+        let table = staff_view(
+            &sys,
+            ViewOptions {
+                materialization: Materialization::AlwaysRecompute,
+                ..Default::default()
+            },
+        );
+        let fresh = staff_view(
+            &sys,
+            ViewOptions {
+                materialization: Materialization::AlwaysRecompute,
+                identity_mode: IdentityMode::Fresh,
+                ..Default::default()
+            },
+        );
+        let a = table.query(flat).unwrap();
+        let b = table.query(nested).unwrap();
+        let c = fresh.query(nested).unwrap();
+        let t = time_ns(5, || {
+            std::hint::black_box(table.extent_of(sym("Family")).unwrap());
+        });
+        row(
+            &n.to_string(),
+            &[a.to_string(), b.to_string(), c.to_string(), fmt_ns(t)],
+        );
+    }
+    println!("(the paper's claim: flat = nested under identity tables; fresh oids collapse to 0)");
+}
+
+fn e10_value_to_object() {
+    header(
+        "E10",
+        "Example 5: value→object conversion with sharing (semantic)",
+    );
+    let sys = people(1_000);
+    let view = ViewDef::from_script(
+        r#"
+        create view V;
+        import all classes from database Staff;
+        class Address includes imaginary
+            (select [City: P.City, Street: P.Street] from P in Person);
+        attribute Location in class Person has value
+            (select the A from A in Address
+             where A.City = self.City and A.Street = self.Street);
+        "#,
+    )
+    .unwrap()
+    .bind(&sys)
+    .unwrap();
+    let people_count = view.query("count(Person)").unwrap();
+    let addr_count = view.query("count(Address)").unwrap();
+    println!("persons: {people_count}, distinct shared address objects: {addr_count}");
+    let t = time_ns(20, || {
+        let oids = person_oids(&sys, 32);
+        for o in oids {
+            std::hint::black_box(eval_attr(&view, o, sym("Location"), &[]).unwrap());
+        }
+    });
+    row("`select the` lookup (32 objs/op)", &[fmt_ns(t)]);
+}
+
+fn e11_churn() {
+    header("E11", "Example 6: identity churn under address updates");
+    const POOR: &str = r#"
+        create view Poor;
+        import all classes from database Insurance;
+        class Client includes imaginary
+            (select [CName: P.PName, SS: P.SS, CAddress: P.PAddress, Policy: P]
+             from P in Policy);
+    "#;
+    const FIXED: &str = r#"
+        create view Fixed;
+        import all classes from database Insurance;
+        class Client includes imaginary
+            (select [CName: P.PName, SS: P.SS, Policy: P] from P in Policy);
+        attribute CAddress in class Client has value self.Policy.PAddress;
+    "#;
+    let updates = 200usize;
+    row(
+        "design",
+        &[
+            "clients".into(),
+            format!("identity entries after {updates} updates"),
+            "churn rate".into(),
+        ],
+    );
+    for (label, script) in [("poor", POOR), ("fixed", FIXED)] {
+        let sys = insurance(1_000);
+        let view = ViewDef::from_script(script).unwrap().bind(&sys).unwrap();
+        view.extent_of(sym("Client")).unwrap();
+        let baseline = view.identity_table_len(sym("Client"));
+        let db = sys.database(sym("Insurance")).unwrap();
+        let policies = {
+            let d = db.read();
+            d.deep_extent(d.schema.class_by_name(sym("Policy")).unwrap())
+        };
+        for i in 0..updates {
+            let p = policies[i % policies.len()];
+            db.write()
+                .set_attr(p, sym("PAddress"), Value::str(&format!("addr {i}")))
+                .unwrap();
+            view.extent_of(sym("Client")).unwrap();
+        }
+        let after = view.identity_table_len(sym("Client"));
+        row(
+            label,
+            &[
+                baseline.to_string(),
+                after.to_string(),
+                format!(
+                    "{:.2} new identities/update",
+                    (after - baseline) as f64 / updates as f64
+                ),
+            ],
+        );
+    }
+    println!("(the paper's claim: the poor design makes every move a new client)");
+}
+
+fn e13_indexes() {
+    header(
+        "E13",
+        "index pushdown for specialization populations (extension)",
+    );
+    row(
+        "n",
+        &["scan".into(), "indexed".into(), "result size".into()],
+    );
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mut results = Vec::new();
+        let mut size = 0usize;
+        for indexed in [false, true] {
+            let sys = people(n);
+            if indexed {
+                let db = sys.database(sym("Staff")).unwrap();
+                let mut db = db.write();
+                let person = db.schema.class_by_name(sym("Person")).unwrap();
+                db.create_index(person, sym("City")).unwrap();
+            }
+            let view = ViewDef::from_script(
+                r#"
+                create view V;
+                import all classes from database Staff;
+                class Londoner includes
+                    (select P from Person where P.City = "London");
+                "#,
+            )
+            .unwrap()
+            .bind_with(
+                &sys,
+                ViewOptions {
+                    materialization: Materialization::AlwaysRecompute,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            size = view.extent_of(sym("Londoner")).unwrap().len();
+            results.push(fmt_ns(time_ns(5, || {
+                std::hint::black_box(view.extent_of(sym("Londoner")).unwrap());
+            })));
+        }
+        results.push(size.to_string());
+        row(&n.to_string(), &results);
+    }
+}
+
+fn e12_relational() {
+    header("E12", "object views of relational data");
+    row(
+        "rows",
+        &[
+            "stage".into(),
+            "populate".into(),
+            "query".into(),
+            "restage".into(),
+        ],
+    );
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let rdb = payroll(n, 16);
+        let t_stage = time_ns(3, || {
+            std::hint::black_box(ov_relational::bridge::stage(&rdb).unwrap());
+        });
+        let (sys, _) = ov_relational::bridge::stage(&rdb).unwrap();
+        let view = ov_relational::bridge::object_view(&rdb, &sys).unwrap();
+        let t_pop = time_ns(3, || {
+            std::hint::black_box(view.extent_of(sym("Emp")).unwrap());
+        });
+        view.extent_of(sym("Emp")).unwrap();
+        let t_query = time_ns(3, || {
+            std::hint::black_box(
+                view.query("count((select E from E in Emp where E.Salary > 100000))")
+                    .unwrap(),
+            );
+        });
+        let t_restage = time_ns(3, || {
+            ov_relational::bridge::restage(&rdb, &sys).unwrap();
+        });
+        row(
+            &n.to_string(),
+            &[
+                fmt_ns(t_stage),
+                fmt_ns(t_pop),
+                fmt_ns(t_query),
+                fmt_ns(t_restage),
+            ],
+        );
+    }
+}

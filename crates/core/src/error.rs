@@ -1,0 +1,195 @@
+//! Errors for the view layer.
+
+use std::fmt;
+
+use ov_oodb::{OodbError, Symbol};
+use ov_query::QueryError;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ViewError>;
+
+/// Errors raised while defining, binding, or querying views.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ViewError {
+    /// From the language layer (parse/type/eval).
+    Query(QueryError),
+    /// From the data-model layer.
+    Oodb(OodbError),
+    /// "It is not possible for a user to insert an object directly into a
+    /// virtual class" (§4.1).
+    VirtualInsert(Symbol),
+    /// Core attributes fix imaginary-object identity; they cannot be
+    /// assigned through the view (§5.1: "the core attributes should be
+    /// thought of as being somewhat immutable").
+    CoreAttrUpdate {
+        /// The imaginary class.
+        class: Symbol,
+        /// The core attribute.
+        attr: Symbol,
+    },
+    /// Updating anything about an imaginary object other than through its
+    /// base data is meaningless.
+    ImaginaryUpdate(Symbol),
+    /// The attribute is hidden in this view.
+    HiddenAttr {
+        /// The class resolution started from.
+        class: Symbol,
+        /// The hidden attribute.
+        attr: Symbol,
+    },
+    /// The class is hidden in this view.
+    HiddenClass(Symbol),
+    /// Importing two classes with the same name (alias one of them).
+    ImportConflict {
+        /// The conflicting class name.
+        name: Symbol,
+        /// The database the second copy came from.
+        db: Symbol,
+    },
+    /// A virtual class's population query must return objects; this one
+    /// returns plain values (use `imaginary` for that).
+    NonObjectPopulation {
+        /// The virtual class being defined.
+        class: Symbol,
+        /// What the query produced instead.
+        found: String,
+    },
+    /// An imaginary population query must return tuples.
+    NonTuplePopulation {
+        /// The imaginary class being defined.
+        class: Symbol,
+        /// What the query produced instead.
+        found: String,
+    },
+    /// At most one `imaginary` include per class, and it cannot be mixed
+    /// with non-imaginary includes.
+    MixedImaginary(Symbol),
+    /// Virtual class definitions form a cycle (A includes objects of B,
+    /// B of A …).
+    CyclicVirtualClass(Symbol),
+    /// A parameterized class was applied with the wrong number of
+    /// arguments.
+    ParamArity {
+        /// The template's name.
+        class: Symbol,
+        /// Its parameter count.
+        expected: usize,
+        /// The argument count supplied.
+        got: usize,
+    },
+    /// The object is not visible in this view (its class was not imported).
+    NotVisible(ov_oodb::Oid),
+    /// Misc definition error with context.
+    Definition(String),
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewError::Query(e) => write!(f, "{e}"),
+            ViewError::Oodb(e) => write!(f, "{e}"),
+            ViewError::VirtualInsert(c) => write!(
+                f,
+                "cannot insert directly into virtual class `{c}` (populate it through its base classes)"
+            ),
+            ViewError::CoreAttrUpdate { class, attr } => write!(
+                f,
+                "cannot assign core attribute `{attr}` of imaginary class `{class}`: core attributes fix object identity"
+            ),
+            ViewError::ImaginaryUpdate(c) => {
+                write!(f, "cannot update imaginary object of class `{c}` directly")
+            }
+            ViewError::HiddenAttr { class, attr } => {
+                write!(f, "attribute `{attr}` of class `{class}` is hidden in this view")
+            }
+            ViewError::HiddenClass(c) => write!(f, "class `{c}` is hidden in this view"),
+            ViewError::ImportConflict { name, db } => write!(
+                f,
+                "import of class `{name}` from database `{db}` conflicts with an existing class; use `as` to rename"
+            ),
+            ViewError::NonObjectPopulation { class, found } => write!(
+                f,
+                "population query of virtual class `{class}` must return objects, found {found} (use `includes imaginary` for value populations)"
+            ),
+            ViewError::NonTuplePopulation { class, found } => write!(
+                f,
+                "imaginary population of class `{class}` must return tuples, found {found}"
+            ),
+            ViewError::MixedImaginary(c) => write!(
+                f,
+                "class `{c}`: at most one `imaginary` include, not mixed with other includes"
+            ),
+            ViewError::CyclicVirtualClass(c) => {
+                write!(f, "virtual class `{c}` is defined (transitively) in terms of itself")
+            }
+            ViewError::ParamArity {
+                class,
+                expected,
+                got,
+            } => write!(
+                f,
+                "parameterized class `{class}` takes {expected} argument(s), got {got}"
+            ),
+            ViewError::NotVisible(oid) => {
+                write!(f, "object {oid} is not visible in this view")
+            }
+            ViewError::Definition(msg) => write!(f, "view definition error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ViewError::Query(e) => Some(e),
+            ViewError::Oodb(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for ViewError {
+    fn from(e: QueryError) -> ViewError {
+        match e {
+            QueryError::Oodb(o) => ViewError::Oodb(o),
+            other => ViewError::Query(other),
+        }
+    }
+}
+
+impl From<OodbError> for ViewError {
+    fn from(e: OodbError) -> ViewError {
+        ViewError::Oodb(e)
+    }
+}
+
+impl From<ViewError> for QueryError {
+    /// The `DataSource` trait speaks `QueryError`; view-specific failures
+    /// cross the boundary as evaluation errors with their display text.
+    fn from(e: ViewError) -> QueryError {
+        match e {
+            ViewError::Query(q) => q,
+            ViewError::Oodb(o) => QueryError::Oodb(o),
+            other => QueryError::Eval(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ov_oodb::sym;
+
+    #[test]
+    fn round_trips_through_query_error() {
+        let v = ViewError::VirtualInsert(sym("Adult"));
+        let q: QueryError = v.into();
+        assert!(q.to_string().contains("virtual class `Adult`"));
+    }
+
+    #[test]
+    fn oodb_errors_unwrap() {
+        let v: ViewError = OodbError::UnknownClass(sym("X")).into();
+        assert_eq!(v, ViewError::Oodb(OodbError::UnknownClass(sym("X"))));
+    }
+}

@@ -1,0 +1,626 @@
+//! Interactive sessions: databases and views under one prompt.
+//!
+//! A [`Session`] owns a [`System`] of databases and a set of named views,
+//! and executes statements one at a time, the way the paper's programmer
+//! works: build a base database, `create view`, add imports / virtual
+//! classes / attributes incrementally, and query either world at any
+//! point. Views rebind automatically as their definitions grow, so each
+//! definition statement is checked the moment it is entered.
+//!
+//! This is the engine behind the `ovq` REPL binary (workspace root).
+
+use std::collections::HashMap;
+
+use ov_oodb::{Oid, Symbol, System, Value};
+use ov_query::{execute_stmts_with_map, parse_program, Stmt};
+
+use crate::def::{AttrDecl, Hide, Import, ViewDef, ViewElement, VirtualClassDef};
+use crate::error::{Result, ViewError};
+use crate::view::{View, ViewOptions};
+
+/// What the prompt currently points at.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Focus {
+    Nothing,
+    Database(Symbol),
+    View(Symbol),
+}
+
+/// The result of executing one statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Outcome {
+    /// Statement executed; nothing to show.
+    Done,
+    /// A query (or insert) produced a value.
+    Value(Value),
+    /// A human-readable notice (context switches etc.).
+    Notice(String),
+}
+
+/// An interactive session over a system of databases and named views.
+pub struct Session {
+    system: System,
+    views: HashMap<Symbol, (ViewDef, View)>,
+    options: ViewOptions,
+    focus: Focus,
+    /// Session-persistent `#n` literal → oid bindings, so interactive
+    /// statements can refer to objects declared earlier.
+    oid_map: HashMap<u64, Oid>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// An empty session with default view options.
+    pub fn new() -> Session {
+        Session {
+            system: System::new(),
+            views: HashMap::new(),
+            options: ViewOptions::default(),
+            focus: Focus::Nothing,
+            oid_map: HashMap::new(),
+        }
+    }
+
+    /// A session with non-default view options (conflict policy etc.).
+    pub fn with_options(options: ViewOptions) -> Session {
+        Session {
+            options,
+            ..Session::new()
+        }
+    }
+
+    /// The underlying system (e.g. to register programmatically-built
+    /// databases).
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.system
+    }
+
+    /// Read access to the underlying system.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// The bound view called `name`, if any.
+    pub fn view(&self, name: Symbol) -> Option<&View> {
+        self.views.get(&name).map(|(_, v)| v)
+    }
+
+    /// The DDL text of view `name`'s current definition (see
+    /// [`ViewDef::to_script`]).
+    pub fn view_script(&self, name: Symbol) -> Option<String> {
+        self.views.get(&name).map(|(def, _)| def.to_script())
+    }
+
+    /// Names of all defined views, sorted.
+    pub fn view_names(&self) -> Vec<Symbol> {
+        let mut v: Vec<Symbol> = self.views.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Switches the prompt to database or view `name` (used by the REPL's
+    /// `use` handling and by tests).
+    pub fn focus(&mut self, name: Symbol) -> Result<Outcome> {
+        if self.views.contains_key(&name) {
+            self.focus = Focus::View(name);
+            return Ok(Outcome::Notice(format!("focused on view {name}")));
+        }
+        if self.system.database(name).is_ok() {
+            self.focus = Focus::Database(name);
+            return Ok(Outcome::Notice(format!("focused on database {name}")));
+        }
+        Err(ViewError::Definition(format!(
+            "`{name}` is neither a database nor a view in this session"
+        )))
+    }
+
+    /// Parses and executes a script, one statement at a time. Returns one
+    /// outcome per statement; stops at the first error.
+    pub fn execute(&mut self, src: &str) -> Result<Vec<Outcome>> {
+        let stmts = parse_program(src).map_err(ViewError::from)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in stmts {
+            out.push(self.execute_stmt(stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Executes a single pre-parsed statement.
+    pub fn execute_stmt(&mut self, stmt: Stmt) -> Result<Outcome> {
+        match stmt {
+            Stmt::Database(name) => {
+                if self.system.database(name).is_err() {
+                    self.system.create_database(name)?;
+                }
+                self.focus = Focus::Database(name);
+                Ok(Outcome::Notice(format!("database {name}")))
+            }
+            Stmt::CreateView(name) => {
+                if self.views.contains_key(&name) {
+                    return Err(ViewError::Definition(format!(
+                        "view `{name}` already exists in this session"
+                    )));
+                }
+                let def = ViewDef::new(name);
+                let view = def.bind_with(&self.system, self.options.clone())?;
+                self.views.insert(name, (def, view));
+                self.focus = Focus::View(name);
+                Ok(Outcome::Notice(format!("view {name}")))
+            }
+            Stmt::Import { what, db } => self.extend_view(|def| {
+                def.imports.push(Import { db, what });
+            }),
+            Stmt::HideAttrs { attrs, class } => self.extend_view(move |def| {
+                def.elements
+                    .push(ViewElement::Hide(Hide::Attrs { attrs, class }));
+            }),
+            Stmt::HideClass(class) => self.extend_view(move |def| {
+                def.elements.push(ViewElement::Hide(Hide::Class(class)));
+            }),
+            Stmt::VirtualClassDecl {
+                name,
+                params,
+                includes,
+            } => self.extend_view(move |def| {
+                def.elements
+                    .push(ViewElement::VirtualClass(VirtualClassDef {
+                        name,
+                        params,
+                        includes,
+                    }));
+            }),
+            Stmt::AttributeDecl {
+                name,
+                params,
+                ty,
+                class,
+                body,
+            } => match self.focus {
+                Focus::View(_) => self.extend_view(move |def| {
+                    def.elements.push(ViewElement::Attribute(AttrDecl {
+                        name,
+                        params,
+                        ty,
+                        class,
+                        body,
+                    }));
+                }),
+                Focus::Database(db) => {
+                    // Attribute declarations are valid base-schema DDL too.
+                    self.run_on_database(
+                        db,
+                        Stmt::AttributeDecl {
+                            name,
+                            params,
+                            ty,
+                            class,
+                            body,
+                        },
+                    )
+                }
+                Focus::Nothing => Err(no_focus()),
+            },
+            // Data statements and queries dispatch on focus.
+            other => match self.focus {
+                Focus::Database(db) => self.run_on_database(db, other),
+                Focus::View(vname) => self.run_on_view(vname, other),
+                Focus::Nothing => Err(no_focus()),
+            },
+        }
+    }
+
+    /// Applies `patch` to the focused view's definition and rebinds it;
+    /// a failing statement is rolled back so the session view stays usable.
+    fn extend_view(&mut self, patch: impl FnOnce(&mut ViewDef)) -> Result<Outcome> {
+        let Focus::View(name) = self.focus else {
+            return Err(ViewError::Definition(
+                "view-definition statements need a focused view (`create view V;` first)".into(),
+            ));
+        };
+        let (def, _) = self.views.get(&name).expect("focused view exists");
+        let mut candidate = def.clone();
+        patch(&mut candidate);
+        let rebound = candidate.bind_with(&self.system, self.options.clone())?;
+        self.views.insert(name, (candidate, rebound));
+        Ok(Outcome::Done)
+    }
+
+    fn run_on_database(&mut self, db: Symbol, stmt: Stmt) -> Result<Outcome> {
+        // Reuse the script executor with an explicit database context; the
+        // session-persistent oid map keeps `#n` bindings across statements.
+        let stmts = vec![Stmt::Database(db), stmt];
+        let results = execute_stmts_with_map(&mut self.system, &stmts, &mut self.oid_map)
+            .map_err(ViewError::from)?;
+        // Rebind every view after a base mutation is unnecessary —
+        // populations are version-keyed — but *schema* changes require it.
+        if matches!(
+            stmts[1],
+            Stmt::ClassDecl { .. } | Stmt::AttributeDecl { .. }
+        ) {
+            self.rebind_all()?;
+        }
+        Ok(match results.into_iter().next() {
+            Some(v) => Outcome::Value(v),
+            None => Outcome::Done,
+        })
+    }
+
+    fn run_on_view(&mut self, vname: Symbol, stmt: Stmt) -> Result<Outcome> {
+        let (_, view) = self.views.get(&vname).expect("focused view exists");
+        match stmt {
+            Stmt::Query(e) => {
+                let v = ov_query::eval_expr(view, &e).map_err(ViewError::from)?;
+                Ok(Outcome::Value(v))
+            }
+            Stmt::Insert { class, value } => {
+                let v = ov_query::eval_expr(view, &value).map_err(ViewError::from)?;
+                let oid = view.insert(class, v)?;
+                Ok(Outcome::Value(Value::Oid(oid)))
+            }
+            Stmt::SetAttr {
+                target,
+                attr,
+                value,
+            } => {
+                let t = ov_query::eval_expr(view, &target).map_err(ViewError::from)?;
+                let Value::Oid(oid) = t else {
+                    return Err(ViewError::Definition(
+                        "`set` target must evaluate to an object".into(),
+                    ));
+                };
+                let v = ov_query::eval_expr(view, &value).map_err(ViewError::from)?;
+                view.update_attr(oid, attr, v)?;
+                Ok(Outcome::Done)
+            }
+            Stmt::Delete(e) => {
+                let t = ov_query::eval_expr(view, &e).map_err(ViewError::from)?;
+                let Value::Oid(oid) = t else {
+                    return Err(ViewError::Definition(
+                        "`delete` target must evaluate to an object".into(),
+                    ));
+                };
+                view.delete(oid)?;
+                Ok(Outcome::Done)
+            }
+            Stmt::ObjectDecl { .. } | Stmt::NameDecl { .. } | Stmt::ClassDecl { .. } => {
+                Err(ViewError::Definition(
+                    "base-data statements need a focused database, not a view".into(),
+                ))
+            }
+            _ => unreachable!("handled by execute_stmt"),
+        }
+    }
+
+    fn rebind_all(&mut self) -> Result<()> {
+        let names: Vec<Symbol> = self.views.keys().copied().collect();
+        for name in names {
+            let (def, _) = self.views.get(&name).expect("listed");
+            let def = def.clone();
+            let rebound = def.bind_with(&self.system, self.options.clone())?;
+            self.views.insert(name, (def, rebound));
+        }
+        Ok(())
+    }
+
+    /// Serializes the whole session — every database (schema + data) and
+    /// every view definition — as one script that [`Session::execute`] (or
+    /// the `ovq` shell) replays into an equivalent session. Imaginary
+    /// identity tables are *not* part of the saved state: they repopulate
+    /// deterministically on first use in the restored session.
+    pub fn save(&self) -> String {
+        let mut out = String::new();
+        let mut offset = 0u64;
+        for db_name in self.system.names() {
+            let db = self.system.database(db_name).expect("listed");
+            let db = db.read();
+            out.push_str(&ov_oodb::dump_database_with_offset(&db, offset));
+            offset += db.store.len() as u64;
+        }
+        for vname in self.view_names() {
+            let (def, _) = &self.views[&vname];
+            out.push_str(&def.to_script());
+        }
+        out
+    }
+
+    /// A short description of what's in the session (for the REPL's
+    /// `.schema`).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for db_name in self.system.names() {
+            let db = self.system.database(db_name).expect("listed");
+            let db = db.read();
+            let _ = writeln!(
+                out,
+                "database {db_name}: {} classes, {} objects",
+                db.schema.len(),
+                db.store.len()
+            );
+            for class in db.schema.classes() {
+                let _ = writeln!(
+                    out,
+                    "  class {} ({} objects)",
+                    class.name,
+                    db.store.extent_len(class.id)
+                );
+            }
+        }
+        for vname in self.view_names() {
+            let (_, view) = &self.views[&vname];
+            let _ = writeln!(out, "view {vname}: classes {:?}", view.class_names());
+        }
+        out
+    }
+}
+
+fn no_focus() -> ViewError {
+    ViewError::Definition(
+        "no focused database or view (start with `database D;` or `create view V;`)".into(),
+    )
+}
+
+// DataSource passthrough so a session's focused view can be queried
+// through generic code paths if desired.
+impl Session {
+    /// Runs a query against a named view or database.
+    pub fn query(&self, target: Symbol, query: &str) -> Result<Value> {
+        if let Some((_, view)) = self.views.get(&target) {
+            return view.query(query);
+        }
+        let db = self.system.database(target)?;
+        let db = db.read();
+        ov_query::run_query(&*db, query).map_err(ViewError::from)
+    }
+
+    /// Explains a query against a named view or database: the parsed form,
+    /// the statically inferred type, and the optimized form. Drives the
+    /// REPL's `.explain`.
+    pub fn explain(&self, target: Symbol, query: &str) -> Result<String> {
+        use std::fmt::Write as _;
+        let expr = ov_query::parse_expr(query).map_err(ViewError::from)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "parsed:    {expr}");
+        let ty = if let Some((_, view)) = self.views.get(&target) {
+            ov_query::infer_expr(view, &expr)
+        } else {
+            let db = self.system.database(target)?;
+            let db = db.read();
+            ov_query::infer_expr(&*db, &expr)
+        };
+        match ty {
+            Ok(t) => {
+                let _ = writeln!(out, "type:      {t:?}");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "type:      error: {e}");
+            }
+        }
+        let optimized = ov_query::optimize_expr(&expr);
+        if optimized != expr {
+            let _ = writeln!(out, "optimized: {optimized}");
+        } else {
+            let _ = writeln!(out, "optimized: (unchanged)");
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ov_oodb::sym;
+
+    fn loaded_session() -> Session {
+        let mut s = Session::new();
+        s.execute(
+            r#"
+            database Staff;
+            class Person type [Name: string, Age: integer];
+            class Employee inherits Person type [Salary: integer];
+            object #1 in Person value [Name: "Maggy", Age: 66];
+            object #2 in Employee value [Name: "Tony", Age: 30, Salary: 50000];
+            name maggy = #1;
+            "#,
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn database_then_view_then_query() {
+        let mut s = loaded_session();
+        let outcomes = s
+            .execute(
+                r#"
+                create view V;
+                import all classes from database Staff;
+                class Adult includes (select P from Person where P.Age >= 21);
+                select A.Name from A in Adult;
+                "#,
+            )
+            .unwrap();
+        assert_eq!(
+            outcomes.last().unwrap(),
+            &Outcome::Value(Value::set([Value::str("Maggy"), Value::str("Tony")]))
+        );
+    }
+
+    #[test]
+    fn incremental_view_definition_rebinds() {
+        let mut s = loaded_session();
+        s.execute("create view V; import all classes from database Staff;")
+            .unwrap();
+        // First query: no Adult yet.
+        assert!(s.execute("select A from A in Adult;").is_err());
+        // Add the class, query again.
+        s.execute("class Adult includes (select P from Person where P.Age >= 21);")
+            .unwrap();
+        let v = s.execute("count((select A from A in Adult));").unwrap();
+        assert_eq!(v[0], Outcome::Value(Value::Int(2)));
+    }
+
+    #[test]
+    fn failing_view_statement_rolls_back() {
+        let mut s = loaded_session();
+        s.execute("create view V; import all classes from database Staff;")
+            .unwrap();
+        // A bad virtual class must not poison the session.
+        assert!(s
+            .execute("class Bad includes (select [X: P.Name] from P in Person);")
+            .is_err());
+        let v = s.execute("count(Person);").unwrap();
+        assert_eq!(v[0], Outcome::Value(Value::Int(2)));
+        // And the definition no longer contains the failed statement.
+        s.execute("class Adult includes (select P from Person where P.Age >= 21);")
+            .unwrap();
+    }
+
+    #[test]
+    fn focus_switching() {
+        let mut s = loaded_session();
+        s.execute("create view V; import all classes from database Staff;")
+            .unwrap();
+        // Switch back to the database and mutate it.
+        s.focus(sym("Staff")).unwrap();
+        s.execute(r#"insert Person value [Name: "New", Age: 50];"#)
+            .unwrap();
+        // The view sees the new person.
+        s.focus(sym("V")).unwrap();
+        let v = s.execute("count(Person);").unwrap();
+        assert_eq!(v[0], Outcome::Value(Value::Int(3)));
+    }
+
+    #[test]
+    fn updates_through_focused_view() {
+        let mut s = loaded_session();
+        s.execute(
+            "create view V; import all classes from database Staff; \
+             hide attribute Salary in class Employee;",
+        )
+        .unwrap();
+        s.execute("set maggy.Age = 67;").unwrap();
+        let v = s.execute("maggy.Age;").unwrap();
+        assert_eq!(v[0], Outcome::Value(Value::Int(67)));
+        // Hidden attributes reject assignment through the view.
+        assert!(s.execute(r#"set maggy.Salary = 1;"#).is_err());
+    }
+
+    #[test]
+    fn base_schema_changes_rebind_views() {
+        let mut s = loaded_session();
+        s.execute("create view V; import all classes from database Staff;")
+            .unwrap();
+        s.focus(sym("Staff")).unwrap();
+        s.execute("attribute Doubled in class Person has value self.Age * 2;")
+            .unwrap();
+        s.focus(sym("V")).unwrap();
+        let v = s.execute("maggy.Doubled;").unwrap();
+        assert_eq!(v[0], Outcome::Value(Value::Int(132)));
+    }
+
+    #[test]
+    fn statements_need_focus() {
+        let mut s = Session::new();
+        assert!(s.execute("select 1 from X in {1};").is_err());
+        assert!(s.execute("class C type [X: integer];").is_err());
+    }
+
+    #[test]
+    fn duplicate_view_rejected() {
+        let mut s = loaded_session();
+        s.execute("create view V;").unwrap();
+        assert!(s.execute("create view V;").is_err());
+    }
+
+    #[test]
+    fn describe_lists_everything() {
+        let mut s = loaded_session();
+        s.execute("create view V; import all classes from database Staff;")
+            .unwrap();
+        let d = s.describe();
+        assert!(d.contains("database Staff"));
+        assert!(d.contains("class Person"));
+        assert!(d.contains("view V"));
+    }
+
+    #[test]
+    fn explain_reports_type_and_optimization() {
+        let mut s = loaded_session();
+        s.execute(
+            "create view V; import all classes from database Staff; \
+             class Adult includes (select P from Person where P.Age >= 21);",
+        )
+        .unwrap();
+        let e = s
+            .explain(sym("V"), "select A.Name from A in Adult")
+            .unwrap();
+        assert!(e.contains("type:      {string}"), "got: {e}");
+        let e = s.explain(sym("V"), "1 + 2 * 3").unwrap();
+        assert!(e.contains("optimized: 7"), "got: {e}");
+        let e = s.explain(sym("Staff"), "maggy.Ghost").unwrap();
+        assert!(e.contains("type:      error"), "got: {e}");
+    }
+
+    #[test]
+    fn save_and_restore_a_whole_session() {
+        let mut s = loaded_session();
+        s.execute(
+            r#"
+            database Extra;
+            class Thing type [Label: string];
+            -- Session-persistent `#k` literals are global to the session,
+            -- so this must not reuse Staff's #1/#2.
+            object #10 in Thing value [Label: "t"];
+            "#,
+        )
+        .unwrap();
+        s.execute(
+            "create view V; import all classes from database Staff;              class Adult includes (select P from Person where P.Age >= 21);",
+        )
+        .unwrap();
+        let script = s.save();
+        // Restore into a brand-new session.
+        let mut restored = Session::new();
+        restored.execute(&script).unwrap_or_else(|e| {
+            panic!(
+                "restore failed: {e}
+{script}"
+            )
+        });
+        assert_eq!(
+            restored.query(sym("V"), "count(Adult)").unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            restored.query(sym("Staff"), "maggy.Age").unwrap(),
+            Value::Int(66)
+        );
+        assert_eq!(
+            restored.query(sym("Extra"), "count(Thing)").unwrap(),
+            Value::Int(1)
+        );
+        // Saving the restored session reproduces the same script (fixpoint).
+        assert_eq!(restored.save(), script);
+    }
+
+    #[test]
+    fn query_by_target_name() {
+        let mut s = loaded_session();
+        s.execute(
+            "create view V; import all classes from database Staff; \
+             class Adult includes (select P from Person where P.Age >= 21);",
+        )
+        .unwrap();
+        assert_eq!(s.query(sym("V"), "count(Adult)").unwrap(), Value::Int(2));
+        assert_eq!(
+            s.query(sym("Staff"), "count(Person)").unwrap(),
+            Value::Int(2)
+        );
+    }
+}

@@ -1,0 +1,662 @@
+//! A database: a named schema plus an object store plus named roots.
+//!
+//! This is the unit the view mechanism imports from: "In general, there can
+//! be many databases in a system. … one database can use data from other
+//! databases via *import* statements" (§3).
+
+use std::collections::HashMap;
+
+use crate::error::{OodbError, Result};
+use crate::ids::{ClassId, Oid};
+use crate::schema::{AttrDef, Schema};
+use crate::store::{Store, StoredObject};
+use crate::symbol::Symbol;
+use crate::types::{ClassGraph, Type};
+use crate::value::{Tuple, Value};
+
+/// Referential action applied when deleting an object (DECISION: the paper
+/// does not define deletion semantics; these are the standard choices).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DeleteMode {
+    /// Delete without checking; references become dangling.
+    #[default]
+    Unchecked,
+    /// Refuse the deletion while any object still references the target.
+    Restrict,
+    /// Replace every reference to the target with `null`, then delete.
+    Nullify,
+}
+
+/// Replaces references to `target` with null, recursively through tuples,
+/// sets and lists.
+fn nullify_refs(v: &Value, target: Oid) -> Value {
+    match v {
+        Value::Oid(o) if *o == target => Value::Null,
+        Value::Tuple(t) => Value::Tuple(Tuple(
+            t.iter()
+                .map(|(n, fv)| (n, nullify_refs(fv, target)))
+                .collect(),
+        )),
+        Value::Set(s) => Value::Set(s.iter().map(|e| nullify_refs(e, target)).collect()),
+        Value::List(l) => Value::List(l.iter().map(|e| nullify_refs(e, target)).collect()),
+        other => other.clone(),
+    }
+}
+
+/// A named database.
+#[derive(Clone, Debug)]
+pub struct Database {
+    /// The database's name (how imports refer to it).
+    pub name: Symbol,
+    /// The class schema.
+    pub schema: Schema,
+    /// The object store.
+    pub store: Store,
+    /// Named root objects (O₂'s persistence roots; handy in examples).
+    names: HashMap<Symbol, Oid>,
+}
+
+impl Database {
+    /// An empty database called `name`.
+    pub fn new(name: Symbol) -> Database {
+        Database {
+            name,
+            schema: Schema::new(),
+            store: Store::new(),
+            names: HashMap::new(),
+        }
+    }
+
+    /// Creates a class; see [`Schema::add_class`].
+    pub fn create_class(
+        &mut self,
+        name: Symbol,
+        parents: &[ClassId],
+        attrs: Vec<AttrDef>,
+    ) -> Result<ClassId> {
+        self.schema.add_class(name, parents, attrs)
+    }
+
+    /// Creates a class naming its parents.
+    pub fn create_class_named(
+        &mut self,
+        name: Symbol,
+        parent_names: &[Symbol],
+        attrs: Vec<AttrDef>,
+    ) -> Result<ClassId> {
+        let parents: Vec<ClassId> = parent_names
+            .iter()
+            .map(|&p| self.schema.require_class(p))
+            .collect::<Result<_>>()?;
+        self.schema.add_class(name, &parents, attrs)
+    }
+
+    /// Creates an object *real* in `class` (unique root rule) with the given
+    /// stored attribute values. Fields are validated against the class's
+    /// stored attribute types; missing stored attributes are filled with
+    /// `null` (DECISION: the paper is silent on partial objects; O₂ allowed
+    /// undefined values), unknown fields are rejected.
+    pub fn create_object(&mut self, class: ClassId, value: Value) -> Result<Oid> {
+        let tuple = match value {
+            Value::Tuple(t) => t,
+            other => {
+                // "When the value is not a tuple … it can be treated as a
+                // tuple with a single field" (§2); we follow that literally
+                // with a field named `Value`.
+                Tuple::from_fields([(Symbol::new("Value"), other)])
+            }
+        };
+        let stored = self.schema.stored_attr_types(class);
+        for (name, v) in tuple.iter() {
+            let ty = stored.get(&name).ok_or(OodbError::UnknownAttr {
+                class: self.schema.class(class).name,
+                attr: name,
+            })?;
+            self.check_value(v, ty, &format!("attribute `{name}`"))?;
+        }
+        let mut full = tuple;
+        for name in stored.keys() {
+            if !full.has(*name) {
+                full.set(*name, Value::Null);
+            }
+        }
+        Ok(self.store.insert(class, full))
+    }
+
+    /// Reads a stored attribute of `oid`, resolving the attribute name along
+    /// the hierarchy. Computed attributes cannot be read here — evaluate
+    /// them with `ov-query`.
+    pub fn stored_attr(&self, oid: Oid, name: Symbol) -> Result<&Value> {
+        let obj = self.store.require(oid)?;
+        let class_name = self.schema.class(obj.class).name;
+        let visible = self.schema.visible_attrs(obj.class);
+        match visible.get(&name) {
+            None => Err(OodbError::UnknownAttr {
+                class: class_name,
+                attr: name,
+            }),
+            Some((_, def)) if !def.is_stored() => Err(OodbError::NotStored {
+                class: class_name,
+                attr: name,
+            }),
+            Some(_) => Ok(obj.value.get(name).unwrap_or(&Value::Null)),
+        }
+    }
+
+    /// Updates a stored attribute of `oid`, type-checked.
+    pub fn set_attr(&mut self, oid: Oid, name: Symbol, value: Value) -> Result<()> {
+        let class = self.store.require(oid)?.class;
+        let class_name = self.schema.class(class).name;
+        let stored = self.schema.stored_attr_types(class);
+        match stored.get(&name) {
+            None => {
+                // Either unknown or computed.
+                if self.schema.visible_attrs(class).contains_key(&name) {
+                    Err(OodbError::NotStored {
+                        class: class_name,
+                        attr: name,
+                    })
+                } else {
+                    Err(OodbError::UnknownAttr {
+                        class: class_name,
+                        attr: name,
+                    })
+                }
+            }
+            Some(ty) => {
+                self.check_value(&value, ty, &format!("attribute `{name}`"))?;
+                self.store.set_field(oid, name, value)
+            }
+        }
+    }
+
+    /// Deletes an object. References to it elsewhere become dangling
+    /// (DECISION: the paper does not define deletion semantics; we expose
+    /// [`Database::dangling_refs`] as an integrity check and
+    /// [`Database::delete_object_with`] for checked deletion).
+    pub fn delete_object(&mut self, oid: Oid) -> Result<StoredObject> {
+        self.names.retain(|_, &mut o| o != oid);
+        self.store.remove(oid)
+    }
+
+    /// Deletes an object under a referential action.
+    pub fn delete_object_with(&mut self, oid: Oid, mode: DeleteMode) -> Result<StoredObject> {
+        match mode {
+            DeleteMode::Unchecked => {}
+            DeleteMode::Restrict => {
+                let holder = self.store.iter().find(|obj| {
+                    obj.oid != oid && {
+                        let mut oids = Vec::new();
+                        for (_, v) in obj.value.iter() {
+                            v.collect_oids(&mut oids);
+                        }
+                        oids.contains(&oid)
+                    }
+                });
+                if let Some(h) = holder {
+                    return Err(OodbError::BadReference {
+                        context: format!("delete restricted: object {} still references it", h.oid),
+                        oid,
+                    });
+                }
+            }
+            DeleteMode::Nullify => {
+                // Replace every reference to `oid` with null, everywhere.
+                let holders: Vec<Oid> = self
+                    .store
+                    .iter()
+                    .filter(|obj| {
+                        let mut oids = Vec::new();
+                        for (_, v) in obj.value.iter() {
+                            v.collect_oids(&mut oids);
+                        }
+                        oids.contains(&oid)
+                    })
+                    .map(|obj| obj.oid)
+                    .collect();
+                for h in holders {
+                    let fields: Vec<(Symbol, Value)> = self
+                        .store
+                        .require(h)?
+                        .value
+                        .iter()
+                        .map(|(n, v)| (n, nullify_refs(v, oid)))
+                        .collect();
+                    for (n, v) in fields {
+                        self.store.set_field(h, n, v)?;
+                    }
+                }
+            }
+        }
+        self.delete_object(oid)
+    }
+
+    /// Binds a persistent name to an object.
+    pub fn name_object(&mut self, name: Symbol, oid: Oid) -> Result<()> {
+        self.store.require(oid)?;
+        if self.names.contains_key(&name) {
+            return Err(OodbError::DuplicateName(name));
+        }
+        self.names.insert(name, oid);
+        Ok(())
+    }
+
+    /// Resolves a persistent name.
+    pub fn named(&self, name: Symbol) -> Result<Oid> {
+        self.names
+            .get(&name)
+            .copied()
+            .ok_or(OodbError::UnknownName(name))
+    }
+
+    /// All `(name, oid)` bindings, name-ordered.
+    pub fn names(&self) -> Vec<(Symbol, Oid)> {
+        let mut v: Vec<(Symbol, Oid)> = self.names.iter().map(|(n, o)| (*n, *o)).collect();
+        v.sort();
+        v
+    }
+
+    /// The *deep* extent of `class`: objects real in it or in any
+    /// (transitive) subclass, in oid order. This is what a class denotes in
+    /// a query.
+    pub fn deep_extent(&self, class: ClassId) -> Vec<Oid> {
+        let mut out: Vec<Oid> = self.store.extent(class).collect();
+        for sub in self.schema.strict_descendants(class) {
+            out.extend(self.store.extent(sub));
+        }
+        out.sort();
+        out
+    }
+
+    /// Is `oid` a (possibly virtual) member of `class`?
+    pub fn is_member(&self, oid: Oid, class: ClassId) -> bool {
+        self.store
+            .get(oid)
+            .is_some_and(|o| self.schema.is_subclass(o.class, class))
+    }
+
+    /// The database's mutation version (see [`Store::version`]).
+    pub fn version(&self) -> u64 {
+        self.store.version()
+    }
+
+    /// Checks `value` against `ty`, including class-membership of oid
+    /// references.
+    pub fn check_value(&self, value: &Value, ty: &Type, context: &str) -> Result<()> {
+        if self.value_conforms(value, ty) {
+            Ok(())
+        } else {
+            Err(OodbError::TypeMismatch {
+                context: context.to_string(),
+                expected: format!("{}", ty.display(&self.schema)),
+                found: format!("{value} ({})", value.kind()),
+            })
+        }
+    }
+
+    /// Does `value` inhabit `ty`? `null` inhabits every type.
+    pub fn value_conforms(&self, value: &Value, ty: &Type) -> bool {
+        match (value, ty) {
+            (Value::Null, _) => true,
+            (_, Type::Any) => true,
+            (_, Type::Nothing) => false,
+            (Value::Bool(_), Type::Bool) => true,
+            (Value::Int(_), Type::Int) | (Value::Int(_), Type::Float) => true,
+            (Value::Float(_), Type::Float) => true,
+            (Value::Str(_), Type::Str) => true,
+            (Value::Oid(o), Type::Class(c)) => self.is_member(*o, *c),
+            (Value::Tuple(t), Type::Tuple(fields)) => fields
+                .iter()
+                .all(|(name, ft)| t.get(*name).is_none_or(|v| self.value_conforms(v, ft))),
+            (Value::Set(s), Type::Set(et)) => s.iter().all(|v| self.value_conforms(v, et)),
+            (Value::List(l), Type::List(et)) => l.iter().all(|v| self.value_conforms(v, et)),
+            _ => false,
+        }
+    }
+
+    /// Creates secondary indexes on `attr` for `class` **and every
+    /// subclass** (indexes cover shallow extents; deep lookups combine
+    /// them). The attribute must be stored on the class.
+    pub fn create_index(&mut self, class: ClassId, attr: Symbol) -> Result<()> {
+        match self.schema.visible_attrs(class).get(&attr) {
+            None => {
+                return Err(OodbError::UnknownAttr {
+                    class: self.schema.class(class).name,
+                    attr,
+                })
+            }
+            Some((_, def)) if !def.is_stored() => {
+                return Err(OodbError::NotStored {
+                    class: self.schema.class(class).name,
+                    attr,
+                })
+            }
+            Some(_) => {}
+        }
+        self.store.create_index(class, attr);
+        for sub in self.schema.strict_descendants(class) {
+            self.store.create_index(sub, attr);
+        }
+        Ok(())
+    }
+
+    /// Indexed lookup over the **deep** extent of `class`: all objects
+    /// (real in the class or a subclass) whose stored `attr` equals
+    /// `value`. `None` when any class in the subtree lacks the index.
+    pub fn indexed_deep_lookup(
+        &self,
+        class: ClassId,
+        attr: Symbol,
+        value: &Value,
+    ) -> Option<Vec<Oid>> {
+        let mut out = self.store.index_lookup(class, attr, value)?;
+        for sub in self.schema.strict_descendants(class) {
+            out.extend(self.store.index_lookup(sub, attr, value)?);
+        }
+        out.sort();
+        out.dedup();
+        Some(out)
+    }
+
+    /// Returns every `(holder, referenced)` pair where `holder`'s value
+    /// references an oid that is no longer in the store.
+    pub fn dangling_refs(&self) -> Vec<(Oid, Oid)> {
+        let mut out = Vec::new();
+        for obj in self.store.iter() {
+            let mut oids = Vec::new();
+            for (_, v) in obj.value.iter() {
+                v.collect_oids(&mut oids);
+            }
+            for r in oids {
+                if !r.is_imaginary() && self.store.get(r).is_none() {
+                    out.push((obj.oid, r));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+
+    fn staff_db() -> (Database, ClassId, ClassId) {
+        let mut db = Database::new(sym("Staff"));
+        let person = db
+            .create_class(
+                sym("Person"),
+                &[],
+                vec![
+                    AttrDef::stored(sym("Name"), Type::Str),
+                    AttrDef::stored(sym("Age"), Type::Int),
+                ],
+            )
+            .unwrap();
+        let employee = db
+            .create_class(
+                sym("Employee"),
+                &[person],
+                vec![AttrDef::stored(sym("Salary"), Type::Int)],
+            )
+            .unwrap();
+        (db, person, employee)
+    }
+
+    #[test]
+    fn create_and_read_object() {
+        let (mut db, person, _) = staff_db();
+        let o = db
+            .create_object(
+                person,
+                Value::tuple([("Name", Value::str("Maggy")), ("Age", Value::Int(65))]),
+            )
+            .unwrap();
+        assert_eq!(db.stored_attr(o, sym("Age")).unwrap(), &Value::Int(65));
+    }
+
+    #[test]
+    fn missing_stored_fields_default_to_null() {
+        let (mut db, person, _) = staff_db();
+        let o = db
+            .create_object(person, Value::tuple([("Name", Value::str("X"))]))
+            .unwrap();
+        assert_eq!(db.stored_attr(o, sym("Age")).unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let (mut db, person, _) = staff_db();
+        let err = db
+            .create_object(person, Value::tuple([("Wings", Value::Int(2))]))
+            .unwrap_err();
+        assert!(matches!(err, OodbError::UnknownAttr { .. }));
+    }
+
+    #[test]
+    fn type_mismatch_rejected_on_create_and_set() {
+        let (mut db, person, _) = staff_db();
+        let err = db
+            .create_object(person, Value::tuple([("Age", Value::str("old"))]))
+            .unwrap_err();
+        assert!(matches!(err, OodbError::TypeMismatch { .. }));
+        let o = db
+            .create_object(person, Value::tuple([("Age", Value::Int(1))]))
+            .unwrap();
+        let err = db.set_attr(o, sym("Age"), Value::Bool(true)).unwrap_err();
+        assert!(matches!(err, OodbError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn deep_extent_includes_subclasses() {
+        let (mut db, person, employee) = staff_db();
+        let p = db
+            .create_object(person, Value::tuple([("Age", Value::Int(30))]))
+            .unwrap();
+        let e = db
+            .create_object(employee, Value::tuple([("Salary", Value::Int(100))]))
+            .unwrap();
+        assert_eq!(db.deep_extent(person), vec![p, e]);
+        assert_eq!(db.deep_extent(employee), vec![e]);
+        // Unique root: e is *real* only in Employee.
+        assert_eq!(db.store.extent(person).collect::<Vec<_>>(), vec![p]);
+    }
+
+    #[test]
+    fn membership_is_virtual_upward() {
+        let (mut db, person, employee) = staff_db();
+        let e = db
+            .create_object(employee, Value::tuple([("Age", Value::Int(3))]))
+            .unwrap();
+        assert!(db.is_member(e, person));
+        assert!(db.is_member(e, employee));
+    }
+
+    #[test]
+    fn class_typed_references_are_checked() {
+        let mut db = Database::new(sym("D"));
+        let person = db.create_class(sym("Person"), &[], vec![]).unwrap();
+        let dog = db.create_class(sym("Dog"), &[], vec![]).unwrap();
+        let friendly = db
+            .create_class(
+                sym("Owner"),
+                &[],
+                vec![AttrDef::stored(sym("Pet"), Type::Class(dog))],
+            )
+            .unwrap();
+        let fido = db.create_object(dog, Value::empty_tuple()).unwrap();
+        let alice = db.create_object(person, Value::empty_tuple()).unwrap();
+        assert!(db
+            .create_object(friendly, Value::tuple([("Pet", Value::Oid(fido))]))
+            .is_ok());
+        let err = db
+            .create_object(friendly, Value::tuple([("Pet", Value::Oid(alice))]))
+            .unwrap_err();
+        assert!(matches!(err, OodbError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn named_roots() {
+        let (mut db, person, _) = staff_db();
+        let o = db.create_object(person, Value::empty_tuple()).unwrap();
+        db.name_object(sym("maggy"), o).unwrap();
+        assert_eq!(db.named(sym("maggy")).unwrap(), o);
+        assert!(db.name_object(sym("maggy"), o).is_err());
+        db.delete_object(o).unwrap();
+        assert!(db.named(sym("maggy")).is_err(), "deleting clears names");
+    }
+
+    #[test]
+    fn set_attr_rejects_computed() {
+        let (mut db, person, _) = staff_db();
+        db.schema
+            .add_attr(
+                person,
+                AttrDef::computed(
+                    sym("Greeting"),
+                    Type::Str,
+                    crate::Expr::lit(Value::str("hi")),
+                ),
+            )
+            .unwrap();
+        let o = db.create_object(person, Value::empty_tuple()).unwrap();
+        let err = db
+            .set_attr(o, sym("Greeting"), Value::str("x"))
+            .unwrap_err();
+        assert!(matches!(err, OodbError::NotStored { .. }));
+    }
+
+    #[test]
+    fn dangling_refs_detected() {
+        let mut db = Database::new(sym("D"));
+        let c = db
+            .create_class(
+                sym("Node"),
+                &[],
+                vec![AttrDef::stored(sym("Next"), Type::Class(ClassId(0)))],
+            )
+            .unwrap();
+        let a = db.create_object(c, Value::empty_tuple()).unwrap();
+        let b = db
+            .create_object(c, Value::tuple([("Next", Value::Oid(a))]))
+            .unwrap();
+        assert!(db.dangling_refs().is_empty());
+        // Bypass set_attr's check by deleting after linking.
+        db.delete_object(a).unwrap();
+        assert_eq!(db.dangling_refs(), vec![(b, a)]);
+    }
+
+    #[test]
+    fn indexed_deep_lookup_spans_subclasses() {
+        let (mut db, person, employee) = staff_db();
+        let p = db
+            .create_object(person, Value::tuple([("Age", Value::Int(30))]))
+            .unwrap();
+        let e = db
+            .create_object(
+                employee,
+                Value::tuple([("Age", Value::Int(30)), ("Salary", Value::Int(1))]),
+            )
+            .unwrap();
+        db.create_object(person, Value::tuple([("Age", Value::Int(31))]))
+            .unwrap();
+        db.create_index(person, sym("Age")).unwrap();
+        let hits = db
+            .indexed_deep_lookup(person, sym("Age"), &Value::Int(30))
+            .unwrap();
+        assert_eq!(hits, vec![p, e]);
+        // Index maintained under updates.
+        db.set_attr(p, sym("Age"), Value::Int(31)).unwrap();
+        let hits = db
+            .indexed_deep_lookup(person, sym("Age"), &Value::Int(30))
+            .unwrap();
+        assert_eq!(hits, vec![e]);
+        // Unindexed attribute: no answer.
+        assert!(db
+            .indexed_deep_lookup(person, sym("Name"), &Value::str("x"))
+            .is_none());
+    }
+
+    #[test]
+    fn index_requires_stored_attribute() {
+        let (mut db, person, _) = staff_db();
+        assert!(matches!(
+            db.create_index(person, sym("Wings")),
+            Err(OodbError::UnknownAttr { .. })
+        ));
+        db.schema
+            .add_attr(
+                person,
+                AttrDef::computed(sym("Virt"), Type::Int, crate::Expr::lit(Value::Int(1))),
+            )
+            .unwrap();
+        assert!(matches!(
+            db.create_index(person, sym("Virt")),
+            Err(OodbError::NotStored { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_modes() {
+        let mk = || {
+            let mut db = Database::new(sym("D"));
+            let node = db
+                .create_class(
+                    sym("Node"),
+                    &[],
+                    vec![
+                        AttrDef::stored(sym("Next"), Type::Class(ClassId(0))),
+                        AttrDef::stored(sym("Kids"), Type::set(Type::Class(ClassId(0)))),
+                    ],
+                )
+                .unwrap();
+            let a = db.create_object(node, Value::empty_tuple()).unwrap();
+            let b = db
+                .create_object(
+                    node,
+                    Value::tuple([
+                        ("Next", Value::Oid(a)),
+                        ("Kids", Value::set([Value::Oid(a)])),
+                    ]),
+                )
+                .unwrap();
+            (db, a, b)
+        };
+        // Restrict refuses while referenced.
+        let (mut db, a, b) = mk();
+        assert!(matches!(
+            db.delete_object_with(a, DeleteMode::Restrict),
+            Err(OodbError::BadReference { .. })
+        ));
+        db.delete_object(b).unwrap();
+        db.delete_object_with(a, DeleteMode::Restrict).unwrap();
+        // Nullify clears references everywhere, including inside sets.
+        let (mut db, a, b) = mk();
+        db.delete_object_with(a, DeleteMode::Nullify).unwrap();
+        assert_eq!(db.stored_attr(b, sym("Next")).unwrap(), &Value::Null);
+        assert_eq!(
+            db.stored_attr(b, sym("Kids")).unwrap(),
+            &Value::set([Value::Null])
+        );
+        assert!(db.dangling_refs().is_empty());
+    }
+
+    #[test]
+    fn non_tuple_values_wrap_in_a_single_field() {
+        let mut db = Database::new(sym("D"));
+        let c = db
+            .create_class(
+                sym("Tag"),
+                &[],
+                vec![AttrDef::stored(sym("Value"), Type::Str)],
+            )
+            .unwrap();
+        let o = db.create_object(c, Value::str("hello")).unwrap();
+        assert_eq!(
+            db.stored_attr(o, sym("Value")).unwrap(),
+            &Value::str("hello")
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Textual dump of a database in the surface DDL.
+//!
+//! The dump is valid input for the `ov-query` statement parser, so
+//! dump → parse → dump is the crate's serialization round-trip (tested in
+//! `ov-query`). Oids print as `#n` literals; the loader re-creates objects
+//! preserving relative references.
+
+use std::fmt::Write as _;
+
+use crate::database::Database;
+use crate::schema::AttrBody;
+use crate::types::Type;
+use crate::value::Value;
+
+/// Renders `db` as DDL text: class declarations (stored attributes inline),
+/// computed-attribute declarations, objects, then names.
+pub fn dump_database(db: &Database) -> String {
+    dump_database_with_offset(db, 0)
+}
+
+/// Like [`dump_database`], but script-local `#k` literals start at
+/// `offset`. Concatenating the dumps of several databases into one script
+/// (e.g. a whole-session save) requires disjoint literal ranges.
+pub fn dump_database_with_offset(db: &Database, offset: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "database {};", db.name);
+    // Classes, in creation order (parents always precede children).
+    for class in db.schema.classes() {
+        let _ = write!(out, "class {}", class.name);
+        if !class.parents.is_empty() {
+            let _ = write!(out, " inherits ");
+            for (i, p) in class.parents.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                let _ = write!(out, "{}", db.schema.class(*p).name);
+            }
+        }
+        let stored: Vec<_> = class.attrs.iter().filter(|a| a.is_stored()).collect();
+        if !stored.is_empty() {
+            let _ = write!(out, " type [");
+            for (i, a) in stored.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                let _ = write!(out, "{}: {}", a.sig.name, a.sig.ty.display(&db.schema));
+            }
+            let _ = write!(out, "]");
+        }
+        let _ = writeln!(out, ";");
+    }
+    // Computed attributes, after all classes exist.
+    for class in db.schema.classes() {
+        for a in &class.attrs {
+            if let AttrBody::Computed(body) = &a.body {
+                let _ = write!(out, "attribute {}", a.sig.name);
+                if !a.sig.params.is_empty() {
+                    let _ = write!(out, "(");
+                    for (i, (p, t)) in a.sig.params.iter().enumerate() {
+                        if i > 0 {
+                            let _ = write!(out, ", ");
+                        }
+                        let _ = write!(out, "{}: {}", p, t.display(&db.schema));
+                    }
+                    let _ = write!(out, ")");
+                }
+                if a.sig.ty != Type::Any {
+                    let _ = write!(out, " of type {}", a.sig.ty.display(&db.schema));
+                }
+                let _ = writeln!(out, " in class {} has value {};", class.name, body);
+            }
+        }
+    }
+    // Objects in oid order, with oids renumbered 0..n script-locally so that
+    // dumps are position-independent (base oids are globally unique and
+    // allocation-order dependent; the loader remaps `#k` literals anyway).
+    // References may be forward; the loader resolves them in a second pass.
+    let sorted = db.store.sorted_oids();
+    let renumber: std::collections::HashMap<crate::Oid, u64> = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &oid)| (oid, offset + i as u64))
+        .collect();
+    for &oid in &sorted {
+        let obj = db.store.get(oid).expect("listed");
+        let class_name = db.schema.class(obj.class).name;
+        let _ = write!(out, "object #{} in {} value ", renumber[&oid], class_name);
+        fmt_value_renumbered(
+            &Value::Tuple(crate::value::Tuple(
+                obj.value
+                    .iter()
+                    .filter(|(_, v)| !v.is_null())
+                    .map(|(n, v)| (n, v.clone()))
+                    .collect(),
+            )),
+            &renumber,
+            &mut out,
+        );
+        let _ = writeln!(out, ";");
+    }
+    for (name, oid) in db.names() {
+        match renumber.get(&oid) {
+            Some(k) => {
+                let _ = writeln!(out, "name {name} = #{k};");
+            }
+            None => {
+                let _ = writeln!(out, "name {name} = {oid};");
+            }
+        }
+    }
+    out
+}
+
+/// Prints a value with oid references rewritten through `renumber` (unknown
+/// oids — cross-database references — print verbatim).
+fn fmt_value_renumbered(
+    v: &Value,
+    renumber: &std::collections::HashMap<crate::Oid, u64>,
+    out: &mut String,
+) {
+    match v {
+        Value::Oid(o) => match renumber.get(o) {
+            Some(k) => {
+                let _ = write!(out, "#{k}");
+            }
+            None => {
+                let _ = write!(out, "{o}");
+            }
+        },
+        Value::Tuple(t) => {
+            let _ = write!(out, "[");
+            for (i, (n, fv)) in t.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                let _ = write!(out, "{n}: ");
+                fmt_value_renumbered(fv, renumber, out);
+            }
+            let _ = write!(out, "]");
+        }
+        Value::Set(s) => {
+            let _ = write!(out, "{{");
+            for (i, e) in s.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                fmt_value_renumbered(e, renumber, out);
+            }
+            let _ = write!(out, "}}");
+        }
+        Value::List(l) => {
+            let _ = write!(out, "list(");
+            for (i, e) in l.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ", ");
+                }
+                fmt_value_renumbered(e, renumber, out);
+            }
+            let _ = write!(out, ")");
+        }
+        other => {
+            let _ = write!(out, "{other}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::schema::AttrDef;
+    use crate::symbol::sym;
+
+    #[test]
+    fn dump_contains_all_sections() {
+        let mut db = Database::new(sym("Staff"));
+        let person = db
+            .create_class(
+                sym("Person"),
+                &[],
+                vec![
+                    AttrDef::stored(sym("Name"), Type::Str),
+                    AttrDef::stored(sym("Age"), Type::Int),
+                ],
+            )
+            .unwrap();
+        db.create_class(
+            sym("Employee"),
+            &[person],
+            vec![AttrDef::stored(sym("Salary"), Type::Int)],
+        )
+        .unwrap();
+        db.schema
+            .add_attr(
+                person,
+                AttrDef::computed(sym("Adultish"), Type::Bool, Expr::self_attr("Age")),
+            )
+            .unwrap();
+        let o = db
+            .create_object(person, Value::tuple([("Name", Value::str("Maggy"))]))
+            .unwrap();
+        db.name_object(sym("maggy"), o).unwrap();
+
+        let text = dump_database(&db);
+        assert!(text.contains("database Staff;"));
+        // Stored attributes print in declaration order.
+        assert!(text.contains("class Person type [Name: string, Age: integer];"));
+        assert!(text.contains("class Employee inherits Person type [Salary: integer];"));
+        assert!(
+            text.contains("attribute Adultish of type boolean in class Person has value self.Age;")
+        );
+        assert!(text.contains(r#"object #0 in Person value [Name: "Maggy"];"#));
+        assert!(text.contains("name maggy = #0;"));
+    }
+
+    #[test]
+    fn null_fields_are_omitted() {
+        let mut db = Database::new(sym("D"));
+        let c = db
+            .create_class(sym("C"), &[], vec![AttrDef::stored(sym("X"), Type::Int)])
+            .unwrap();
+        db.create_object(c, Value::empty_tuple()).unwrap();
+        let text = dump_database(&db);
+        assert!(text.contains("object #0 in C value [];"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Identifier newtypes.
+//!
+//! Object identifiers ([`Oid`]) are the heart of the paper: "To create new
+//! objects, the view mechanism creates new object identifiers (oid's) and
+//! assigns them to objects" (§5.1). Oids here are opaque 64-bit values drawn
+//! from a per-store counter; the view layer draws *imaginary* oids from a
+//! disjoint range so that a dangling id can never be confused with a base
+//! object (see `ov-views::imaginary`).
+
+use std::fmt;
+
+/// An object identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid(pub u64);
+
+/// First oid of the range reserved for imaginary objects. Base stores
+/// allocate strictly below this bound, the view layer strictly at or above
+/// it.
+pub const IMAGINARY_OID_BASE: u64 = 1 << 48;
+
+impl Oid {
+    /// Does this oid lie in the imaginary range (allocated by a view rather
+    /// than by a base store)?
+    pub fn is_imaginary(self) -> bool {
+        self.0 >= IMAGINARY_OID_BASE
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_imaginary() {
+            write!(f, "#i{}", self.0 - IMAGINARY_OID_BASE)
+        } else {
+            write!(f, "#{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A class identifier, an index into a [`crate::Schema`]'s class table.
+///
+/// Class ids are local to one schema. The view layer allocates ids for
+/// virtual classes in the same space as the (copied) imported schema, so a
+/// bound view manipulates a single uniform id space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub u32);
+
+impl fmt::Debug for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A database identifier within a [`crate::System`] catalog.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DbId(pub u32);
+
+impl fmt::Debug for DbId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "db{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imaginary_range_is_disjoint() {
+        assert!(!Oid(0).is_imaginary());
+        assert!(!Oid(IMAGINARY_OID_BASE - 1).is_imaginary());
+        assert!(Oid(IMAGINARY_OID_BASE).is_imaginary());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{}", Oid(7)), "#7");
+        assert_eq!(format!("{}", Oid(IMAGINARY_OID_BASE + 3)), "#i3");
+        assert_eq!(format!("{:?}", ClassId(2)), "c2");
+        assert_eq!(format!("{:?}", DbId(1)), "db1");
+    }
+}

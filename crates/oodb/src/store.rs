@@ -1,0 +1,375 @@
+//! The object store.
+//!
+//! Implements the paper's **unique root rule**: "An object is real in only
+//! one class" (§4.2). The store keeps, per class, the extent of objects
+//! *real* in it; membership in superclasses (and, later, in virtual classes)
+//! is always derived, never stored. The paper motivates this: "under this
+//! rule, the structure of an object is fixed: It has a fixed set of
+//! attributes and it can be stored uniformly along with similar objects."
+//!
+//! The store is **versioned**: every mutation bumps a counter. The view
+//! layer keys its population caches on this version, which is how
+//! "materialized views … acquire a new dimension" (§6) is handled here.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{OodbError, Result};
+use crate::ids::{ClassId, Oid};
+use crate::index::IndexSet;
+use crate::value::Tuple;
+
+/// Process-global oid allocator. Oids are unique **across databases**, which
+/// is what lets a view import classes from several databases (§3) and still
+/// dereference any oid unambiguously.
+static NEXT_OID: AtomicU64 = AtomicU64::new(0);
+
+/// Allocates a fresh globally-unique (non-imaginary) oid.
+pub fn fresh_oid() -> Oid {
+    let n = NEXT_OID.fetch_add(1, Ordering::Relaxed);
+    assert!(
+        n < crate::ids::IMAGINARY_OID_BASE,
+        "base oid space exhausted"
+    );
+    Oid(n)
+}
+
+/// An object as stored: its oid, the single class it is *real* in, and its
+/// tuple of stored attribute values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredObject {
+    /// The object's identifier.
+    pub oid: Oid,
+    /// The single class the object is *real* in.
+    pub class: ClassId,
+    /// The stored attribute values.
+    pub value: Tuple,
+}
+
+/// A versioned object store with per-class extents.
+#[derive(Clone, Debug, Default)]
+pub struct Store {
+    objects: HashMap<Oid, StoredObject>,
+    extents: HashMap<ClassId, BTreeSet<Oid>>,
+    version: u64,
+    /// Bounded change journal: `(version, oid)` per mutation, newest at the
+    /// back. Lets views maintain cached populations *incrementally* instead
+    /// of recomputing (the "new dimension" of materialized views the paper
+    /// flags in §6).
+    journal: VecDeque<(u64, Oid)>,
+    /// Every change at or below this version has been dropped from the
+    /// journal; requests older than it must fall back to a full recompute.
+    journal_floor: u64,
+    journal_cap: usize,
+    /// Secondary attribute indexes, maintained on every mutation.
+    indexes: IndexSet,
+}
+
+/// Default number of retained journal entries.
+pub const DEFAULT_JOURNAL_CAP: usize = 4096;
+
+impl Store {
+    /// An empty store with the default journal retention.
+    pub fn new() -> Store {
+        Store {
+            journal_cap: DEFAULT_JOURNAL_CAP,
+            ..Store::default()
+        }
+    }
+
+    /// Sets the journal retention (entries), for tests and tuning.
+    pub fn set_journal_cap(&mut self, cap: usize) {
+        self.journal_cap = cap;
+        self.trim_journal();
+    }
+
+    fn record(&mut self, oid: Oid) {
+        self.version += 1;
+        self.journal.push_back((self.version, oid));
+        self.trim_journal();
+    }
+
+    fn trim_journal(&mut self) {
+        while self.journal.len() > self.journal_cap {
+            let (v, _) = self.journal.pop_front().expect("len checked");
+            self.journal_floor = v;
+        }
+    }
+
+    /// Creates (and backfills) a secondary index on `(class, attr)`.
+    /// Idempotent. Indexes cover the *shallow* extent (objects real in
+    /// `class`); deep lookups combine per-class indexes.
+    pub fn create_index(&mut self, class: ClassId, attr: crate::Symbol) {
+        if self.indexes.contains(class, attr) {
+            return;
+        }
+        self.indexes.create(class, attr);
+        let members: Vec<Oid> = self.extent(class).collect();
+        for oid in members {
+            let v = self.objects[&oid]
+                .value
+                .get(attr)
+                .cloned()
+                .unwrap_or(crate::Value::Null);
+            self.indexes.create(class, attr).insert(v, oid);
+        }
+    }
+
+    /// Drops a secondary index; returns whether it existed.
+    pub fn drop_index(&mut self, class: ClassId, attr: crate::Symbol) -> bool {
+        self.indexes.drop_index(class, attr)
+    }
+
+    /// Indexed lookup over the shallow extent of `class`: the oids whose
+    /// stored `attr` equals `value`, or `None` if no index exists.
+    pub fn index_lookup(
+        &self,
+        class: ClassId,
+        attr: crate::Symbol,
+        value: &crate::Value,
+    ) -> Option<Vec<Oid>> {
+        Some(self.indexes.get(class, attr)?.get(value).collect())
+    }
+
+    /// Is `(class, attr)` indexed?
+    pub fn has_index(&self, class: ClassId, attr: crate::Symbol) -> bool {
+        self.indexes.contains(class, attr)
+    }
+
+    /// The oids changed (created, updated, or removed) after `version`, or
+    /// `None` if the journal no longer reaches back that far. An empty list
+    /// means the store is unchanged since `version`.
+    pub fn changes_since(&self, version: u64) -> Option<Vec<Oid>> {
+        if version == self.version {
+            return Some(Vec::new());
+        }
+        if version < self.journal_floor {
+            return None;
+        }
+        let mut out: Vec<Oid> = self
+            .journal
+            .iter()
+            .filter(|&&(v, _)| v > version)
+            .map(|&(_, o)| o)
+            .collect();
+        out.sort();
+        out.dedup();
+        Some(out)
+    }
+
+    /// The store's mutation counter. Any insert/update/delete increments it.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Allocates a fresh (globally-unique) oid and inserts an object real in
+    /// `class`.
+    pub fn insert(&mut self, class: ClassId, value: Tuple) -> Oid {
+        let oid = fresh_oid();
+        self.objects.insert(oid, StoredObject { oid, class, value });
+        self.extents.entry(class).or_default().insert(oid);
+        self.indexes
+            .on_insert(class, oid, &self.objects[&oid].value);
+        self.record(oid);
+        oid
+    }
+
+    /// The object with oid `oid`, if present.
+    pub fn get(&self, oid: Oid) -> Option<&StoredObject> {
+        self.objects.get(&oid)
+    }
+
+    /// Like [`Store::get`] but returns an error.
+    pub fn require(&self, oid: Oid) -> Result<&StoredObject> {
+        self.get(oid).ok_or(OodbError::UnknownObject(oid))
+    }
+
+    /// Replaces the stored value of `oid`.
+    pub fn update(&mut self, oid: Oid, value: Tuple) -> Result<()> {
+        let obj = self
+            .objects
+            .get_mut(&oid)
+            .ok_or(OodbError::UnknownObject(oid))?;
+        let class = obj.class;
+        let old = std::mem::replace(&mut obj.value, value);
+        let new = obj.value.clone();
+        self.indexes.on_remove(class, oid, &old);
+        self.indexes.on_insert(class, oid, &new);
+        self.record(oid);
+        Ok(())
+    }
+
+    /// Sets one stored field of `oid`.
+    pub fn set_field(&mut self, oid: Oid, name: crate::Symbol, value: crate::Value) -> Result<()> {
+        let obj = self
+            .objects
+            .get_mut(&oid)
+            .ok_or(OodbError::UnknownObject(oid))?;
+        let class = obj.class;
+        let old = obj
+            .value
+            .set(name, value.clone())
+            .unwrap_or(crate::Value::Null);
+        self.indexes.on_set_field(class, oid, name, &old, &value);
+        self.record(oid);
+        Ok(())
+    }
+
+    /// Removes `oid`, returning the object.
+    pub fn remove(&mut self, oid: Oid) -> Result<StoredObject> {
+        let obj = self
+            .objects
+            .remove(&oid)
+            .ok_or(OodbError::UnknownObject(oid))?;
+        if let Some(ext) = self.extents.get_mut(&obj.class) {
+            ext.remove(&oid);
+        }
+        self.indexes.on_remove(obj.class, oid, &obj.value);
+        self.record(oid);
+        Ok(obj)
+    }
+
+    /// The *shallow* extent of `class`: oids real in exactly that class, in
+    /// oid order.
+    pub fn extent(&self, class: ClassId) -> impl Iterator<Item = Oid> + '_ {
+        self.extents
+            .get(&class)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Number of objects real in `class`.
+    pub fn extent_len(&self, class: ClassId) -> usize {
+        self.extents.get(&class).map_or(0, |s| s.len())
+    }
+
+    /// Iterates all objects (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &StoredObject> {
+        self.objects.values()
+    }
+
+    /// All oids in ascending order (deterministic iteration for dumps).
+    pub fn sorted_oids(&self) -> Vec<Oid> {
+        let mut v: Vec<Oid> = self.objects.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+    use crate::value::Value;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut st = Store::new();
+        let c = ClassId(0);
+        let oid = st.insert(c, Tuple::from_fields([("Name", Value::str("Maggy"))]));
+        let obj = st.get(oid).unwrap();
+        assert_eq!(obj.class, c);
+        assert_eq!(obj.value.get(sym("Name")), Some(&Value::str("Maggy")));
+    }
+
+    #[test]
+    fn extents_track_real_class_only() {
+        let mut st = Store::new();
+        let a = ClassId(0);
+        let b = ClassId(1);
+        let o1 = st.insert(a, Tuple::new());
+        let o2 = st.insert(b, Tuple::new());
+        assert_eq!(st.extent(a).collect::<Vec<_>>(), vec![o1]);
+        assert_eq!(st.extent(b).collect::<Vec<_>>(), vec![o2]);
+        assert_eq!(st.extent_len(ClassId(9)), 0);
+    }
+
+    #[test]
+    fn every_mutation_bumps_version() {
+        let mut st = Store::new();
+        let v0 = st.version();
+        let oid = st.insert(ClassId(0), Tuple::new());
+        let v1 = st.version();
+        assert!(v1 > v0);
+        st.set_field(oid, sym("X"), Value::Int(1)).unwrap();
+        let v2 = st.version();
+        assert!(v2 > v1);
+        st.remove(oid).unwrap();
+        assert!(st.version() > v2);
+    }
+
+    #[test]
+    fn remove_clears_extent() {
+        let mut st = Store::new();
+        let oid = st.insert(ClassId(0), Tuple::new());
+        st.remove(oid).unwrap();
+        assert_eq!(st.extent(ClassId(0)).count(), 0);
+        assert!(st.get(oid).is_none());
+        assert!(matches!(st.remove(oid), Err(OodbError::UnknownObject(_))));
+    }
+
+    #[test]
+    fn journal_reports_changes_since_version() {
+        let mut st = Store::new();
+        let v0 = st.version();
+        let a = st.insert(ClassId(0), Tuple::new());
+        let b = st.insert(ClassId(0), Tuple::new());
+        let v2 = st.version();
+        st.set_field(b, sym("X"), Value::Int(1)).unwrap();
+        // Since v0: both objects (b deduplicated).
+        let mut since0 = st.changes_since(v0).unwrap();
+        since0.sort();
+        assert_eq!(since0, {
+            let mut v = vec![a, b];
+            v.sort();
+            v
+        });
+        // Since v2: only b.
+        assert_eq!(st.changes_since(v2).unwrap(), vec![b]);
+        // Up to date: empty.
+        assert_eq!(st.changes_since(st.version()).unwrap(), Vec::<Oid>::new());
+    }
+
+    #[test]
+    fn journal_gap_forces_recompute_signal() {
+        let mut st = Store::new();
+        st.set_journal_cap(2);
+        let v0 = st.version();
+        for _ in 0..5 {
+            st.insert(ClassId(0), Tuple::new());
+        }
+        // v0 predates the retained window.
+        assert_eq!(st.changes_since(v0), None);
+        // But a recent version is still servable.
+        let v_recent = st.version() - 1;
+        assert_eq!(st.changes_since(v_recent).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn removed_objects_appear_in_the_journal() {
+        let mut st = Store::new();
+        let a = st.insert(ClassId(0), Tuple::new());
+        let v = st.version();
+        st.remove(a).unwrap();
+        assert_eq!(st.changes_since(v).unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn oids_are_never_reused() {
+        let mut st = Store::new();
+        let o1 = st.insert(ClassId(0), Tuple::new());
+        st.remove(o1).unwrap();
+        let o2 = st.insert(ClassId(0), Tuple::new());
+        assert_ne!(o1, o2);
+    }
+}

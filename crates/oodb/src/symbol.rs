@@ -1,0 +1,161 @@
+//! Interned identifiers.
+//!
+//! Schema and attribute names appear in every tuple and every expression, so
+//! they are interned once into a process-global table and carried around as a
+//! copyable [`Symbol`]. Interning is global (rather than per-database) so that
+//! symbols remain meaningful across databases and views — a view imports
+//! classes from several databases and must compare their attribute names
+//! directly.
+//!
+//! `Symbol` ordering is **by string**, not by intern index, so that any
+//! ordered container keyed by symbols (tuples, dumps, error listings) is
+//! deterministic regardless of interning order.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+
+/// An interned string. Cheap to copy, compare and hash; resolves back to its
+/// text via [`Symbol::as_str`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `text` and returns its symbol. Repeated calls with equal text
+    /// return equal symbols.
+    pub fn new(text: &str) -> Symbol {
+        let lock = interner();
+        if let Some(&id) = lock.read().map.get(text) {
+            return Symbol(id);
+        }
+        let mut w = lock.write();
+        if let Some(&id) = w.map.get(text) {
+            return Symbol(id);
+        }
+        // Names are schema-level identifiers: a small, bounded set per
+        // process, so leaking the backing string is the right trade.
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        let id = u32::try_from(w.strings.len()).expect("interner overflow");
+        w.strings.push(leaked);
+        w.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned text.
+    pub fn as_str(self) -> &'static str {
+        interner().read().strings[self.0 as usize]
+    }
+}
+
+/// Shorthand for [`Symbol::new`].
+pub fn sym(text: &str) -> Symbol {
+    Symbol::new(text)
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl std::hash::Hash for Symbol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash the text so that hash is consistent with (string-based) Eq/Ord
+        // across interner instances; symbols equal by id always have equal
+        // text.
+        self.as_str().hash(state);
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}`", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        assert_eq!(sym("Person"), sym("Person"));
+        assert_ne!(sym("Person"), sym("Employee"));
+    }
+
+    #[test]
+    fn resolves_to_text() {
+        assert_eq!(sym("Address").as_str(), "Address");
+    }
+
+    #[test]
+    fn orders_by_string() {
+        // Intern in reverse lexicographic order; comparison must still be
+        // lexicographic.
+        let z = sym("zzz-order-test");
+        let a = sym("aaa-order-test");
+        assert!(a < z);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(sym("City").to_string(), "City");
+        assert_eq!(format!("{:?}", sym("City")), "`City`");
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |s: Symbol| {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(sym("Spouse")), h(sym("Spouse")));
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_symbol() {
+        assert_eq!(sym("").as_str(), "");
+    }
+}

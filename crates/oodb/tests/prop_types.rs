@@ -1,0 +1,130 @@
+//! Property tests: the type lattice. Subtyping must be a preorder and the
+//! lub must actually be an upper bound — upward inheritance (paper §4.3)
+//! silently depends on both.
+
+use ov_oodb::types::NoClasses;
+use ov_oodb::{sym, ClassGraph, Schema, Type};
+use proptest::prelude::*;
+
+fn arb_type() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        Just(Type::Any),
+        Just(Type::Nothing),
+        Just(Type::Bool),
+        Just(Type::Int),
+        Just(Type::Float),
+        Just(Type::Str),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Type::set),
+            inner.clone().prop_map(Type::list),
+            prop::collection::btree_map("[A-Z][a-z]{0,4}".prop_map(|s| sym(&s)), inner, 0..3)
+                .prop_map(Type::Tuple),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn subtyping_is_reflexive(t in arb_type()) {
+        prop_assert!(t.is_subtype(&t, &NoClasses));
+    }
+
+    #[test]
+    fn subtyping_is_transitive(a in arb_type(), b in arb_type(), c in arb_type()) {
+        let g = NoClasses;
+        if a.is_subtype(&b, &g) && b.is_subtype(&c, &g) {
+            prop_assert!(a.is_subtype(&c, &g));
+        }
+    }
+
+    #[test]
+    fn lub_is_an_upper_bound(a in arb_type(), b in arb_type()) {
+        let g = NoClasses;
+        // Structural types always have a lub (no class ambiguity possible).
+        let l = a.lub(&b, &g).expect("structural lub exists");
+        prop_assert!(a.is_subtype(&l, &g), "{a:?} </: {l:?}");
+        prop_assert!(b.is_subtype(&l, &g), "{b:?} </: {l:?}");
+    }
+
+    #[test]
+    fn lub_is_commutative(a in arb_type(), b in arb_type()) {
+        let g = NoClasses;
+        prop_assert_eq!(a.lub(&b, &g), b.lub(&a, &g));
+    }
+
+    #[test]
+    fn lub_is_idempotent(a in arb_type()) {
+        let g = NoClasses;
+        prop_assert_eq!(a.lub(&a, &g), Some(a.clone()));
+    }
+
+    #[test]
+    fn glb_is_a_lower_bound_when_defined(a in arb_type(), b in arb_type()) {
+        let g = NoClasses;
+        if let Some(l) = a.glb(&b, &g) {
+            prop_assert!(l.is_subtype(&a, &g), "{l:?} </: {a:?}");
+            prop_assert!(l.is_subtype(&b, &g), "{l:?} </: {b:?}");
+        }
+    }
+
+    /// Subtype pairs agree with lub: a <: b  ⟺  lub(a,b) = b (for
+    /// structural types).
+    #[test]
+    fn subtype_iff_lub_is_upper(a in arb_type(), b in arb_type()) {
+        let g = NoClasses;
+        if a.is_subtype(&b, &g) {
+            prop_assert_eq!(a.lub(&b, &g), Some(b.clone()));
+        }
+    }
+}
+
+// Random class DAGs: `is_subclass` must be a partial order and agree with
+// `ancestors`.
+proptest! {
+    #[test]
+    fn class_hierarchy_is_a_partial_order(
+        // parents[i] ⊆ {0..i}: guarantees acyclicity by construction.
+        parent_picks in prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 0..3), 1..12)
+    ) {
+        let mut schema = Schema::new();
+        let mut ids = Vec::new();
+        for (i, picks) in parent_picks.iter().enumerate() {
+            let parents: Vec<_> = if ids.is_empty() {
+                Vec::new()
+            } else {
+                let mut p: Vec<_> = picks
+                    .iter()
+                    .map(|ix| ids[ix.index(ids.len())])
+                    .collect();
+                p.sort();
+                p.dedup();
+                p
+            };
+            let id = schema
+                .add_class(sym(&format!("C{i}_{}", parent_picks.len())), &parents, vec![])
+                .unwrap();
+            ids.push(id);
+        }
+        for &a in &ids {
+            prop_assert!(schema.is_subclass(a, a));
+            for &b in &ids {
+                // Antisymmetry: mutual subclassing implies equality.
+                if schema.is_subclass(a, b) && schema.is_subclass(b, a) {
+                    prop_assert_eq!(a, b);
+                }
+                // ancestors agrees with is_subclass.
+                prop_assert_eq!(
+                    schema.ancestors(a).contains(&b),
+                    schema.is_subclass(a, b)
+                );
+                for &c in &ids {
+                    if schema.is_subclass(a, b) && schema.is_subclass(b, c) {
+                        prop_assert!(schema.is_subclass(a, c));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests: total order and hash coherence of `Value`, tuple
+//! semantics. These invariants underpin the imaginary-object identity
+//! tables (tuples as map keys, §5.1 of the paper).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use ov_oodb::{Oid, Tuple, Value};
+use proptest::prelude::*;
+
+/// A generator for arbitrary (bounded-depth) values.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN payloads are ordered by total_cmp but we
+        // keep printable values for debugging ease.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(|s| Value::str(&s)),
+        (0u64..1000).prop_map(|n| Value::Oid(Oid(n))),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::set),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::list),
+            prop::collection::vec(("[A-Z][a-z]{0,6}", inner), 0..4).prop_map(|fields| {
+                Value::Tuple(Tuple::from_fields(
+                    fields
+                        .into_iter()
+                        .map(|(n, v)| (ov_oodb::sym(n.as_str()), v)),
+                ))
+            }),
+        ]
+    })
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    /// Antisymmetry: cmp(a,b) is the reverse of cmp(b,a).
+    #[test]
+    fn ordering_is_antisymmetric(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+    }
+
+    /// Transitivity over sorted triples.
+    #[test]
+    fn ordering_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    /// Reflexivity / Eq-consistency.
+    #[test]
+    fn equality_is_reflexive(a in arb_value()) {
+        prop_assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+        prop_assert_eq!(&a, &a.clone());
+    }
+
+    /// Hash agrees with Eq (clone hashes identically; used for tuple→oid
+    /// identity tables).
+    #[test]
+    fn hash_consistent_with_eq(a in arb_value()) {
+        let b = a.clone();
+        prop_assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    /// Sets deduplicate by the same equality used everywhere else.
+    #[test]
+    fn set_insertion_is_idempotent(a in arb_value()) {
+        let s = Value::set([a.clone(), a.clone()]);
+        prop_assert_eq!(s.as_set().unwrap().len(), 1);
+    }
+
+    /// Tuple field order never matters.
+    #[test]
+    fn tuple_equality_ignores_insertion_order(
+        fields in prop::collection::btree_map("[A-Z][a-z]{0,6}", any::<i64>(), 0..6)
+    ) {
+        let fields: Vec<_> = fields.into_iter().collect();
+        let fwd = Tuple::from_fields(
+            fields.iter().map(|(n, v)| (ov_oodb::sym(n.as_str()), Value::Int(*v))),
+        );
+        let rev = Tuple::from_fields(
+            fields.iter().rev().map(|(n, v)| (ov_oodb::sym(n.as_str()), Value::Int(*v))),
+        );
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// Projection is contained in the original and keeps values intact.
+    #[test]
+    fn projection_is_a_sub_tuple(
+        fields in prop::collection::vec(("[A-Z][a-z]{0,4}", any::<i64>()), 0..6),
+        keep in prop::collection::vec("[A-Z][a-z]{0,4}", 0..4),
+    ) {
+        let t = Tuple::from_fields(
+            fields.iter().map(|(n, v)| (ov_oodb::sym(n.as_str()), Value::Int(*v))),
+        );
+        let p = t.project(keep.iter().map(|k| ov_oodb::sym(k.as_str())));
+        for (name, v) in p.iter() {
+            prop_assert_eq!(t.get(name), Some(v));
+        }
+        prop_assert!(p.len() <= t.len());
+    }
+
+    /// collect_oids finds exactly the oids that Display renders.
+    #[test]
+    fn collect_oids_matches_display(v in arb_value()) {
+        let mut oids = Vec::new();
+        v.collect_oids(&mut oids);
+        let shown = v.to_string();
+        for oid in &oids {
+            prop_assert!(shown.contains(&oid.to_string()));
+        }
+    }
+}

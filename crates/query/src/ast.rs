@@ -1,0 +1,194 @@
+//! Statement-level AST.
+//!
+//! Expressions are shared with the data-model crate ([`ov_oodb::Expr`]);
+//! this module adds the statement forms: schema DDL, object loading,
+//! updates, queries, and — crucially — the paper's **view-definition DDL**
+//! (§3–§5): `create view`, `import`, `hide`, virtual-class declarations
+//! with `includes` (plain, `like`, query, `imaginary`), and virtual
+//! attribute declarations.
+
+use ov_oodb::{Expr, SelectExpr, Symbol};
+
+/// A syntactic type, resolved against a schema by the executor
+/// (class names cannot be resolved to [`ov_oodb::ClassId`]s at parse time).
+#[derive(Clone, PartialEq, Debug)]
+pub enum TypeExpr {
+    /// A name: a builtin (`string`, `integer`, `float`, `boolean`, `any`,
+    /// `nothing`) or a class name.
+    Name(Symbol),
+    /// `[f: T, …]`
+    Tuple(Vec<(Symbol, TypeExpr)>),
+    /// `{T}`
+    Set(Box<TypeExpr>),
+    /// `list(T)`
+    List(Box<TypeExpr>),
+}
+
+impl std::fmt::Display for TypeExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeExpr::Name(n) => write!(f, "{n}"),
+            TypeExpr::Tuple(fields) => {
+                write!(f, "[")?;
+                for (i, (n, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {t}")?;
+                }
+                write!(f, "]")
+            }
+            TypeExpr::Set(t) => write!(f, "{{{t}}}"),
+            TypeExpr::List(t) => write!(f, "list({t})"),
+        }
+    }
+}
+
+/// One item in a virtual class's `includes` list (§4.1): "each αᵢ is either
+/// (1) the name of a previously defined class, (2) a database query that
+/// returns a set of objects, or (3) `like B`" — plus §5's `imaginary` query
+/// form.
+#[derive(Clone, PartialEq, Debug)]
+pub enum IncludeSpec {
+    /// Generalization: the named class becomes a subclass.
+    Class(Symbol),
+    /// Specialization: the query's results are immediate instances.
+    Query(SelectExpr),
+    /// Behavioral generalization: all classes whose type is at least as
+    /// specific as the named class's type.
+    Like(Symbol),
+    /// Imaginary population: each tuple produced by the query becomes a new
+    /// object (§5).
+    Imaginary(SelectExpr),
+}
+
+/// What an `import` statement brings in (§3).
+#[derive(Clone, PartialEq, Debug)]
+pub enum ImportWhat {
+    /// `import all classes from database D`.
+    AllClasses,
+    /// `import class C from database D [as X]`.
+    Class {
+        /// The class to import (with all its subclasses).
+        name: Symbol,
+        /// Optional rename within the view.
+        alias: Option<Symbol>,
+    },
+}
+
+/// A parsed statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `database D;` — creates/selects the current database in a script.
+    Database(Symbol),
+    /// `class C [inherits P1, …] [type [f: T, …]];` — a base class with
+    /// stored attributes.
+    ClassDecl {
+        /// The class name.
+        name: Symbol,
+        /// Direct superclass names (`inherits …`).
+        parents: Vec<Symbol>,
+        /// Stored attributes declared inline (`type [ … ]`).
+        stored: Vec<(Symbol, TypeExpr)>,
+    },
+    /// `attribute A[(p: T, …)] [of type T] in class C [has value E];`
+    /// (§2). Without `has value` the attribute is stored; the type may be
+    /// omitted when inferable.
+    AttributeDecl {
+        /// The attribute name.
+        name: Symbol,
+        /// Parameters (methods), usually empty.
+        params: Vec<(Symbol, TypeExpr)>,
+        /// Declared result type; inferred when absent.
+        ty: Option<TypeExpr>,
+        /// The class the attribute is (re)defined in.
+        class: Symbol,
+        /// `has value` body; absent for stored declarations.
+        body: Option<Expr>,
+    },
+    /// `object #n in C value [ … ];` — loads one object. The `#n` literal
+    /// is script-local; the loader remaps it to a real oid.
+    ObjectDecl {
+        /// The script-local `#k` literal.
+        oid: u64,
+        /// The class the object is real in.
+        class: Symbol,
+        /// The tuple of stored attribute values.
+        value: Expr,
+    },
+    /// `name n = #k;` — binds a persistent name.
+    NameDecl {
+        /// The persistent name.
+        name: Symbol,
+        /// The script-local `#k` literal it binds to.
+        oid: u64,
+    },
+    /// `set E.A = V;` — updates a stored attribute.
+    SetAttr {
+        /// The receiver expression.
+        target: Expr,
+        /// The attribute to assign.
+        attr: Symbol,
+        /// The new value.
+        value: Expr,
+    },
+    /// `delete E;` — deletes the object `E` evaluates to.
+    Delete(Expr),
+    /// `insert C value [ … ];` — creates an object in class `C` at runtime
+    /// (errors on virtual classes, per §4.1: "it is not possible for a user
+    /// to insert an object directly into a virtual class").
+    Insert {
+        /// The class to create the object in.
+        class: Symbol,
+        /// The tuple of stored attribute values.
+        value: Expr,
+    },
+    /// A bare query expression.
+    Query(Expr),
+    /// `create view V;` (§3).
+    CreateView(Symbol),
+    /// `import … from database D;` (§3).
+    Import {
+        /// What to import.
+        what: ImportWhat,
+        /// The source database.
+        db: Symbol,
+    },
+    /// `hide attribute A1[, A2 …] in class C;` (§3).
+    HideAttrs {
+        /// The attributes to hide.
+        attrs: Vec<Symbol>,
+        /// The class in which (and below which) they are hidden.
+        class: Symbol,
+    },
+    /// `hide class C;` — removes a class (and its proper subtree) from the
+    /// view.
+    HideClass(Symbol),
+    /// `class C[(X, …)] includes α1, …;` — a virtual class (§4/§5).
+    VirtualClassDecl {
+        /// The virtual class's name.
+        name: Symbol,
+        /// Parameter names (parameterized classes).
+        params: Vec<Symbol>,
+        /// The population includes.
+        includes: Vec<IncludeSpec>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ov_oodb::sym;
+
+    #[test]
+    fn type_expr_displays() {
+        let t = TypeExpr::Set(Box::new(TypeExpr::Tuple(vec![
+            (sym("City"), TypeExpr::Name(sym("string"))),
+            (
+                sym("Occupants"),
+                TypeExpr::List(Box::new(TypeExpr::Name(sym("Person")))),
+            ),
+        ])));
+        assert_eq!(t.to_string(), "{[City: string, Occupants: list(Person)]}");
+    }
+}

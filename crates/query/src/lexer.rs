@@ -1,0 +1,498 @@
+//! The lexer.
+//!
+//! Tokenizes the surface language used for queries, schema DDL and view DDL.
+//! Keywords are **contextual**: the lexer emits plain identifiers and the
+//! parser matches keyword text where the grammar expects it, so user schemas
+//! may freely use words like `Name`, `Value` or `Type` as attribute names
+//! (the paper's own examples do).
+//!
+//! Comments run from `--` to end of line (SQL style) or `//` to end of line.
+
+use crate::error::{Pos, QueryError, Result};
+
+/// A token kind.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Identifier or contextual keyword (`select`, `Person`, …).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes and escapes already processed).
+    Str(String),
+    /// Object-identifier literal `#42` or `#i42` (imaginary range).
+    OidLit(u64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `++`
+    PlusPlus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=` (also `≤`)
+    Le,
+    /// `>`
+    Gt,
+    /// `>=` (also `≥`)
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Human-readable rendering for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Int(i) => format!("`{i}`"),
+            Tok::Float(x) => format!("`{x}`"),
+            Tok::Str(_) => "string literal".into(),
+            Tok::OidLit(n) => format!("`#{n}`"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Colon => "`:`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::PlusPlus => "`++`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Slash => "`/`".into(),
+            Tok::Percent => "`%`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::Ne => "`!=`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenizes `input` fully.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: input.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn error(&self, msg: impl Into<String>) -> QueryError {
+        QueryError::Lex {
+            pos: self.pos(),
+            msg: msg.into(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            // Skip whitespace and comments.
+            loop {
+                match self.peek() {
+                    Some(c) if c.is_whitespace() => {
+                        self.bump();
+                    }
+                    Some('-') => {
+                        // Maybe a `--` comment; otherwise fall through to the
+                        // operator path below.
+                        let mut clone = self.chars.clone();
+                        clone.next();
+                        if clone.peek() == Some(&'-') {
+                            while let Some(c) = self.peek() {
+                                if c == '\n' {
+                                    break;
+                                }
+                                self.bump();
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                    Some('/') => {
+                        let mut clone = self.chars.clone();
+                        clone.next();
+                        if clone.peek() == Some(&'/') {
+                            while let Some(c) = self.peek() {
+                                if c == '\n' {
+                                    break;
+                                }
+                                self.bump();
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let pos = self.pos();
+            let Some(c) = self.peek() else {
+                out.push(Token { tok: Tok::Eof, pos });
+                return Ok(out);
+            };
+            let tok = if c.is_ascii_digit() {
+                self.number()?
+            } else if c.is_alphabetic() || c == '_' {
+                self.ident()
+            } else if c == '"' {
+                self.string()?
+            } else if c == '#' {
+                self.oid_literal()?
+            } else {
+                self.operator()?
+            };
+            out.push(Token { tok, pos });
+        }
+    }
+
+    fn number(&mut self) -> Result<Tok> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                if c != '_' {
+                    text.push(c);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // A fractional part only if `.` is followed by a digit — `1.Age`
+        // must lex as `1` `.` `Age`.
+        let mut is_float = false;
+        if self.peek() == Some('.') {
+            let mut clone = self.chars.clone();
+            clone.next();
+            if clone.peek().is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                text.push('.');
+                self.bump();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|e| self.error(format!("bad float literal: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|e| self.error(format!("bad integer literal: {e}")))
+        }
+    }
+
+    fn ident(&mut self) -> Tok {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            // `&` is allowed mid-identifier for the paper's `Rich&Beautiful`.
+            if c.is_alphanumeric() || c == '_' || c == '&' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Tok::Ident(text)
+    }
+
+    fn string(&mut self) -> Result<Tok> {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string literal")),
+                Some('"') => return Ok(Tok::Str(text)),
+                Some('\\') => match self.bump() {
+                    Some('n') => text.push('\n'),
+                    Some('t') => text.push('\t'),
+                    Some('"') => text.push('"'),
+                    Some('\\') => text.push('\\'),
+                    other => {
+                        return Err(self.error(format!("bad escape: \\{}", other.unwrap_or(' '))))
+                    }
+                },
+                Some(c) => text.push(c),
+            }
+        }
+    }
+
+    fn oid_literal(&mut self) -> Result<Tok> {
+        self.bump(); // '#'
+        let imaginary = if self.peek() == Some('i') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() {
+            return Err(self.error("expected digits after `#`"));
+        }
+        let n: u64 = text
+            .parse()
+            .map_err(|e| self.error(format!("bad oid literal: {e}")))?;
+        Ok(Tok::OidLit(if imaginary {
+            n + ov_oodb::ids::IMAGINARY_OID_BASE
+        } else {
+            n
+        }))
+    }
+
+    fn operator(&mut self) -> Result<Tok> {
+        let c = self.bump().expect("peeked");
+        Ok(match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            ',' => Tok::Comma,
+            ';' => Tok::Semi,
+            ':' => Tok::Colon,
+            '.' => Tok::Dot,
+            '+' => {
+                if self.peek() == Some('+') {
+                    self.bump();
+                    Tok::PlusPlus
+                } else {
+                    Tok::Plus
+                }
+            }
+            '-' => Tok::Minus,
+            '*' => Tok::Star,
+            '/' => Tok::Slash,
+            '%' => Tok::Percent,
+            '=' => Tok::Eq,
+            '!' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Tok::Ne
+                } else {
+                    return Err(self.error("expected `=` after `!`"));
+                }
+            }
+            '<' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            '>' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            '≥' => Tok::Ge,
+            '≤' => Tok::Le,
+            other => return Err(self.error(format!("unexpected character `{other}`"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_paper_query() {
+        let toks = kinds("select P from Person where P.Age >= 21");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("select".into()),
+                Tok::Ident("P".into()),
+                Tok::Ident("from".into()),
+                Tok::Ident("Person".into()),
+                Tok::Ident("where".into()),
+                Tok::Ident("P".into()),
+                Tok::Dot,
+                Tok::Ident("Age".into()),
+                Tok::Ge,
+                Tok::Int(21),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_paths_disambiguate() {
+        assert_eq!(
+            kinds("1.5 1.Age"),
+            vec![
+                Tok::Float(1.5),
+                Tok::Int(1),
+                Tok::Dot,
+                Tok::Ident("Age".into()),
+                Tok::Eof
+            ]
+        );
+        // Underscore digit separators.
+        assert_eq!(kinds("5_000")[0], Tok::Int(5000));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""10 Downing\nStreet""#)[0],
+            Tok::Str("10 Downing\nStreet".into())
+        );
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn oid_literals() {
+        assert_eq!(kinds("#42")[0], Tok::OidLit(42));
+        assert_eq!(
+            kinds("#i3")[0],
+            Tok::OidLit(ov_oodb::ids::IMAGINARY_OID_BASE + 3)
+        );
+        assert!(lex("# 3").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("a -- comment\n b // another\n c");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn ampersand_identifiers() {
+        assert_eq!(
+            kinds("Rich&Beautiful")[0],
+            Tok::Ident("Rich&Beautiful".into())
+        );
+    }
+
+    #[test]
+    fn unicode_comparison_operators() {
+        assert_eq!(kinds("a ≥ b")[1], Tok::Ge);
+        assert_eq!(kinds("a ≤ b")[1], Tok::Le);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_character_reports_position() {
+        let err = lex("a ~").unwrap_err();
+        assert!(matches!(err, QueryError::Lex { .. }));
+    }
+}

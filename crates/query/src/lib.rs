@@ -1,0 +1,48 @@
+//! # ov-query — the O₂-style query and DDL language
+//!
+//! The language layer of the *Objects and Views* reproduction: a lexer, a
+//! recursive-descent parser for expressions / queries / schema DDL / view
+//! DDL, static type inference, and a tree-walking evaluator that runs
+//! against any [`DataSource`] — a base `ov_oodb::Database` or an
+//! `ov_views::View` ("A view should be treated as a database", paper §6).
+//!
+//! ## Quick taste
+//!
+//! ```
+//! use ov_oodb::{System, Value, sym};
+//! use ov_query::{execute_script, run_query};
+//!
+//! let mut sys = System::new();
+//! execute_script(&mut sys, r#"
+//!     database Staff;
+//!     class Person type [Name: string, Age: integer];
+//!     object #1 in Person value [Name: "Maggy", Age: 65];
+//! "#).unwrap();
+//! let db = sys.database(sym("Staff")).unwrap();
+//! let v = run_query(&*db.read(), "select P.Name from P in Person where P.Age >= 21").unwrap();
+//! assert_eq!(v, Value::set([Value::str("Maggy")]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod lexer;
+pub mod optimize;
+pub mod parser;
+pub mod source;
+pub mod typecheck;
+
+pub use ast::{ImportWhat, IncludeSpec, Stmt, TypeExpr};
+pub use error::{Pos, QueryError, Result};
+pub use eval::{eval_attr, eval_expr, eval_select, truthy, value_eq, Env, Evaluator};
+pub use exec::{
+    execute_script, execute_stmts, execute_stmts_with_map, map_select, resolve_type, rewrite_expr,
+    run_query,
+};
+pub use optimize::{optimize_expr, optimize_select};
+pub use parser::{parse_expr, parse_program, parse_select, parse_type};
+pub use source::{require_class, DataSource, ResolvedAttr, SourceGraph};
+pub use typecheck::{infer, infer_expr, infer_select, infer_select_in, type_of_value, TypeEnv};

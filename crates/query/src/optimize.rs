@@ -1,0 +1,269 @@
+//! Query optimization: constant folding and boolean simplification.
+//!
+//! The view mechanism creates many *derived* queries — parameterized-class
+//! instantiation substitutes literals into templates (`Resident("France")`
+//! turns `P.City = X` into `P.City = "France"`), and population queries are
+//! re-evaluated often. This pass cheapens them:
+//!
+//! * **constant folding** — any pure subexpression whose operands are
+//!   literals is evaluated once, at optimization time, with *exactly* the
+//!   evaluator's semantics (the folder literally runs the evaluator against
+//!   an empty source, so the two can never disagree — property-tested in
+//!   `tests/prop_optimize.rs`);
+//! * **boolean absorption** — `false and e` → `false`, `true or e` →
+//!   `true`, and `if` on a literal condition selects its branch. (Note
+//!   `true and e` is *not* rewritten to `e`: `and` returns a boolean
+//!   truth-value while `e` itself may be `null`.)
+//!
+//! The pass is safe on open terms: anything it cannot prove constant is
+//! left untouched.
+
+use ov_oodb::{AttrSig, ClassId, Expr, Oid, SelectExpr, Symbol, Type, Value};
+
+use crate::error::{QueryError, Result};
+use crate::eval::{truthy, Env, Evaluator};
+use crate::source::{DataSource, ResolvedAttr};
+
+/// A data source with nothing in it: every lookup fails. Evaluating an
+/// expression against it succeeds exactly when the expression is closed
+/// and pure — which is the test for foldability.
+struct EmptySource;
+
+impl DataSource for EmptySource {
+    fn class_by_name(&self, _name: Symbol) -> Option<ClassId> {
+        None
+    }
+    fn class_name(&self, _c: ClassId) -> Symbol {
+        Symbol::new("?")
+    }
+    fn is_subclass(&self, a: ClassId, b: ClassId) -> bool {
+        a == b
+    }
+    fn ancestors(&self, c: ClassId) -> Vec<ClassId> {
+        vec![c]
+    }
+    fn class_of(&self, oid: Oid) -> Result<ClassId> {
+        Err(QueryError::eval(format!("no object {oid}")))
+    }
+    fn extent(&self, _class: ClassId) -> Result<Vec<Oid>> {
+        Ok(Vec::new())
+    }
+    fn is_member(&self, _oid: Oid, _class: ClassId) -> Result<bool> {
+        Ok(false)
+    }
+    fn resolve(&self, oid: Oid, _name: Symbol) -> Result<ResolvedAttr> {
+        Err(QueryError::eval(format!("no object {oid}")))
+    }
+    fn stored_field(&self, oid: Oid, _name: Symbol) -> Result<Value> {
+        Err(QueryError::eval(format!("no object {oid}")))
+    }
+    fn named_object(&self, _name: Symbol) -> Option<Oid> {
+        None
+    }
+    fn object_exists(&self, _oid: Oid) -> bool {
+        false
+    }
+    fn attr_sig(&self, _c: ClassId, _name: Symbol) -> Option<AttrSig> {
+        None
+    }
+    fn class_type(&self, _c: ClassId) -> Type {
+        Type::Any
+    }
+}
+
+/// Is this node foldable when all its children are literals? Conservative:
+/// anything touching names, objects, classes or `self` is excluded, as is
+/// division/modulo (fold-time errors must not replace run-time errors that
+/// short-circuiting might skip).
+fn pure_head(e: &Expr) -> bool {
+    match e {
+        Expr::Binary { op, .. } => !matches!(op, ov_oodb::BinOp::Div | ov_oodb::BinOp::Mod),
+        Expr::Unary { .. } | Expr::TupleCons(_) | Expr::SetCons(_) | Expr::ListCons(_) => true,
+        _ => false,
+    }
+}
+
+fn all_literal_children(e: &Expr) -> bool {
+    match e {
+        Expr::Binary { lhs, rhs, .. } => {
+            matches!(**lhs, Expr::Lit(_)) && matches!(**rhs, Expr::Lit(_))
+        }
+        Expr::Unary { expr, .. } => matches!(**expr, Expr::Lit(_)),
+        Expr::TupleCons(fields) => fields.iter().all(|(_, e)| matches!(e, Expr::Lit(_))),
+        Expr::SetCons(items) | Expr::ListCons(items) => {
+            items.iter().all(|e| matches!(e, Expr::Lit(_)))
+        }
+        _ => false,
+    }
+}
+
+/// Optimizes an expression (bottom-up, single pass).
+pub fn optimize_expr(e: &Expr) -> Expr {
+    let rebuilt = match e {
+        Expr::Lit(_) | Expr::SelfRef | Expr::Name(_) => e.clone(),
+        Expr::Attr { recv, name, args } => Expr::Attr {
+            recv: Box::new(optimize_expr(recv)),
+            name: *name,
+            args: args.iter().map(optimize_expr).collect(),
+        },
+        Expr::TupleCons(fields) => {
+            Expr::TupleCons(fields.iter().map(|(n, e)| (*n, optimize_expr(e))).collect())
+        }
+        Expr::SetCons(items) => Expr::SetCons(items.iter().map(optimize_expr).collect()),
+        Expr::ListCons(items) => Expr::ListCons(items.iter().map(optimize_expr).collect()),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(optimize_expr(expr)),
+        },
+        Expr::Binary { op, lhs, rhs } => {
+            let l = optimize_expr(lhs);
+            let r = optimize_expr(rhs);
+            // Boolean absorption, matching short-circuit semantics: a
+            // literal-false lhs of `and` (resp. literal-true of `or`)
+            // decides the result without evaluating rhs.
+            match op {
+                ov_oodb::BinOp::And if matches!(&l, Expr::Lit(v) if !truthy(v)) => {
+                    return Expr::Lit(Value::Bool(false));
+                }
+                ov_oodb::BinOp::Or if matches!(&l, Expr::Lit(v) if truthy(v)) => {
+                    return Expr::Lit(Value::Bool(true));
+                }
+                _ => {}
+            }
+            Expr::Binary {
+                op: *op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            }
+        }
+        Expr::If { cond, then, els } => {
+            let c = optimize_expr(cond);
+            if let Expr::Lit(v) = &c {
+                return if truthy(v) {
+                    optimize_expr(then)
+                } else {
+                    optimize_expr(els)
+                };
+            }
+            Expr::If {
+                cond: Box::new(c),
+                then: Box::new(optimize_expr(then)),
+                els: Box::new(optimize_expr(els)),
+            }
+        }
+        Expr::Select(q) => Expr::Select(optimize_select(q)),
+        Expr::Exists(q) => Expr::Exists(optimize_select(q)),
+        Expr::Aggregate { func, arg } => Expr::Aggregate {
+            func: *func,
+            arg: Box::new(optimize_expr(arg)),
+        },
+        Expr::IsA { expr, class } => Expr::IsA {
+            expr: Box::new(optimize_expr(expr)),
+            class: *class,
+        },
+        Expr::Apply { name, args } => Expr::Apply {
+            name: *name,
+            args: args.iter().map(optimize_expr).collect(),
+        },
+    };
+    // Fold the rebuilt node if it is a pure operation on literals.
+    if pure_head(&rebuilt) && all_literal_children(&rebuilt) {
+        if let Ok(v) = Evaluator::new(&EmptySource).eval(&rebuilt, &mut Env::new()) {
+            return Expr::Lit(v);
+        }
+    }
+    rebuilt
+}
+
+/// Optimizes a query: every sub-expression, plus dropping a literally-true
+/// filter.
+pub fn optimize_select(q: &SelectExpr) -> SelectExpr {
+    let filter = q.filter.as_deref().map(optimize_expr);
+    let filter = match filter {
+        Some(Expr::Lit(ref v)) if truthy(v) => None,
+        other => other,
+    };
+    SelectExpr {
+        distinct: q.distinct,
+        the: q.the,
+        proj: Box::new(optimize_expr(&q.proj)),
+        bindings: q
+            .bindings
+            .iter()
+            .map(|(v, c)| (*v, optimize_expr(c)))
+            .collect(),
+        filter: filter.map(Box::new),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_select};
+
+    fn opt(src: &str) -> String {
+        optimize_expr(&parse_expr(src).unwrap()).to_string()
+    }
+
+    #[test]
+    fn folds_arithmetic() {
+        assert_eq!(opt("1 + 2 * 3"), "7");
+        assert_eq!(opt("2 * 3 + x"), "6 + x");
+        assert_eq!(opt(r#""a" ++ "b""#), r#""ab""#);
+    }
+
+    #[test]
+    fn folds_comparisons_and_membership() {
+        assert_eq!(opt("1 < 2"), "true");
+        assert_eq!(opt("2 in {1, 2, 3}"), "true");
+        assert_eq!(opt("{1, 2} union {3}"), "{1, 2, 3}");
+    }
+
+    #[test]
+    fn division_is_never_folded() {
+        // 1/0 must stay a run-time error, and even 4/2 is left alone (one
+        // uniform rule beats a subtle one).
+        assert_eq!(opt("4 / 2"), "4 / 2");
+        assert_eq!(opt("1 / 0"), "1 / 0");
+    }
+
+    #[test]
+    fn boolean_absorption_matches_short_circuit() {
+        assert_eq!(opt("false and x.Oops"), "false");
+        assert_eq!(opt("true or x.Oops"), "true");
+        // Not rewritten: `true and e` must still coerce e to a boolean.
+        assert_eq!(opt("true and x"), "true and x");
+    }
+
+    #[test]
+    fn literal_conditionals_select_a_branch() {
+        assert_eq!(opt("if 1 < 2 then x else y"), "x");
+        assert_eq!(opt("if false then x else y + 0"), "y + 0");
+    }
+
+    #[test]
+    fn open_terms_are_untouched() {
+        for src in ["self.Age + 1", "P.City = X", "count(Person)"] {
+            assert_eq!(opt(src), src);
+        }
+    }
+
+    #[test]
+    fn select_filters_simplify() {
+        let q = parse_select("select P from P in Person where 1 < 2").unwrap();
+        let o = optimize_select(&q);
+        assert!(o.filter.is_none());
+        let q = parse_select("select P from P in Person where P.Age >= 10 + 11").unwrap();
+        let o = optimize_select(&q);
+        assert_eq!(o.filter.unwrap().to_string(), "P.Age >= 21");
+    }
+
+    #[test]
+    fn nested_folding_reaches_inside_selects() {
+        let e = parse_expr("exists(select P from P in Person where P.X = 2 + 2)").unwrap();
+        assert_eq!(
+            optimize_expr(&e).to_string(),
+            "exists(select P from P in Person where P.X = 4)"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! A named, versioned collection of relations.
+
+use std::collections::BTreeMap;
+
+use ov_oodb::{Symbol, Value};
+
+use crate::relation::{RelError, Relation};
+
+/// A relational database: named relations plus a mutation counter (the
+/// bridge uses the counter to know when to re-stage).
+#[derive(Clone, Debug)]
+pub struct RelationalDb {
+    /// The database's name.
+    pub name: Symbol,
+    relations: BTreeMap<Symbol, Relation>,
+    version: u64,
+}
+
+impl RelationalDb {
+    /// An empty relational database called `name`.
+    pub fn new(name: Symbol) -> RelationalDb {
+        RelationalDb {
+            name,
+            relations: BTreeMap::new(),
+            version: 0,
+        }
+    }
+
+    /// Registers a relation (must be in first normal form).
+    pub fn create_relation(&mut self, relation: Relation) -> Result<(), RelError> {
+        relation.check_first_normal_form()?;
+        if self.relations.contains_key(&relation.name) {
+            return Err(RelError::DuplicateRelation(relation.name));
+        }
+        self.relations.insert(relation.name, relation);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// The relation called `name`.
+    pub fn relation(&self, name: Symbol) -> Result<&Relation, RelError> {
+        self.relations
+            .get(&name)
+            .ok_or(RelError::UnknownRelation(name))
+    }
+
+    /// Mutable access; bumps the version.
+    pub fn relation_mut(&mut self, name: Symbol) -> Result<&mut Relation, RelError> {
+        self.version += 1;
+        self.relations
+            .get_mut(&name)
+            .ok_or(RelError::UnknownRelation(name))
+    }
+
+    /// Inserts a row into `relation`.
+    pub fn insert(&mut self, relation: Symbol, row: Vec<Value>) -> Result<(), RelError> {
+        self.relation_mut(relation)?.insert(row)
+    }
+
+    /// All relation names, sorted.
+    pub fn relation_names(&self) -> Vec<Symbol> {
+        self.relations.keys().copied().collect()
+    }
+
+    /// Mutation counter.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ov_oodb::{sym, Type};
+
+    #[test]
+    fn create_and_query_relations() {
+        let mut db = RelationalDb::new(sym("R"));
+        db.create_relation(Relation::new(sym("T"), vec![(sym("X"), Type::Int)]))
+            .unwrap();
+        db.insert(sym("T"), vec![Value::Int(1)]).unwrap();
+        assert_eq!(db.relation(sym("T")).unwrap().len(), 1);
+        assert!(db.relation(sym("Nope")).is_err());
+    }
+
+    #[test]
+    fn duplicate_relations_rejected() {
+        let mut db = RelationalDb::new(sym("R"));
+        db.create_relation(Relation::new(sym("T"), vec![])).unwrap();
+        assert!(matches!(
+            db.create_relation(Relation::new(sym("T"), vec![])),
+            Err(RelError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn versions_bump_on_mutation() {
+        let mut db = RelationalDb::new(sym("R"));
+        let v0 = db.version();
+        db.create_relation(Relation::new(sym("T"), vec![(sym("X"), Type::Int)]))
+            .unwrap();
+        assert!(db.version() > v0);
+        let v1 = db.version();
+        db.insert(sym("T"), vec![Value::Int(1)]).unwrap();
+        assert!(db.version() > v1);
+    }
+
+    #[test]
+    fn non_1nf_relations_rejected() {
+        let mut db = RelationalDb::new(sym("R"));
+        assert!(db
+            .create_relation(Relation::new(
+                sym("Bad"),
+                vec![(sym("S"), Type::set(Type::Int))],
+            ))
+            .is_err());
+    }
+}

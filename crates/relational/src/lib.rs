@@ -1,0 +1,39 @@
+//! # ov-relational — a minimal relational engine and its object-view bridge
+//!
+//! The first application the paper lists for imaginary objects (§5) is
+//! "creating an object-oriented view of a relational database. Typically,
+//! this means creating new objects from database tuples." This crate
+//! provides the relational side of that experiment:
+//!
+//! * [`Relation`] / [`RelationalDb`] — a small, typed, versioned relational
+//!   store (schemas, tuples, scan/select/project/update);
+//! * [`bridge`] — machinery that stages a relational database into the
+//!   object world and generates the view DDL that turns each relation's
+//!   tuples into **imaginary objects** with stable identity.
+//!
+//! ```
+//! use ov_oodb::{sym, Value};
+//! use ov_relational::{Relation, RelationalDb, bridge};
+//! use ov_oodb::Type;
+//!
+//! let mut rdb = RelationalDb::new(sym("Payroll"));
+//! rdb.create_relation(Relation::new(
+//!     sym("Emp"),
+//!     vec![(sym("Name"), Type::Str), (sym("Dept"), Type::Str)],
+//! )).unwrap();
+//! rdb.insert(sym("Emp"), vec![Value::str("Tony"), Value::str("DB")]).unwrap();
+//!
+//! let (sys, _) = bridge::stage(&rdb).unwrap();
+//! let view = bridge::object_view(&rdb, &sys).unwrap();
+//! let names = view.query("select E.Name from E in Emp").unwrap();
+//! assert_eq!(names, Value::set([Value::str("Tony")]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod db;
+pub mod relation;
+
+pub use db::RelationalDb;
+pub use relation::{RelError, Relation};

@@ -1,0 +1,326 @@
+//! Relations: typed schemas and tuple storage.
+
+use std::fmt;
+
+use ov_oodb::{Symbol, Type, Value};
+
+/// Errors from the relational layer.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RelError {
+    /// No relation with this name.
+    UnknownRelation(Symbol),
+    /// A relation with this name already exists.
+    DuplicateRelation(Symbol),
+    /// The relation has no such column.
+    UnknownColumn {
+        /// The relation.
+        relation: Symbol,
+        /// The missing column.
+        column: Symbol,
+    },
+    /// Wrong number of values for the relation's arity.
+    Arity {
+        /// The relation.
+        relation: Symbol,
+        /// Its column count.
+        expected: usize,
+        /// The number of values supplied.
+        got: usize,
+    },
+    /// A value did not inhabit its column type.
+    TypeMismatch {
+        /// The relation.
+        relation: Symbol,
+        /// The offending column.
+        column: Symbol,
+        /// The declared type.
+        expected: String,
+        /// The offending value's kind.
+        found: String,
+    },
+    /// Only atomic column types are allowed (first normal form).
+    NonAtomicColumn {
+        /// The relation.
+        relation: Symbol,
+        /// The non-atomic column.
+        column: Symbol,
+    },
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            RelError::DuplicateRelation(r) => write!(f, "relation `{r}` already exists"),
+            RelError::UnknownColumn { relation, column } => {
+                write!(f, "relation `{relation}` has no column `{column}`")
+            }
+            RelError::Arity {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected}, got {got} values"
+            ),
+            RelError::TypeMismatch {
+                relation,
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "column `{column}` of `{relation}`: expected {expected}, found {found}"
+            ),
+            RelError::NonAtomicColumn { relation, column } => write!(
+                f,
+                "column `{column}` of `{relation}` must have an atomic type (1NF)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// A named relation: a column schema plus a multiset of rows.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    /// The relation's name.
+    pub name: Symbol,
+    columns: Vec<(Symbol, Type)>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given columns.
+    pub fn new(name: Symbol, columns: Vec<(Symbol, Type)>) -> Relation {
+        Relation {
+            name,
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Column names and types, in declaration order.
+    pub fn columns(&self) -> &[(Symbol, Type)] {
+        &self.columns
+    }
+
+    /// Validates that all column types are atomic (first normal form).
+    pub fn check_first_normal_form(&self) -> Result<(), RelError> {
+        for (col, ty) in &self.columns {
+            if !matches!(ty, Type::Bool | Type::Int | Type::Float | Type::Str) {
+                return Err(RelError::NonAtomicColumn {
+                    relation: self.name,
+                    column: *col,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The index of column `name`.
+    pub fn column_index(&self, name: Symbol) -> Result<usize, RelError> {
+        self.columns
+            .iter()
+            .position(|(c, _)| *c == name)
+            .ok_or(RelError::UnknownColumn {
+                relation: self.name,
+                column: name,
+            })
+    }
+
+    fn check_row(&self, row: &[Value]) -> Result<(), RelError> {
+        if row.len() != self.columns.len() {
+            return Err(RelError::Arity {
+                relation: self.name,
+                expected: self.columns.len(),
+                got: row.len(),
+            });
+        }
+        for ((col, ty), v) in self.columns.iter().zip(row) {
+            let ok = matches!(
+                (v, ty),
+                (Value::Null, _)
+                    | (Value::Bool(_), Type::Bool)
+                    | (Value::Int(_), Type::Int)
+                    | (Value::Int(_), Type::Float)
+                    | (Value::Float(_), Type::Float)
+                    | (Value::Str(_), Type::Str)
+            );
+            if !ok {
+                return Err(RelError::TypeMismatch {
+                    relation: self.name,
+                    column: *col,
+                    expected: format!("{ty:?}"),
+                    found: v.kind().to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a row (typechecked).
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<(), RelError> {
+        self.check_row(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates all rows.
+    pub fn scan(&self) -> impl Iterator<Item = &[Value]> {
+        self.rows.iter().map(|r| r.as_slice())
+    }
+
+    /// Rows satisfying `pred`.
+    pub fn select<'a>(
+        &'a self,
+        pred: impl Fn(&[Value]) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a [Value]> {
+        self.scan().filter(move |r| pred(r))
+    }
+
+    /// Projects rows onto the named columns.
+    pub fn project(&self, cols: &[Symbol]) -> Result<Vec<Vec<Value>>, RelError> {
+        let idx: Vec<usize> = cols
+            .iter()
+            .map(|&c| self.column_index(c))
+            .collect::<Result<_, _>>()?;
+        Ok(self
+            .scan()
+            .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
+            .collect())
+    }
+
+    /// Updates, in place, every row satisfying `pred`, setting `column` to
+    /// `value`. Returns the number of rows changed.
+    pub fn update(
+        &mut self,
+        pred: impl Fn(&[Value]) -> bool,
+        column: Symbol,
+        value: Value,
+    ) -> Result<usize, RelError> {
+        let i = self.column_index(column)?;
+        // Type-check once against a probe row shape.
+        let probe: Vec<Value> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(j, _)| if j == i { value.clone() } else { Value::Null })
+            .collect();
+        self.check_row(&probe)?;
+        let mut n = 0;
+        for row in &mut self.rows {
+            if pred(row) {
+                row[i] = value.clone();
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Deletes every row satisfying `pred`; returns the number removed.
+    pub fn delete(&mut self, pred: impl Fn(&[Value]) -> bool) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| !pred(r));
+        before - self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ov_oodb::sym;
+
+    fn emp() -> Relation {
+        let mut r = Relation::new(
+            sym("Emp"),
+            vec![
+                (sym("Name"), Type::Str),
+                (sym("Dept"), Type::Str),
+                (sym("Salary"), Type::Int),
+            ],
+        );
+        r.insert(vec![Value::str("Tony"), Value::str("DB"), Value::Int(100)])
+            .unwrap();
+        r.insert(vec![Value::str("Ann"), Value::str("OS"), Value::Int(120)])
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn insert_scan_roundtrip() {
+        let r = emp();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.scan().count(), 2);
+    }
+
+    #[test]
+    fn arity_and_type_checked() {
+        let mut r = emp();
+        assert!(matches!(
+            r.insert(vec![Value::str("X")]),
+            Err(RelError::Arity { .. })
+        ));
+        assert!(matches!(
+            r.insert(vec![Value::Int(1), Value::str("D"), Value::Int(1)]),
+            Err(RelError::TypeMismatch { .. })
+        ));
+        // Nulls are allowed anywhere.
+        r.insert(vec![Value::Null, Value::Null, Value::Null])
+            .unwrap();
+    }
+
+    #[test]
+    fn select_and_project() {
+        let r = emp();
+        let rich: Vec<_> = r.select(|row| row[2] >= Value::Int(110)).collect();
+        assert_eq!(rich.len(), 1);
+        let names = r.project(&[sym("Name")]).unwrap();
+        assert_eq!(
+            names,
+            vec![vec![Value::str("Tony")], vec![Value::str("Ann")]]
+        );
+        assert!(r.project(&[sym("Ghost")]).is_err());
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut r = emp();
+        let n = r
+            .update(
+                |row| row[1] == Value::str("DB"),
+                sym("Salary"),
+                Value::Int(150),
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(r.scan().next().unwrap()[2], Value::Int(150));
+        assert_eq!(r.delete(|row| row[0] == Value::str("Ann")), 1);
+        assert_eq!(r.len(), 1);
+        // Update with a badly-typed value is rejected before mutating.
+        assert!(r
+            .update(|_| true, sym("Salary"), Value::str("lots"))
+            .is_err());
+    }
+
+    #[test]
+    fn first_normal_form_check() {
+        let r = Relation::new(sym("Bad"), vec![(sym("Kids"), Type::set(Type::Str))]);
+        assert!(matches!(
+            r.check_first_normal_form(),
+            Err(RelError::NonAtomicColumn { .. })
+        ));
+        assert!(emp().check_first_normal_form().is_ok());
+    }
+}

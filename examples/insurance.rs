@@ -1,0 +1,104 @@
+//! Example 6: a poorly designed view, and its fix.
+//!
+//! The paper's cautionary tale (§5.1): making `Address` a *core* attribute
+//! of an imaginary `Client` class ties client identity to the address — so
+//! when Maggy moves, "as far as the system is concerned, Maggy before
+//! moving and after moving are two different clients." The fix is to make
+//! `Address` a virtual attribute instead.
+//!
+//! Run with: `cargo run --example insurance`
+
+use objects_and_views::oodb::{sym, System, Value};
+use objects_and_views::query::execute_script;
+use objects_and_views::views::ViewDef;
+
+fn main() {
+    let mut sys = System::new();
+    execute_script(
+        &mut sys,
+        r#"
+        database Insurance;
+        class Policy type [Policy_Number: integer, Coverage: string, Cost: integer,
+                           PName: string, PAddress: string, PAge: integer, SS: integer];
+        object #1 in Policy value [Policy_Number: 1, Coverage: "life", Cost: 120,
+                                   PName: "Maggy", PAddress: "10 Downing St",
+                                   PAge: 66, SS: 1111];
+        object #2 in Policy value [Policy_Number: 2, Coverage: "home", Cost: 80,
+                                   PName: "Denis", PAddress: "10 Downing St",
+                                   PAge: 70, SS: 2222];
+        name maggys_policy = #1;
+        "#,
+    )
+    .expect("insurance loads");
+
+    // The paper's poorly designed view: Address is a core attribute.
+    let poor = ViewDef::from_script(
+        r#"
+        create view My_Clients;
+        import all classes from database Insurance;
+        class Client includes imaginary
+            (select [CName: P.PName, CAge: P.PAge, SS: P.SS,
+                     CAddress: P.PAddress, Policy: P]
+             from P in Policy);
+        attribute Person in class Policy has value
+            (select the C from C in Client where C.Policy = self);
+        hide attributes PName, PAge, PAddress, SS in class Policy;
+        "#,
+    )
+    .unwrap()
+    .bind(&sys)
+    .unwrap();
+
+    // The fixed design: Address is a virtual attribute of Client.
+    let fixed = ViewDef::from_script(
+        r#"
+        create view My_Clients_Fixed;
+        import all classes from database Insurance;
+        class Client includes imaginary
+            (select [CName: P.PName, SS: P.SS, Policy: P] from P in Policy);
+        attribute CAddress in class Client has value self.Policy.PAddress;
+        attribute CAge in class Client has value self.Policy.PAge;
+        "#,
+    )
+    .unwrap()
+    .bind(&sys)
+    .unwrap();
+
+    let show = |label: &str, view: &objects_and_views::views::View| {
+        let clients = view.extent_of(sym("Client")).unwrap();
+        println!(
+            "{label}: {} client objects, oids {:?}, identity-table size {}",
+            clients.len(),
+            clients,
+            view.identity_table_len(sym("Client"))
+        );
+    };
+
+    println!("== before the move ==");
+    show("poor ", &poor);
+    show("fixed", &fixed);
+
+    // Maggy moves: update the base Policy relation.
+    {
+        let ins = sys.database(sym("Insurance")).unwrap();
+        let mut ins = ins.write();
+        let p = ins.named(sym("maggys_policy")).unwrap();
+        ins.set_attr(p, sym("PAddress"), Value::str("Hambledon Place"))
+            .unwrap();
+    }
+
+    println!("\n== after Maggy's address is updated ==");
+    show("poor ", &poor);
+    show("fixed", &fixed);
+    println!(
+        "\npoor view: the identity table grew — the old Maggy-client is gone and a\n\
+         new client object exists: \"Maggy before moving and after moving are two\n\
+         different clients.\" (§5.1, Example 6)"
+    );
+    println!(
+        "fixed view: same client objects; the virtual CAddress now reads {}",
+        fixed
+            .query(r#"select the C.CAddress from C in Client where C.CName = "Maggy""#)
+            .unwrap()
+    );
+}

@@ -1,0 +1,139 @@
+//! The Navy: restructuring a class hierarchy with virtual classes.
+//!
+//! Reproduces §4's running example: generalization (`class Merchant_Vessel
+//! includes Tanker, Trawler`), the inferred insertion of virtual classes
+//! *into the middle* of the hierarchy, upward inheritance of `Cargo`
+//! (§4.3), behavioral generalization (`like` — §4.1), and schizophrenia
+//! with its resolution policies.
+//!
+//! Run with: `cargo run --example navy`
+
+use objects_and_views::oodb::{sym, ConflictPolicy, System};
+use objects_and_views::query::execute_script;
+use objects_and_views::views::{ViewDef, ViewOptions};
+
+fn main() {
+    let mut sys = System::new();
+    execute_script(
+        &mut sys,
+        r#"
+        database Navy;
+        class Ship type [Name: string, Tonnage: integer];
+        class Tanker inherits Ship type [Cargo: string, Price: float, Discount: integer];
+        class Trawler inherits Ship type [Cargo: string];
+        class Frigate inherits Ship type [Armament: string];
+        class Cruiser inherits Ship type [Armament: string];
+        class For_Sale_Spec type [Price: float, Discount: integer];
+        object #1 in Tanker value [Name: "Erika", Tonnage: 37000, Cargo: "oil",
+                                   Price: 1000000.0, Discount: 15];
+        object #2 in Trawler value [Name: "Nellie", Tonnage: 900, Cargo: "fish"];
+        object #3 in Frigate value [Name: "Surprise", Tonnage: 1200, Armament: "cannon"];
+        object #4 in Cruiser value [Name: "Aurora", Tonnage: 6700, Armament: "guns"];
+        "#,
+    )
+    .expect("navy loads");
+
+    let view = ViewDef::from_script(
+        r#"
+        create view Fleet;
+        import all classes from database Navy;
+        class Merchant_Vessel includes Tanker, Trawler;
+        class Military_Vessel includes Frigate, Cruiser;
+        class Boat includes Merchant_Vessel, Military_Vessel;
+        class On_Sale includes like For_Sale_Spec;
+        attribute Description in class Merchant_Vessel has value
+            self.Name ++ " carrying " ++ self.Cargo;
+        attribute Description in class Military_Vessel has value
+            self.Name ++ " armed with " ++ self.Armament;
+        "#,
+    )
+    .unwrap()
+    .bind(&sys)
+    .unwrap();
+
+    println!("== inferred hierarchy (rules R1/R2, §4.2) ==");
+    for class in ["Merchant_Vessel", "Military_Vessel", "Boat", "On_Sale"] {
+        println!(
+            "{class:18} parents: {:?}",
+            view.parents_of(sym(class)).unwrap()
+        );
+    }
+    println!(
+        "Tanker ⊑ Merchant_Vessel: {}",
+        view.is_subclass_by_name(sym("Tanker"), sym("Merchant_Vessel"))
+            .unwrap()
+    );
+
+    println!("\n== populations ==");
+    for class in ["Merchant_Vessel", "Military_Vessel", "Boat", "On_Sale"] {
+        println!(
+            "{class:18} {}",
+            view.query(&format!("select V.Name from V in {class}"))
+                .unwrap()
+        );
+    }
+
+    println!("\n== upward inheritance (§4.3): Cargo on Merchant_Vessel ==");
+    println!(
+        "cargos: {}",
+        view.query("select V.Cargo from V in Merchant_Vessel")
+            .unwrap()
+    );
+    println!(
+        "Armament on Merchant_Vessel: {:?}",
+        view.query("select V.Armament from V in Merchant_Vessel")
+            .map_err(|e| e.to_string())
+    );
+
+    println!("\n== overloaded virtual attribute Description ==");
+    println!(
+        "{}",
+        view.query("select B.Description from B in Boat").unwrap()
+    );
+
+    // Schizophrenia: Erika is both a Merchant_Vessel and (say) in a virtual
+    // class of heavy ships that also defines Description.
+    let overlapping = ViewDef::from_script(
+        r#"
+        create view Conflicted;
+        import all classes from database Navy;
+        class Merchant_Vessel includes Tanker, Trawler;
+        class Heavy includes (select S from Ship where S.Tonnage > 10000);
+        attribute Description in class Merchant_Vessel has value "merchant";
+        attribute Description in class Heavy has value "heavy";
+        "#,
+    )
+    .unwrap();
+    println!("\n== schizophrenia (§4.3): Erika is merchant AND heavy ==");
+    let strict = overlapping
+        .bind_with(
+            &sys,
+            ViewOptions {
+                policy: ConflictPolicy::Error,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    println!(
+        "strict policy: {}",
+        strict
+            .query(r#"select the S.Description from S in Ship where S.Name = "Erika""#)
+            .map(|v| v.to_string())
+            .unwrap_or_else(|e| format!("rejected: {e}"))
+    );
+    let prioritized = overlapping
+        .bind_with(
+            &sys,
+            ViewOptions {
+                policy: ConflictPolicy::Priority(vec![sym("Heavy")]),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    println!(
+        "priority(Heavy): {}",
+        prioritized
+            .query(r#"select the S.Description from S in Ship where S.Name = "Erika""#)
+            .unwrap()
+    );
+}

@@ -1,0 +1,184 @@
+//! `ovq` — an interactive shell for objects-and-views.
+//!
+//! ```text
+//! cargo run --bin ovq
+//! cargo run --bin ovq -- path/to/script.ovq     # run a script, then prompt
+//! cargo run --bin ovq -- --batch script.ovq     # run a script and exit
+//! ```
+//!
+//! Statements end with `;` and may span lines. Meta commands:
+//!
+//! | command | effect |
+//! |---|---|
+//! | `.help` | this table |
+//! | `.schema` | databases, classes, views in the session |
+//! | `.use NAME` | focus a database or view |
+//! | `.load FILE` | execute a script file |
+//! | `.dump DB` | print a database as DDL |
+//! | `.quit` | exit |
+
+use std::io::{BufRead, Write};
+
+use objects_and_views::oodb::sym;
+use objects_and_views::views::{Outcome, Session};
+
+fn main() {
+    let mut session = Session::new();
+    let mut batch = false;
+    let mut scripts = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--batch" {
+            batch = true;
+        } else {
+            scripts.push(arg);
+        }
+    }
+    for path in &scripts {
+        if let Err(e) = load_file(&mut session, path) {
+            eprintln!("error loading {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if batch {
+        return;
+    }
+
+    println!("ovq — Objects and Views (SIGMOD 1991) shell. `.help` for help.");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("ovq> ");
+        } else {
+            print!("...> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !meta(&mut session, trimmed) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        // Execute once the statement terminator is present.
+        if trimmed.ends_with(';') {
+            run(&mut session, &buffer);
+            buffer.clear();
+        }
+    }
+}
+
+/// Handles a meta command; returns false to exit.
+fn meta(session: &mut Session, cmd: &str) -> bool {
+    let mut parts = cmd.splitn(2, ' ');
+    let head = parts.next().unwrap_or("");
+    let arg = parts.next().unwrap_or("").trim();
+    match head {
+        ".quit" | ".exit" => return false,
+        ".help" => {
+            println!(
+                ".help            this help\n\
+                 .schema          databases, classes and views\n\
+                 .use NAME        focus a database or view\n\
+                 .load FILE       execute a script file\n\
+                 .dump DB         print a database as DDL\n\
+                 .views           print every view definition as DDL\n\
+                 .save [FILE]     serialize the whole session as a script\n\
+                 .explain T Q     parse/type/optimize query Q against T\n\
+                 .quit            exit\n\
+                 \n\
+                 Anything else is a statement (end with `;`):\n\
+                 database D;  class C type [X: integer];  create view V;\n\
+                 import all classes from database D;\n\
+                 class Adult includes (select P from Person where P.Age >= 21);\n\
+                 select A.Name from A in Adult;"
+            );
+        }
+        ".schema" => print!("{}", session.describe()),
+        ".views" => {
+            for name in session.view_names() {
+                if let Some(script) = session.view_script(name) {
+                    print!("{script}");
+                }
+            }
+        }
+        ".use" => match session.focus(sym(arg)) {
+            Ok(Outcome::Notice(n)) => println!("{n}"),
+            Ok(_) => {}
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ".load" => {
+            if let Err(e) = load_file(session, arg) {
+                eprintln!("error: {e}");
+            }
+        }
+        ".explain" => {
+            let mut parts = arg.splitn(2, ' ');
+            let target = parts.next().unwrap_or("");
+            let q = parts.next().unwrap_or("");
+            if target.is_empty() || q.is_empty() {
+                eprintln!("usage: .explain TARGET QUERY");
+            } else {
+                match session.explain(sym(target), q) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+        }
+        ".save" => {
+            if arg.is_empty() {
+                print!("{}", session.save());
+            } else {
+                match std::fs::write(arg, session.save()) {
+                    Ok(()) => println!("-- saved to {arg}"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+        }
+        ".dump" => {
+            match session.system().database(sym(arg)) {
+                Ok(db) => print!("{}", objects_and_views::oodb::dump_database(&db.read())),
+                Err(e) => eprintln!("error: {e}"),
+            };
+        }
+        other => eprintln!("unknown meta command `{other}` (try `.help`)"),
+    }
+    true
+}
+
+fn run(session: &mut Session, src: &str) {
+    match session.execute(src) {
+        Ok(outcomes) => {
+            for o in outcomes {
+                match o {
+                    Outcome::Done => {}
+                    Outcome::Value(v) => println!("{v}"),
+                    Outcome::Notice(n) => println!("-- {n}"),
+                }
+            }
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+fn load_file(session: &mut Session, path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    for o in session.execute(&text)? {
+        match o {
+            Outcome::Done => {}
+            Outcome::Value(v) => println!("{v}"),
+            Outcome::Notice(n) => println!("-- {n}"),
+        }
+    }
+    Ok(())
+}

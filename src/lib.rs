@@ -1,0 +1,23 @@
+//! # objects-and-views — umbrella crate
+//!
+//! A faithful, from-scratch Rust reproduction of **“Objects and Views”**
+//! (Serge Abiteboul & Anthony Bonner, SIGMOD 1991): a view mechanism for
+//! object-oriented databases with virtual attributes, import/hide, virtual
+//! classes (specialization, generalization, behavioral generalization,
+//! parameterized classes), inferred class hierarchies, and imaginary objects
+//! with stable identity.
+//!
+//! This crate re-exports the workspace's public API:
+//!
+//! * [`oodb`] — the O₂-style data model and object store;
+//! * [`query`] — the query/DDL language (parser, type inference, evaluator);
+//! * [`views`] — the paper's view mechanism (the core contribution);
+//! * [`relational`] — a minimal relational engine bridged into views.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the reproduction experiments.
+
+pub use ov_oodb as oodb;
+pub use ov_query as query;
+pub use ov_relational as relational;
+pub use ov_views as views;

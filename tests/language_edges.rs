@@ -1,0 +1,266 @@
+//! Edge-of-the-language tests: corners that real schemas hit but the paper
+//! examples don't exercise.
+
+use objects_and_views::oodb::{sym, System, Value};
+use objects_and_views::query::{execute_script, run_query};
+use objects_and_views::views::ViewDef;
+
+fn sys_with(script: &str) -> System {
+    let mut sys = System::new();
+    execute_script(&mut sys, script).unwrap();
+    sys
+}
+
+#[test]
+fn lists_are_ordered_and_concatenate() {
+    let sys = sys_with(
+        r#"
+        database D;
+        class Playlist type [Tracks: list(string)];
+        object #1 in Playlist value [Tracks: list("a", "b", "a")];
+        name p = #1;
+        "#,
+    );
+    let db = sys.database(sym("D")).unwrap();
+    let db = db.read();
+    // Lists keep duplicates and order.
+    assert_eq!(
+        run_query(&*db, "p.Tracks").unwrap(),
+        Value::list([Value::str("a"), Value::str("b"), Value::str("a")])
+    );
+    assert_eq!(
+        run_query(&*db, r#"p.Tracks ++ list("c")"#).unwrap(),
+        Value::list([
+            Value::str("a"),
+            Value::str("b"),
+            Value::str("a"),
+            Value::str("c")
+        ])
+    );
+    // Selecting from a list yields a set (O₂ select semantics).
+    assert_eq!(
+        run_query(&*db, "select T from T in p.Tracks").unwrap(),
+        Value::set([Value::str("a"), Value::str("b")])
+    );
+    assert_eq!(run_query(&*db, "count(p.Tracks)").unwrap(), Value::Int(3));
+}
+
+#[test]
+fn multi_parameter_classes() {
+    let sys = sys_with(
+        r#"
+        database D;
+        class Person type [Name: string, Age: integer, City: string];
+        object #1 in Person value [Name: "A", Age: 30, City: "London"];
+        object #2 in Person value [Name: "B", Age: 30, City: "Paris"];
+        object #3 in Person value [Name: "C", Age: 40, City: "London"];
+        "#,
+    );
+    let view = ViewDef::from_script(
+        "create view V; import all classes from database D; \
+         class Cohort(A, C) includes \
+            (select P from Person where P.Age = A and P.City = C);",
+    )
+    .unwrap()
+    .bind(&sys)
+    .unwrap();
+    assert_eq!(
+        view.query(r#"count(Cohort(30, "London"))"#).unwrap(),
+        Value::Int(1)
+    );
+    assert_eq!(
+        view.query(r#"count(Cohort(30, "Paris"))"#).unwrap(),
+        Value::Int(1)
+    );
+    assert_eq!(
+        view.query(r#"count(Cohort(40, "Paris"))"#).unwrap(),
+        Value::Int(0)
+    );
+}
+
+#[test]
+fn float_core_attributes_have_stable_identity() {
+    // Identity tables key on tuples containing floats — the total order on
+    // Value must keep them stable.
+    let sys = sys_with(
+        r#"
+        database D;
+        class Reading type [Temp: float];
+        object #1 in Reading value [Temp: 21.5];
+        object #2 in Reading value [Temp: 21.5];
+        object #3 in Reading value [Temp: -0.0];
+        "#,
+    );
+    let view = ViewDef::from_script(
+        "create view V; import all classes from database D; \
+         class TempGroup includes imaginary (select [T: R.Temp] from R in Reading);",
+    )
+    .unwrap()
+    .bind(&sys)
+    .unwrap();
+    // 21.5 appears twice → one group; -0.0 → another.
+    assert_eq!(view.query("count(TempGroup)").unwrap(), Value::Int(2));
+    let a = view.extent_of(sym("TempGroup")).unwrap();
+    let b = view.extent_of(sym("TempGroup")).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn select_distinct_and_the_through_views() {
+    let sys = sys_with(
+        r#"
+        database D;
+        class P type [N: integer];
+        object #1 in P value [N: 1];
+        object #2 in P value [N: 1];
+        object #3 in P value [N: 2];
+        "#,
+    );
+    let db = sys.database(sym("D")).unwrap();
+    let db = db.read();
+    // distinct is redundant over set results but must parse and run.
+    assert_eq!(
+        run_query(&*db, "count((select distinct X.N from X in P))").unwrap(),
+        Value::Int(2)
+    );
+    // `select the` over a one-element filtered set.
+    assert_eq!(
+        run_query(&*db, "select the X.N from X in P where X.N = 2").unwrap(),
+        Value::Int(2)
+    );
+}
+
+#[test]
+fn virtual_class_over_aliased_import() {
+    let sys = sys_with(
+        r#"
+        database Ford;
+        class Person type [Name: string, Age: integer];
+        object #1 in Person value [Name: "Henry", Age: 88];
+        "#,
+    );
+    let view = ViewDef::from_script(
+        r#"
+        create view V;
+        import class Person from database Ford as Ford_Person;
+        class Old_Fordite includes (select P from Ford_Person where P.Age >= 80);
+        "#,
+    )
+    .unwrap()
+    .bind(&sys)
+    .unwrap();
+    assert_eq!(view.query("count(Old_Fordite)").unwrap(), Value::Int(1));
+    assert_eq!(
+        view.parents_of(sym("Old_Fordite")).unwrap(),
+        vec![sym("Ford_Person")]
+    );
+}
+
+#[test]
+fn aliased_subtree_import_keeps_subclass_names() {
+    let sys = sys_with(
+        r#"
+        database D;
+        class Animal type [Name: string];
+        class Dog inherits Animal type [Breed: string];
+        object #1 in Dog value [Name: "Rex", Breed: "Lab"];
+        "#,
+    );
+    let view = ViewDef::from_script("create view V; import class Animal from database D as Beast;")
+        .unwrap()
+        .bind(&sys)
+        .unwrap();
+    // The root is renamed; the subclass keeps its name and its position.
+    assert!(view.is_subclass_by_name(sym("Dog"), sym("Beast")).unwrap());
+    assert_eq!(view.query("count(Beast)").unwrap(), Value::Int(1));
+    assert_eq!(
+        view.query("select D.Breed from D in Dog").unwrap(),
+        Value::set([Value::str("Lab")])
+    );
+}
+
+#[test]
+fn methods_resolve_through_virtual_class_membership() {
+    // A parameterized method defined on a virtual class, called on an
+    // object whose real class knows nothing about it.
+    let sys = sys_with(
+        r#"
+        database D;
+        class Account type [Balance: integer];
+        object #1 in Account value [Balance: 100];
+        name acct = #1;
+        "#,
+    );
+    let view = ViewDef::from_script(
+        r#"
+        create view V;
+        import all classes from database D;
+        class Positive includes (select A from Account where A.Balance > 0);
+        attribute Projected(years: integer) in class Positive
+            has value self.Balance + years * 10;
+        "#,
+    )
+    .unwrap()
+    .bind(&sys)
+    .unwrap();
+    assert_eq!(view.query("acct.Projected(3)").unwrap(), Value::Int(130));
+    // Wrong arity is caught.
+    assert!(view.query("acct.Projected()").is_err());
+}
+
+#[test]
+fn deeply_nested_selects_evaluate() {
+    let sys = sys_with(
+        r#"
+        database D;
+        class P type [N: integer];
+        object #1 in P value [N: 1];
+        object #2 in P value [N: 2];
+        object #3 in P value [N: 3];
+        "#,
+    );
+    let db = sys.database(sym("D")).unwrap();
+    let db = db.read();
+    // Four levels of nesting, correlated through outer variables.
+    let v = run_query(
+        &*db,
+        "select X.N from X in P where \
+           exists(select Y from Y in P where Y.N > X.N and \
+             exists(select Z from Z in P where Z.N > Y.N))",
+    )
+    .unwrap();
+    assert_eq!(v, Value::set([Value::Int(1)]));
+}
+
+#[test]
+fn empty_database_views_are_fine() {
+    let sys = sys_with("database Empty; class Nothing_Here type [X: integer];");
+    let view = ViewDef::from_script(
+        "create view V; import all classes from database Empty; \
+         class Sub includes (select N from Nothing_Here where N.X > 0); \
+         class Im includes imaginary (select [V: N.X] from N in Nothing_Here);",
+    )
+    .unwrap()
+    .bind(&sys)
+    .unwrap();
+    assert_eq!(view.query("count(Sub)").unwrap(), Value::Int(0));
+    assert_eq!(view.query("count(Im)").unwrap(), Value::Int(0));
+    assert_eq!(view.identity_table_len(sym("Im")), 0);
+}
+
+#[test]
+fn unicode_in_strings_and_comparison_operators() {
+    let sys = sys_with(
+        r#"
+        database D;
+        class P type [Name: string, Age: integer];
+        object #1 in P value [Name: "Márgarèt Ⅱ", Age: 66];
+        "#,
+    );
+    let db = sys.database(sym("D")).unwrap();
+    let db = db.read();
+    assert_eq!(
+        run_query(&*db, "select X.Name from X in P where X.Age ≥ 66").unwrap(),
+        Value::set([Value::str("Márgarèt Ⅱ")])
+    );
+}
