@@ -35,10 +35,9 @@ fn bench(c: &mut Criterion) {
             .unwrap()
             .bind_with(
                 &sys,
-                ViewOptions {
-                    materialization: Materialization::AlwaysRecompute,
-                    ..Default::default()
-                },
+                ViewOptions::builder()
+                    .materialization(Materialization::AlwaysRecompute)
+                    .build(),
             )
             .unwrap();
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {

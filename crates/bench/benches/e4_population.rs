@@ -19,17 +19,15 @@ fn bench(c: &mut Criterion) {
         let cached = staff_view(&sys, ViewOptions::default());
         let incremental = staff_view(
             &sys,
-            ViewOptions {
-                materialization: Materialization::Incremental,
-                ..Default::default()
-            },
+            ViewOptions::builder()
+                .materialization(Materialization::Incremental)
+                .build(),
         );
         let recompute = staff_view(
             &sys,
-            ViewOptions {
-                materialization: Materialization::AlwaysRecompute,
-                ..Default::default()
-            },
+            ViewOptions::builder()
+                .materialization(Materialization::AlwaysRecompute)
+                .build(),
         );
         group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
             // Warm the cache, then measure repeated access.

@@ -33,10 +33,9 @@ fn bench(c: &mut Criterion) {
     let priority = def
         .bind_with(
             &sys,
-            ViewOptions {
-                policy: ConflictPolicy::Priority(vec![sym("Senior"), sym("Rich")]),
-                ..Default::default()
-            },
+            ViewOptions::builder()
+                .policy(ConflictPolicy::Priority(vec![sym("Senior"), sym("Rich")]))
+                .build(),
         )
         .unwrap();
 

@@ -19,18 +19,16 @@ fn bench(c: &mut Criterion) {
         let sys = people(n);
         let table = staff_view(
             &sys,
-            ViewOptions {
-                materialization: Materialization::AlwaysRecompute,
-                ..Default::default()
-            },
+            ViewOptions::builder()
+                .materialization(Materialization::AlwaysRecompute)
+                .build(),
         );
         let fresh = staff_view(
             &sys,
-            ViewOptions {
-                materialization: Materialization::AlwaysRecompute,
-                identity_mode: IdentityMode::Fresh,
-                ..Default::default()
-            },
+            ViewOptions::builder()
+                .materialization(Materialization::AlwaysRecompute)
+                .identity_mode(IdentityMode::Fresh)
+                .build(),
         );
         group.bench_with_input(BenchmarkId::new("table_population", n), &n, |b, _| {
             b.iter(|| std::hint::black_box(table.extent_of(sym("Family")).unwrap()))

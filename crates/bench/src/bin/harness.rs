@@ -2,6 +2,10 @@
 //!
 //! Run with: `cargo run --release -p ov-bench --bin harness`
 //!
+//! `--threads N` (default 1) additionally runs the multi-threaded read
+//! experiments in E4 and E5: population scans split across `N` workers,
+//! and `N` concurrent reader threads sharing one view.
+//!
 //! Each section corresponds to an experiment id (E1–E12) in EXPERIMENTS.md,
 //! which maps them back to the paper's sections. Timings are coarse
 //! wall-clock means (use the Criterion benches for statistically careful
@@ -10,16 +14,22 @@
 use ov_bench::*;
 use ov_oodb::{sym, ConflictPolicy, Value};
 use ov_query::eval_attr;
-use ov_views::{IdentityMode, Materialization, ViewDef, ViewOptions};
+use ov_views::{IdentityMode, Materialization, ParallelConfig, Population, ViewDef, ViewOptions};
 
 fn main() {
+    let threads = parse_threads();
     println!("# Objects-and-Views experiment harness");
     println!("# (sections correspond to EXPERIMENTS.md)");
+    if threads > 1 {
+        println!("# --threads {threads}: E4/E5 include multi-threaded runs");
+    }
     e1_virtual_attributes();
     e2_overloading();
     e3_import_hide();
     e4_population();
+    e4_parallel(threads);
     e5_resolution();
+    e5_concurrent(threads);
     e6_inference();
     e7_parameterized();
     e8_upward_and_schizophrenia();
@@ -29,6 +39,20 @@ fn main() {
     e12_relational();
     e13_indexes();
     println!("\nall experiments completed.");
+}
+
+fn parse_threads() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("usage: harness [--threads N]");
+                std::process::exit(2);
+            });
+            return std::cmp::max(n, 1);
+        }
+    }
+    1
 }
 
 fn header(id: &str, title: &str) {
@@ -155,17 +179,15 @@ fn e4_population() {
         let cached = staff_view(&sys, ViewOptions::default());
         let incremental = staff_view(
             &sys,
-            ViewOptions {
-                materialization: Materialization::Incremental,
-                ..Default::default()
-            },
+            ViewOptions::builder()
+                .materialization(Materialization::Incremental)
+                .build(),
         );
         let recompute = staff_view(
             &sys,
-            ViewOptions {
-                materialization: Materialization::AlwaysRecompute,
-                ..Default::default()
-            },
+            ViewOptions::builder()
+                .materialization(Materialization::AlwaysRecompute)
+                .build(),
         );
         cached.extent_of(sym("Adult")).unwrap();
         incremental.extent_of(sym("Adult")).unwrap();
@@ -204,6 +226,72 @@ fn e4_population() {
                 fmt_ns(t_upd_incr),
             ],
         );
+    }
+}
+
+/// E4b — multi-threaded population, enabled by `--threads N` (N > 1): the
+/// population scan split across a worker pool, and N reader threads
+/// sharing one warm cached view.
+fn e4_parallel(threads: usize) {
+    if threads <= 1 {
+        return;
+    }
+    header(
+        "E4b",
+        &format!("population with --threads {threads}: parallel scan + concurrent reads"),
+    );
+    row(
+        "n",
+        &[
+            "recompute x1".into(),
+            format!("recompute x{threads}"),
+            format!("{threads} conc. readers"),
+        ],
+    );
+    for &n in &[10_000usize, 100_000] {
+        let sys = people(n);
+        let seq = staff_view(
+            &sys,
+            ViewOptions::builder()
+                .population(Population::AlwaysRecompute)
+                .build(),
+        );
+        let par = staff_view(
+            &sys,
+            ViewOptions::builder()
+                .population(Population::AlwaysRecompute)
+                .parallel(ParallelConfig::with_threads(threads))
+                .build(),
+        );
+        let t_seq = time_ns(5, || {
+            std::hint::black_box(seq.extent_of(sym("Adult")).unwrap());
+        });
+        let t_par = time_ns(5, || {
+            std::hint::black_box(par.extent_of(sym("Adult")).unwrap());
+        });
+        // N readers hammering one warm cached view; the reported cost is
+        // wall clock divided by total reads, i.e. amortized ns per read.
+        let cached = staff_view(&sys, ViewOptions::default());
+        cached.extent_of(sym("Adult")).unwrap();
+        let reads_per_thread = 20u32;
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..reads_per_thread {
+                        std::hint::black_box(cached.extent_of(sym("Adult")).unwrap());
+                    }
+                });
+            }
+        });
+        let t_conc =
+            t0.elapsed().as_nanos() as f64 / (f64::from(reads_per_thread) * threads as f64);
+        row(
+            &n.to_string(),
+            &[fmt_ns(t_seq), fmt_ns(t_par), fmt_ns(t_conc)],
+        );
+        let st = par.stats();
+        assert!(st.parallel_scans > 0, "parallel path did not trigger");
     }
 }
 
@@ -259,6 +347,60 @@ fn e5_resolution() {
         });
         row(&depth.to_string(), &[fmt_ns(t)]);
     }
+}
+
+/// E5b — attribute resolution under concurrent readers, enabled by
+/// `--threads N` (N > 1): N threads resolve overlap attributes against one
+/// shared view, exercising the sharded population cache under contention.
+fn e5_concurrent(threads: usize) {
+    if threads <= 1 {
+        return;
+    }
+    header(
+        "E5b",
+        &format!("attribute resolution, {threads} concurrent readers (64 objects/op)"),
+    );
+    let sys = people(2_000);
+    let oids = person_oids(&sys, 64);
+    let view = ViewDef::from_script(
+        r#"
+        create view V;
+        import all classes from database Staff;
+        class Rich includes (select P from Person where P.Income >= 100000);
+        class Senior includes (select P from Person where P.Age >= 65);
+        attribute Print in class Rich has value "rich";
+        attribute Print in class Senior has value "senior";
+        "#,
+    )
+    .unwrap()
+    .bind(&sys)
+    .unwrap();
+    let t_one = time_ns(50, || {
+        for &o in &oids {
+            std::hint::black_box(eval_attr(&view, o, sym("Print"), &[]).ok());
+        }
+    });
+    let iters = 50u32;
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                for _ in 0..iters {
+                    for &o in &oids {
+                        std::hint::black_box(eval_attr(&view, o, sym("Print"), &[]).ok());
+                    }
+                }
+            });
+        }
+    });
+    let t_conc = t0.elapsed().as_nanos() as f64 / (f64::from(iters) * threads as f64);
+    row("1 thread", &[fmt_ns(t_one)]);
+    row(&format!("{threads} threads (amortized)"), &[fmt_ns(t_conc)]);
+    let st = view.stats();
+    println!(
+        "stats: cache_hits={} cache_misses={} lock_contention={}",
+        st.cache_hits, st.cache_misses, st.lock_contention
+    );
 }
 
 fn e6_inference() {
@@ -338,10 +480,7 @@ fn e8_upward_and_schizophrenia() {
     let strict = def
         .bind_with(
             &sys,
-            ViewOptions {
-                policy: ConflictPolicy::Error,
-                ..Default::default()
-            },
+            ViewOptions::builder().policy(ConflictPolicy::Error).build(),
         )
         .unwrap();
     let overlap = strict
@@ -365,10 +504,9 @@ fn e8_upward_and_schizophrenia() {
         let pri = def
             .bind_with(
                 &sys,
-                ViewOptions {
-                    policy: ConflictPolicy::Priority(vec![sym("Senior")]),
-                    ..Default::default()
-                },
+                ViewOptions::builder()
+                    .policy(ConflictPolicy::Priority(vec![sym("Senior")]))
+                    .build(),
             )
             .unwrap();
         println!(
@@ -399,18 +537,16 @@ fn e9_identity() {
         let sys = people(n);
         let table = staff_view(
             &sys,
-            ViewOptions {
-                materialization: Materialization::AlwaysRecompute,
-                ..Default::default()
-            },
+            ViewOptions::builder()
+                .materialization(Materialization::AlwaysRecompute)
+                .build(),
         );
         let fresh = staff_view(
             &sys,
-            ViewOptions {
-                materialization: Materialization::AlwaysRecompute,
-                identity_mode: IdentityMode::Fresh,
-                ..Default::default()
-            },
+            ViewOptions::builder()
+                .materialization(Materialization::AlwaysRecompute)
+                .identity_mode(IdentityMode::Fresh)
+                .build(),
         );
         let a = table.query(flat).unwrap();
         let b = table.query(nested).unwrap();
@@ -547,10 +683,9 @@ fn e13_indexes() {
             .unwrap()
             .bind_with(
                 &sys,
-                ViewOptions {
-                    materialization: Materialization::AlwaysRecompute,
-                    ..Default::default()
-                },
+                ViewOptions::builder()
+                    .materialization(Materialization::AlwaysRecompute)
+                    .build(),
             )
             .unwrap();
             size = view.extent_of(sym("Londoner")).unwrap().len();

@@ -56,8 +56,11 @@ pub mod view;
 
 pub use def::{AttrDecl, Hide, Import, ViewDef, ViewElement, VirtualClassDef};
 pub use error::{Result, ViewError};
+pub use ov_query::ParallelConfig;
 pub use session::{Outcome, Session};
-pub use view::{IdentityMode, Materialization, View, ViewOptions, ViewStats};
+pub use view::{
+    IdentityMode, Materialization, Population, View, ViewOptions, ViewOptionsBuilder, ViewStats,
+};
 
 #[cfg(test)]
 mod tests;

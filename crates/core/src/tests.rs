@@ -660,10 +660,7 @@ fn schizophrenia_policies() {
     let strict = def
         .bind_with(
             &sys,
-            ViewOptions {
-                policy: ConflictPolicy::Error,
-                ..Default::default()
-            },
+            ViewOptions::builder().policy(ConflictPolicy::Error).build(),
         )
         .unwrap();
     let err = strict.query("maggy.Print").unwrap_err();
@@ -686,10 +683,9 @@ fn schizophrenia_policies() {
     let senior_first = def
         .bind_with(
             &sys,
-            ViewOptions {
-                policy: ConflictPolicy::Priority(vec![sym("Senior")]),
-                ..Default::default()
-            },
+            ViewOptions::builder()
+                .policy(ConflictPolicy::Priority(vec![sym("Senior")]))
+                .build(),
         )
         .unwrap();
     assert_eq!(
@@ -719,10 +715,7 @@ fn redefining_in_an_overlap_class_resolves_conflict() {
     .unwrap()
     .bind_with(
         &sys,
-        ViewOptions {
-            policy: ConflictPolicy::Error,
-            ..Default::default()
-        },
+        ViewOptions::builder().policy(ConflictPolicy::Error).build(),
     )
     .unwrap();
     // Maggy is in Rich, Senior and Rich&Senior: the overlap class's own
@@ -883,11 +876,10 @@ fn the_two_seemingly_equivalent_queries() {
         .unwrap()
         .bind_with(
             &sys,
-            ViewOptions {
-                identity_mode: IdentityMode::Fresh,
-                materialization: Materialization::AlwaysRecompute,
-                ..Default::default()
-            },
+            ViewOptions::builder()
+                .identity_mode(IdentityMode::Fresh)
+                .materialization(Materialization::AlwaysRecompute)
+                .build(),
         )
         .unwrap();
     let c = fresh.query(nested).unwrap();
@@ -1219,10 +1211,9 @@ fn population_caching_matches_recompute() {
     let recompute = def
         .bind_with(
             &sys,
-            ViewOptions {
-                materialization: Materialization::AlwaysRecompute,
-                ..Default::default()
-            },
+            ViewOptions::builder()
+                .materialization(Materialization::AlwaysRecompute)
+                .build(),
         )
         .unwrap();
     for _ in 0..3 {
@@ -1248,19 +1239,17 @@ fn incremental_materialization_tracks_updates() {
     let incremental = def
         .bind_with(
             &sys,
-            ViewOptions {
-                materialization: Materialization::Incremental,
-                ..Default::default()
-            },
+            ViewOptions::builder()
+                .materialization(Materialization::Incremental)
+                .build(),
         )
         .unwrap();
     let recompute = def
         .bind_with(
             &sys,
-            ViewOptions {
-                materialization: Materialization::AlwaysRecompute,
-                ..Default::default()
-            },
+            ViewOptions::builder()
+                .materialization(Materialization::AlwaysRecompute)
+                .build(),
         )
         .unwrap();
     // Warm the cache.
@@ -1337,10 +1326,9 @@ fn incremental_falls_back_on_journal_gap() {
     .unwrap()
     .bind_with(
         &sys,
-        ViewOptions {
-            materialization: Materialization::Incremental,
-            ..Default::default()
-        },
+        ViewOptions::builder()
+            .materialization(Materialization::Incremental)
+            .build(),
     )
     .unwrap();
     let before = view.extent_of(sym("Adult")).unwrap().len();
@@ -1377,10 +1365,9 @@ fn incremental_with_imaginary_class_recomputes() {
     .unwrap()
     .bind_with(
         &sys,
-        ViewOptions {
-            materialization: Materialization::Incremental,
-            ..Default::default()
-        },
+        ViewOptions::builder()
+            .materialization(Materialization::Incremental)
+            .build(),
     )
     .unwrap();
     let before = view.extent_of(sym("Family")).unwrap();

@@ -16,10 +16,24 @@
 //! recomputation and updates, which is precisely the paper's §5.1 identity
 //! semantics ("we are guaranteed that the same tuple will be assigned the
 //! same oid each time the class C is invoked").
+//!
+//! ## Concurrency
+//!
+//! A bound view is `Send + Sync`: shared state lives behind `RwLock`s (the
+//! population cache is sharded by class id to keep readers from serializing
+//! on one lock), counters are atomics, and the two pieces of *call-stack*
+//! state — the population cycle guard and the privileged-visibility depth —
+//! are thread-local, keyed by a per-view token. Any number of threads may
+//! query one view concurrently; population of large specialization queries
+//! can itself be split across a scoped thread pool (see
+//! [`ov_query::ParallelConfig`]).
 
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 use ov_oodb::ids::IMAGINARY_OID_BASE;
 use ov_oodb::{
@@ -27,13 +41,44 @@ use ov_oodb::{
     OodbError, Schema, SelectExpr, Symbol, System, Tuple, Type, Value,
 };
 use ov_query::{
-    eval_select, infer_select_in, resolve_type, DataSource, IncludeSpec, QueryError, ResolvedAttr,
-    TypeEnv,
+    eval_select, infer_select_in, resolve_type, DataSource, IncludeSpec, ParallelConfig,
+    QueryError, ResolvedAttr, TypeEnv,
 };
 
 use crate::def::{AttrDecl, Hide, Import, ViewDef, ViewElement};
 use crate::error::{Result, ViewError};
 use crate::infer::{conforms_to, infer_position, upward_attrs};
+
+/// Number of shards in the population cache. Sharding by class id lets
+/// concurrent readers populating different classes take different locks.
+const POP_SHARDS: usize = 16;
+
+/// Source of per-view tokens. A monotonically increasing counter (never an
+/// address, which could be reused) keys the thread-local evaluation state.
+static NEXT_VIEW_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// Call-stack state of one thread evaluating against one view.
+#[derive(Default)]
+struct EvalState {
+    /// Classes whose population is being computed on this thread (cycle
+    /// guard: `A includes select … from B`, `B includes select … from A`).
+    populating: HashSet<ClassId>,
+    /// Depth of computed-attribute bodies / population queries currently
+    /// being evaluated. While positive, hidden attributes and classes
+    /// resolve normally: the view's own definitions see through its hides
+    /// (paper Example 5).
+    body_depth: u32,
+}
+
+thread_local! {
+    /// Per-thread evaluation state, keyed by view token. Entries are
+    /// removed as soon as they return to the default state, so the map
+    /// only holds views this thread is *currently* evaluating.
+    static EVAL_STATE: RefCell<HashMap<u64, EvalState>> = RefCell::new(HashMap::new());
+    /// Per-thread stats contributions, keyed by view token (see
+    /// [`View::thread_stats`]).
+    static THREAD_STATS: RefCell<HashMap<u64, ViewStats>> = RefCell::new(HashMap::new());
+}
 
 /// How virtual-class populations are (re)computed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -136,36 +181,46 @@ struct CachedPop {
     oids: Arc<BTreeSet<Oid>>,
 }
 
-/// A bound, queryable view.
+/// A bound, queryable view. `Send + Sync`: any number of threads may read
+/// through it concurrently (see the module docs).
 #[derive(Debug)]
 pub struct View {
+    /// Unique token keying this view's thread-local evaluation state.
+    token: u64,
     name: Symbol,
     /// The view's own schema: copies of imported classes plus virtual
     /// classes. Grows when parameterized classes instantiate, hence the
-    /// `RefCell`.
-    schema: RefCell<Schema>,
-    kinds: RefCell<HashMap<ClassId, ClassKind>>,
-    virt: RefCell<HashMap<ClassId, VirtualInfo>>,
+    /// lock.
+    schema: RwLock<Schema>,
+    kinds: RwLock<HashMap<ClassId, ClassKind>>,
+    virt: RwLock<HashMap<ClassId, VirtualInfo>>,
     sources: Vec<DbHandle>,
     /// Per-source map from source class ids to view class ids.
     import_maps: Vec<HashMap<ClassId, ClassId>>,
     hidden_attrs: Vec<(ClassId, Symbol)>,
     hidden_classes: HashSet<ClassId>,
     templates: HashMap<Symbol, ParamTemplate>,
-    instances: RefCell<HashMap<(Symbol, Vec<Value>), ClassId>>,
-    pop_cache: RefCell<HashMap<ClassId, CachedPop>>,
-    populating: RefCell<HashSet<ClassId>>,
-    identity: RefCell<HashMap<ClassId, HashMap<Tuple, Oid>>>,
-    imaginary: RefCell<HashMap<Oid, ImaginaryObject>>,
-    next_imaginary: Cell<u64>,
+    instances: RwLock<HashMap<(Symbol, Vec<Value>), ClassId>>,
+    /// Population cache, sharded by class id (see [`POP_SHARDS`]).
+    pop_cache: [RwLock<HashMap<ClassId, CachedPop>>; POP_SHARDS],
+    identity: RwLock<HashMap<ClassId, HashMap<Tuple, Oid>>>,
+    imaginary: RwLock<HashMap<Oid, ImaginaryObject>>,
+    next_imaginary: AtomicU64,
     policy: ConflictPolicy,
     materialization: Materialization,
     identity_mode: IdentityMode,
-    /// Depth of computed-attribute bodies currently being evaluated. While
-    /// positive, hidden attributes resolve normally: the view's own
-    /// definitions see through its hides (paper Example 5).
-    body_depth: Cell<u32>,
-    stats: Cell<ViewStats>,
+    parallel: ParallelConfig,
+    stats: StatCells,
+}
+
+impl Drop for View {
+    fn drop(&mut self) {
+        // Clean this thread's TLS entries; other threads' thread-stats
+        // entries die with their threads. `try_with` because a View may be
+        // dropped during thread teardown, after the TLS maps are gone.
+        let _ = EVAL_STATE.try_with(|m| m.borrow_mut().remove(&self.token));
+        let _ = THREAD_STATS.try_with(|m| m.borrow_mut().remove(&self.token));
+    }
 }
 
 impl ViewDef {
@@ -178,26 +233,26 @@ impl ViewDef {
     /// Binds with explicit options.
     pub fn bind_with(&self, system: &System, options: ViewOptions) -> Result<View> {
         let mut view = View {
+            token: NEXT_VIEW_TOKEN.fetch_add(1, Ordering::Relaxed),
             name: self.name,
-            schema: RefCell::new(Schema::new()),
-            kinds: RefCell::new(HashMap::new()),
-            virt: RefCell::new(HashMap::new()),
+            schema: RwLock::new(Schema::new()),
+            kinds: RwLock::new(HashMap::new()),
+            virt: RwLock::new(HashMap::new()),
             sources: Vec::new(),
             import_maps: Vec::new(),
             hidden_attrs: Vec::new(),
             hidden_classes: HashSet::new(),
             templates: HashMap::new(),
-            instances: RefCell::new(HashMap::new()),
-            pop_cache: RefCell::new(HashMap::new()),
-            populating: RefCell::new(HashSet::new()),
-            identity: RefCell::new(HashMap::new()),
-            imaginary: RefCell::new(HashMap::new()),
-            next_imaginary: Cell::new(IMAGINARY_OID_BASE),
+            instances: RwLock::new(HashMap::new()),
+            pop_cache: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            identity: RwLock::new(HashMap::new()),
+            imaginary: RwLock::new(HashMap::new()),
+            next_imaginary: AtomicU64::new(IMAGINARY_OID_BASE),
             policy: options.policy,
             materialization: options.materialization,
             identity_mode: options.identity_mode,
-            body_depth: Cell::new(0),
-            stats: Cell::new(ViewStats::default()),
+            parallel: options.parallel,
+            stats: StatCells::default(),
         };
         for import in &self.imports {
             view.do_import(system, import)?;
@@ -233,16 +288,83 @@ impl ViewDef {
 pub struct ViewStats {
     /// Population served from the version-keyed cache.
     pub cache_hits: u64,
+    /// Population requests the cache could not serve (cold, stale, or
+    /// schema-invalidated). Each miss proceeds to a delta update or a full
+    /// recomputation.
+    pub cache_misses: u64,
     /// Population recomputed from scratch.
     pub recomputations: u64,
     /// Population delta-updated from change journals.
     pub incremental_updates: u64,
     /// Population queries answered from a secondary index.
     pub index_pushdowns: u64,
+    /// Cache write-lock acquisitions that had to wait for another thread.
+    pub lock_contention: u64,
+    /// Population scans that were split across worker threads.
+    pub parallel_scans: u64,
 }
 
-/// Tunable view behaviors.
+/// One counter of [`ViewStats`], bumped through [`StatCells`].
+#[derive(Clone, Copy)]
+enum Stat {
+    CacheHit,
+    CacheMiss,
+    Recomputation,
+    IncrementalUpdate,
+    IndexPushdown,
+    LockContention,
+    ParallelScan,
+}
+
+/// Atomic storage behind [`ViewStats`]. Relaxed ordering: the counters are
+/// monotonic observability data, never synchronization.
+#[derive(Debug, Default)]
+struct StatCells {
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    recomputations: AtomicU64,
+    incremental_updates: AtomicU64,
+    index_pushdowns: AtomicU64,
+    lock_contention: AtomicU64,
+    parallel_scans: AtomicU64,
+}
+
+impl StatCells {
+    fn bump(&self, stat: Stat) {
+        let cell = match stat {
+            Stat::CacheHit => &self.cache_hits,
+            Stat::CacheMiss => &self.cache_misses,
+            Stat::Recomputation => &self.recomputations,
+            Stat::IncrementalUpdate => &self.incremental_updates,
+            Stat::IndexPushdown => &self.index_pushdowns,
+            Stat::LockContention => &self.lock_contention,
+            Stat::ParallelScan => &self.parallel_scans,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ViewStats {
+        ViewStats {
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            recomputations: self.recomputations.load(Ordering::Relaxed),
+            incremental_updates: self.incremental_updates.load(Ordering::Relaxed),
+            index_pushdowns: self.index_pushdowns.load(Ordering::Relaxed),
+            lock_contention: self.lock_contention.load(Ordering::Relaxed),
+            parallel_scans: self.parallel_scans.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The paper's name for the population caching policy, used by the
+/// [`ViewOptions`] builder (`.population(Population::Incremental)`).
+pub use Materialization as Population;
+
+/// Tunable view behaviors. Construct with [`ViewOptions::builder`] — the
+/// struct is `#[non_exhaustive]`, so it cannot be built literally outside
+/// this crate and new knobs can be added compatibly.
 #[derive(Clone, Debug, Default)]
+#[non_exhaustive]
 pub struct ViewOptions {
     /// Method-resolution conflict policy (schizophrenia handling, §4.3).
     pub policy: ConflictPolicy,
@@ -250,6 +372,61 @@ pub struct ViewOptions {
     pub materialization: Materialization,
     /// Imaginary identity semantics (§5.1).
     pub identity_mode: IdentityMode,
+    /// Parallel population-scan configuration (default: sequential).
+    pub parallel: ParallelConfig,
+}
+
+impl ViewOptions {
+    /// A builder starting from the default options.
+    pub fn builder() -> ViewOptionsBuilder {
+        ViewOptionsBuilder {
+            opts: ViewOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`ViewOptions`].
+#[derive(Clone, Debug)]
+pub struct ViewOptionsBuilder {
+    opts: ViewOptions,
+}
+
+impl ViewOptionsBuilder {
+    /// Sets the method-resolution conflict policy (§4.3).
+    pub fn policy(mut self, policy: ConflictPolicy) -> Self {
+        self.opts.policy = policy;
+        self
+    }
+
+    /// Sets the population caching policy, under its paper name.
+    pub fn population(mut self, population: Population) -> Self {
+        self.opts.materialization = population;
+        self
+    }
+
+    /// Sets the population caching policy ([`population`][Self::population]
+    /// under its implementation name).
+    pub fn materialization(mut self, materialization: Materialization) -> Self {
+        self.opts.materialization = materialization;
+        self
+    }
+
+    /// Sets the imaginary identity semantics (§5.1).
+    pub fn identity_mode(mut self, mode: IdentityMode) -> Self {
+        self.opts.identity_mode = mode;
+        self
+    }
+
+    /// Sets the parallel population-scan configuration.
+    pub fn parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.opts.parallel = parallel;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> ViewOptions {
+        self.opts
+    }
 }
 
 impl View {
@@ -258,20 +435,107 @@ impl View {
         self.name
     }
 
-    /// A snapshot of the population-machinery counters.
+    /// A snapshot of the population-machinery counters, aggregated across
+    /// all threads.
     pub fn stats(&self) -> ViewStats {
-        self.stats.get()
+        self.stats.snapshot()
     }
 
-    fn bump_stat(&self, f: impl FnOnce(&mut ViewStats)) {
-        let mut s = self.stats.get();
-        f(&mut s);
-        self.stats.set(s);
+    /// The calling thread's contribution to [`Self::stats`] — how many
+    /// cache hits/misses, recomputations, etc. *this* thread caused. Useful
+    /// for attributing contention in multi-threaded read workloads.
+    pub fn thread_stats(&self) -> ViewStats {
+        THREAD_STATS.with(|m| m.borrow().get(&self.token).copied().unwrap_or_default())
+    }
+
+    fn bump_stat(&self, stat: Stat) {
+        self.stats.bump(stat);
+        THREAD_STATS.with(|m| {
+            let mut map = m.borrow_mut();
+            let s = map.entry(self.token).or_default();
+            match stat {
+                Stat::CacheHit => s.cache_hits += 1,
+                Stat::CacheMiss => s.cache_misses += 1,
+                Stat::Recomputation => s.recomputations += 1,
+                Stat::IncrementalUpdate => s.incremental_updates += 1,
+                Stat::IndexPushdown => s.index_pushdowns += 1,
+                Stat::LockContention => s.lock_contention += 1,
+                Stat::ParallelScan => s.parallel_scans += 1,
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Thread-local evaluation state (cycle guard + privileged depth)
+    // ------------------------------------------------------------------
+
+    /// Runs `f` on this thread's evaluation state for this view. `f` must
+    /// not re-enter view code (it holds the thread-local map's borrow).
+    fn with_eval<R>(&self, f: impl FnOnce(&mut EvalState) -> R) -> R {
+        EVAL_STATE.with(|m| {
+            let mut map = m.borrow_mut();
+            let state = map.entry(self.token).or_default();
+            let r = f(state);
+            if state.populating.is_empty() && state.body_depth == 0 {
+                map.remove(&self.token);
+            }
+            r
+        })
+    }
+
+    /// This thread's privileged-visibility depth.
+    fn body_depth(&self) -> u32 {
+        self.with_eval(|s| s.body_depth)
+    }
+
+    /// Installs evaluation state on a worker thread so population scans
+    /// inherit the coordinator's cycle guard and privileged visibility.
+    fn adopt_eval_state(&self, populating: &HashSet<ClassId>, body_depth: u32) {
+        EVAL_STATE.with(|m| {
+            m.borrow_mut().insert(
+                self.token,
+                EvalState {
+                    populating: populating.clone(),
+                    body_depth,
+                },
+            );
+        });
+    }
+
+    /// Clears a worker thread's evaluation state (counterpart of
+    /// [`Self::adopt_eval_state`]).
+    fn clear_eval_state(&self) {
+        EVAL_STATE.with(|m| {
+            m.borrow_mut().remove(&self.token);
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded population cache
+    // ------------------------------------------------------------------
+
+    fn pop_shard(&self, c: ClassId) -> &RwLock<HashMap<ClassId, CachedPop>> {
+        &self.pop_cache[c.0 as usize % POP_SHARDS]
+    }
+
+    /// Write access to `c`'s cache shard, counting contended acquisitions.
+    fn pop_shard_write(
+        &self,
+        c: ClassId,
+    ) -> parking_lot::RwLockWriteGuard<'_, HashMap<ClassId, CachedPop>> {
+        let shard = self.pop_shard(c);
+        match shard.try_write() {
+            Some(guard) => guard,
+            None => {
+                self.bump_stat(Stat::LockContention);
+                shard.write()
+            }
+        }
     }
 
     /// All class names visible in the view, sorted.
     pub fn class_names(&self) -> Vec<Symbol> {
-        let schema = self.schema.borrow();
+        let schema = self.schema.read();
         let mut out: Vec<Symbol> = schema
             .classes()
             .filter(|c| !self.is_hidden_class(c.id))
@@ -284,7 +548,7 @@ impl View {
     /// Direct superclasses of a (visible) class, by name — exposes the
     /// inferred hierarchy for inspection and tests.
     pub fn parents_of(&self, name: Symbol) -> Result<Vec<Symbol>> {
-        let schema = self.schema.borrow();
+        let schema = self.schema.read();
         let c = schema.require_class(name)?;
         Ok(schema
             .class(c)
@@ -297,7 +561,7 @@ impl View {
     /// Is `sub` (transitively) a subclass of `sup` in the view's inferred
     /// hierarchy?
     pub fn is_subclass_by_name(&self, sub: Symbol, sup: Symbol) -> Result<bool> {
-        let schema = self.schema.borrow();
+        let schema = self.schema.read();
         let s = schema.require_class(sub)?;
         let p = schema.require_class(sup)?;
         Ok(schema.is_subclass(s, p))
@@ -362,7 +626,7 @@ impl View {
                 .iter()
                 .filter_map(|p| map.get(p).copied())
                 .collect();
-            let mut schema = self.schema.borrow_mut();
+            let mut schema = self.schema.write();
             let id = schema
                 .add_class(view_name, &parents, Vec::new())
                 .map_err(|e| match e {
@@ -374,7 +638,7 @@ impl View {
                 })?;
             drop(schema);
             map.insert(*src_class, id);
-            self.kinds.borrow_mut().insert(
+            self.kinds.write().insert(
                 id,
                 ClassKind::Imported {
                     source: source_idx,
@@ -395,7 +659,7 @@ impl View {
                     defs.push(self.remap_attr(def.clone(), &map));
                 }
             }
-            let mut schema = self.schema.borrow_mut();
+            let mut schema = self.schema.write();
             for def in defs {
                 schema.add_attr(view_id, def)?;
             }
@@ -419,7 +683,7 @@ impl View {
     }
 
     fn add_hide(&mut self, hide: &Hide) -> Result<()> {
-        let schema = self.schema.borrow();
+        let schema = self.schema.read();
         match hide {
             Hide::Attrs { attrs, class } => {
                 let c = schema.require_class(*class)?;
@@ -449,7 +713,7 @@ impl View {
     /// `hide attribute A in class C` hides the definitions of `A` "in class
     /// C **and all its subclasses**" (§3).
     fn is_hidden_attr(&self, def_in: ClassId, attr: Symbol, schema: &Schema) -> bool {
-        if self.body_depth.get() > 0 {
+        if self.body_depth() > 0 {
             // Privileged: the view's own computed-attribute bodies see
             // everything (Example 5 hides City/Street *after* defining the
             // Address attribute over them).
@@ -465,12 +729,12 @@ impl View {
     }
 
     fn lookup_class(&self, name: Symbol) -> Option<ClassId> {
-        let schema = self.schema.borrow();
+        let schema = self.schema.read();
         let c = schema.class_by_name(name)?;
         // View-internal definitions (attribute bodies, population queries)
         // may reference hidden classes — the relational bridge hides its
         // staging classes while its imaginary populations select from them.
-        if self.is_hidden_class(c) && self.body_depth.get() == 0 {
+        if self.is_hidden_class(c) && self.body_depth() == 0 {
             None
         } else {
             Some(c)
@@ -482,14 +746,14 @@ impl View {
             .lookup_class(decl.class)
             .ok_or(OodbError::UnknownClass(decl.class))?;
         let param_tys: Vec<(Symbol, Type)> = {
-            let schema = self.schema.borrow();
+            let schema = self.schema.read();
             decl.params
                 .iter()
                 .map(|(p, t)| Ok((*p, resolve_type(t, &schema).map_err(ViewError::from)?)))
                 .collect::<Result<_>>()?
         };
         let declared = {
-            let schema = self.schema.borrow();
+            let schema = self.schema.read();
             decl.ty
                 .as_ref()
                 .map(|t| resolve_type(t, &schema).map_err(ViewError::from))
@@ -502,7 +766,7 @@ impl View {
                 // `attribute Address in class Employee;`). A *new* stored
                 // attribute cannot be declared in a view — a view "has no
                 // proper data of its own" (§3).
-                let schema = self.schema.borrow();
+                let schema = self.schema.read();
                 let exists_stored = schema
                     .visible_attrs(class_id)
                     .get(&decl.name)
@@ -532,7 +796,7 @@ impl View {
                 };
                 // Bodies evaluate per attribute access: optimize once here.
                 let def = AttrDef::method(decl.name, param_tys, ty, ov_query::optimize_expr(body));
-                self.schema.borrow_mut().add_attr(class_id, def)?;
+                self.schema.write().add_attr(class_id, def)?;
                 Ok(())
             }
         }
@@ -562,13 +826,13 @@ impl View {
                 IncludeSpec::Class(n) => {
                     let c = self.lookup_class(*n).ok_or(OodbError::UnknownClass(*n))?;
                     wholly.push(c);
-                    units.push(crate::infer::unit_of(&self.schema.borrow(), &[c]));
+                    units.push(crate::infer::unit_of(&self.schema.read(), &[c]));
                     bound.push(BoundInclude::Class(c));
                     plans.push(IncPlan::Class(c));
                 }
                 IncludeSpec::Like(n) => {
                     let spec = self.lookup_class(*n).ok_or(OodbError::UnknownClass(*n))?;
-                    let schema = self.schema.borrow();
+                    let schema = self.schema.read();
                     for class in schema.classes() {
                         if !self.is_hidden_class(class.id) && conforms_to(&schema, class.id, spec) {
                             wholly.push(class.id);
@@ -605,7 +869,7 @@ impl View {
                     // conjuncts `X in C` / `X isa C` on the projected
                     // variable are additional guaranteed superclasses.
                     constraints.extend(self.membership_conjunct_sources(q));
-                    units.push(crate::infer::unit_of(&self.schema.borrow(), &constraints));
+                    units.push(crate::infer::unit_of(&self.schema.read(), &constraints));
                     let optimized = ov_query::optimize_select(q);
                     plans.push(self.incremental_plan(&optimized));
                     // Population queries run on every (re)computation:
@@ -649,7 +913,7 @@ impl View {
                 .flat_map(|u| {
                     // The minimal classes of each unit are the classes the
                     // contributor actually is (not their superclasses).
-                    let schema = self.schema.borrow();
+                    let schema = self.schema.read();
                     let u2 = u.clone();
                     u.iter()
                         .copied()
@@ -665,7 +929,7 @@ impl View {
         // and every subclass of C. Expanded here (read borrow) because the
         // upward-inheritance closure below runs under the mutable borrow.
         let hidden_expanded: HashSet<(ClassId, Symbol)> = {
-            let schema = self.schema.borrow();
+            let schema = self.schema.read();
             self.hidden_attrs
                 .iter()
                 .flat_map(|&(hc, a)| {
@@ -677,7 +941,7 @@ impl View {
         };
         // Position by R1/R2 and create the class.
         let class_id = {
-            let mut schema = self.schema.borrow_mut();
+            let mut schema = self.schema.write();
             let pos = infer_position(&schema, &units, &wholly);
             // Imaginary classes: core attributes become the class's stored
             // shape ("we call Husband and Wife the *core attributes*", §5).
@@ -706,7 +970,7 @@ impl View {
             }
             id
         };
-        self.kinds.borrow_mut().insert(
+        self.kinds.write().insert(
             class_id,
             match imaginary_core {
                 Some(core) => ClassKind::Imaginary {
@@ -715,7 +979,7 @@ impl View {
                 None => ClassKind::Virtual,
             },
         );
-        self.virt.borrow_mut().insert(
+        self.virt.write().insert(
             class_id,
             VirtualInfo {
                 includes: bound,
@@ -805,55 +1069,70 @@ impl View {
     }
 
     /// The population of a virtual/imaginary class, cached.
+    ///
+    /// Concurrency: two threads may find the cache cold and compute the
+    /// same population simultaneously. That is benign — both compute the
+    /// same set (the computation only reads source data at the cached
+    /// versions) and cache insertion is last-writer-wins with equal values.
+    /// We deliberately do NOT hold the shard lock across the computation:
+    /// population is re-entrant (computing A may populate B), and blocking
+    /// readers of other classes in the same shard for the whole computation
+    /// would serialize the read path this refactor exists to parallelize.
     fn population(&self, c: ClassId) -> ov_query::Result<Arc<BTreeSet<Oid>>> {
-        if self.populating.borrow().contains(&c) {
-            let name = self.schema.borrow().class(c).name;
+        if self.with_eval(|s| s.populating.contains(&c)) {
+            let name = self.schema.read().class(c).name;
             return Err(ViewError::CyclicVirtualClass(name).into());
         }
         let versions = self.source_versions();
-        let schema_len = self.schema.borrow().len();
+        let schema_len = self.schema.read().len();
         if self.materialization != Materialization::AlwaysRecompute {
-            if let Some(cached) = self.pop_cache.borrow().get(&c) {
+            if let Some(cached) = self.pop_shard(c).read().get(&c) {
                 if cached.versions == versions && cached.schema_len == schema_len {
-                    self.bump_stat(|s| s.cache_hits += 1);
+                    self.bump_stat(Stat::CacheHit);
                     return Ok(cached.oids.clone());
                 }
             }
+            self.bump_stat(Stat::CacheMiss);
         }
         if self.materialization == Materialization::Incremental {
             if let Some(updated) = self.try_incremental(c, &versions, schema_len)? {
-                self.bump_stat(|s| s.incremental_updates += 1);
+                self.bump_stat(Stat::IncrementalUpdate);
                 let oids = Arc::new(updated);
-                self.pop_cache.borrow_mut().insert(
-                    c,
-                    CachedPop {
-                        versions,
-                        schema_len,
-                        oids: oids.clone(),
-                    },
-                );
+                self.store_pop(c, versions, schema_len, oids.clone());
                 return Ok(oids);
             }
         }
-        self.populating.borrow_mut().insert(c);
-        self.bump_stat(|s| s.recomputations += 1);
+        self.with_eval(|s| s.populating.insert(c));
+        self.bump_stat(Stat::Recomputation);
         // Population queries are view-internal definitions: like attribute
         // bodies, they see through the view's hides (paper Example 5 hides
         // the very attributes its imaginary Address class selects).
-        self.body_depth.set(self.body_depth.get() + 1);
+        self.with_eval(|s| s.body_depth += 1);
         let result = self.compute_population(c);
-        self.body_depth.set(self.body_depth.get() - 1);
-        self.populating.borrow_mut().remove(&c);
+        self.with_eval(|s| {
+            s.body_depth -= 1;
+            s.populating.remove(&c);
+        });
         let oids = Arc::new(result?);
-        self.pop_cache.borrow_mut().insert(
+        self.store_pop(c, versions, schema_len, oids.clone());
+        Ok(oids)
+    }
+
+    fn store_pop(
+        &self,
+        c: ClassId,
+        versions: Vec<u64>,
+        schema_len: usize,
+        oids: Arc<BTreeSet<Oid>>,
+    ) {
+        self.pop_shard_write(c).insert(
             c,
             CachedPop {
                 versions,
                 schema_len,
-                oids: oids.clone(),
+                oids,
             },
         );
-        Ok(oids)
     }
 
     /// Attempts a delta update of `c`'s cached population. Returns
@@ -865,7 +1144,7 @@ impl View {
         versions: &[u64],
         schema_len: usize,
     ) -> ov_query::Result<Option<BTreeSet<Oid>>> {
-        let cached = match self.pop_cache.borrow().get(&c) {
+        let cached = match self.pop_shard(c).read().get(&c) {
             Some(entry) => entry.clone(),
             None => return Ok(None),
         };
@@ -874,7 +1153,7 @@ impl View {
         }
         let info = self
             .virt
-            .borrow()
+            .read()
             .get(&c)
             .cloned()
             .expect("population requested for non-virtual class");
@@ -896,8 +1175,10 @@ impl View {
         }
         // Re-test membership only for the changed oids, with the same
         // privileged visibility and cycle guards as a full computation.
-        self.populating.borrow_mut().insert(c);
-        self.body_depth.set(self.body_depth.get() + 1);
+        self.with_eval(|s| {
+            s.populating.insert(c);
+            s.body_depth += 1;
+        });
         let result = (|| -> ov_query::Result<BTreeSet<Oid>> {
             let mut set = (*cached.oids).clone();
             for oid in changed {
@@ -909,8 +1190,10 @@ impl View {
             }
             Ok(set)
         })();
-        self.body_depth.set(self.body_depth.get() - 1);
-        self.populating.borrow_mut().remove(&c);
+        self.with_eval(|s| {
+            s.body_depth -= 1;
+            s.populating.remove(&c);
+        });
         result.map(Some)
     }
 
@@ -948,10 +1231,67 @@ impl View {
         Ok(false)
     }
 
+    /// Filters `extent` by `filter` (with `var` bound to each object) on a
+    /// scoped worker pool. Workers inherit the calling thread's evaluation
+    /// state — the in-progress population set (cycle guard) and the
+    /// privileged-visibility depth — so the filter sees exactly what a
+    /// sequential scan would see. The first error (in chunk order) wins.
+    fn parallel_filter(
+        &self,
+        extent: &[Oid],
+        var: Symbol,
+        filter: Option<&Expr>,
+    ) -> ov_query::Result<BTreeSet<Oid>> {
+        let (populating, depth) = self.with_eval(|s| (s.populating.clone(), s.body_depth));
+        let workers = self.parallel.workers_for(extent.len());
+        let chunk_len = extent.len().div_ceil(workers);
+        let results: Vec<ov_query::Result<BTreeSet<Oid>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = extent
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    let populating = &populating;
+                    scope.spawn(move || {
+                        self.adopt_eval_state(populating, depth);
+                        let scan = || -> ov_query::Result<BTreeSet<Oid>> {
+                            let ev = ov_query::Evaluator::new(self);
+                            let mut keep = BTreeSet::new();
+                            for &oid in chunk {
+                                let ok = match filter {
+                                    None => true,
+                                    Some(f) => {
+                                        let mut env = ov_query::Env::new();
+                                        env.bind(var, Value::Oid(oid));
+                                        ov_query::truthy(&ev.eval(f, &mut env)?)
+                                    }
+                                };
+                                if ok {
+                                    keep.insert(oid);
+                                }
+                            }
+                            Ok(keep)
+                        };
+                        let r = scan();
+                        self.clear_eval_state();
+                        r
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        let mut out = BTreeSet::new();
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+
     fn compute_population(&self, c: ClassId) -> ov_query::Result<BTreeSet<Oid>> {
         let info = self
             .virt
-            .borrow()
+            .read()
             .get(&c)
             .cloned()
             .expect("population requested for non-virtual class");
@@ -967,7 +1307,7 @@ impl View {
                     // answered from the index instead of scanning the
                     // extent.
                     if let Some(candidates) = self.index_candidates(q) {
-                        self.bump_stat(|s| s.index_pushdowns += 1);
+                        self.bump_stat(Stat::IndexPushdown);
                         let var = q.bindings[0].0;
                         for oid in candidates {
                             let mut env = ov_query::Env::new();
@@ -984,6 +1324,26 @@ impl View {
                         }
                         continue;
                     }
+                    // Parallel scan: a specialization query over a plain
+                    // class extent splits across worker threads when the
+                    // extent is large enough. Guarded on the binding name
+                    // not shadowing a named object, so the collection is
+                    // genuinely the class extent the sequential evaluator
+                    // would resolve to.
+                    if let IncPlan::Filter { class, var, filter } = self.incremental_plan(q) {
+                        let Expr::Name(coll_name) = &q.bindings[0].1 else {
+                            unreachable!("IncPlan::Filter implies a Name collection")
+                        };
+                        if !q.the && ov_query::DataSource::named_object(self, *coll_name).is_none()
+                        {
+                            let extent = DataSource::extent(self, class)?;
+                            if self.parallel.should_split(extent.len()) {
+                                self.bump_stat(Stat::ParallelScan);
+                                out.extend(self.parallel_filter(&extent, var, filter.as_ref())?);
+                                continue;
+                            }
+                        }
+                    }
                     let v = eval_select(self, q)?;
                     let Value::Set(items) = v else {
                         unreachable!("select returns a set")
@@ -995,7 +1355,7 @@ impl View {
                             }
                             Value::Null => {}
                             other => {
-                                let name = self.schema.borrow().class(c).name;
+                                let name = self.schema.read().class(c).name;
                                 return Err(ViewError::NonObjectPopulation {
                                     class: name,
                                     found: other.kind().to_string(),
@@ -1008,9 +1368,9 @@ impl View {
                 BoundInclude::Like { spec } => {
                     // Re-scan: classes defined after this one are admitted
                     // automatically.
+                    let populating = self.with_eval(|s| s.populating.clone());
                     let matches: Vec<ClassId> = {
-                        let schema = self.schema.borrow();
-                        let populating = self.populating.borrow();
+                        let schema = self.schema.read();
                         schema
                             .classes()
                             .filter(|cl| {
@@ -1037,7 +1397,7 @@ impl View {
                                 out.insert(self.imaginary_oid(c, t));
                             }
                             other => {
-                                let name = self.schema.borrow().class(c).name;
+                                let name = self.schema.read().class(c).name;
                                 return Err(ViewError::NonTuplePopulation {
                                     class: name,
                                     found: other.kind().to_string(),
@@ -1064,7 +1424,7 @@ impl View {
             return None;
         }
         let class = self.lookup_class(*class_name)?;
-        let ClassKind::Imported { source, orig } = self.kinds.borrow().get(&class).cloned()? else {
+        let ClassKind::Imported { source, orig } = self.kinds.read().get(&class).cloned()? else {
             return None;
         };
         // Find an equality conjunct `var.A = lit` (either orientation).
@@ -1081,34 +1441,33 @@ impl View {
     /// different oid when used in a different class.)"
     fn imaginary_oid(&self, class: ClassId, core: Tuple) -> Oid {
         if self.identity_mode == IdentityMode::Table {
-            if let Some(&oid) = self
-                .identity
-                .borrow()
-                .get(&class)
-                .and_then(|t| t.get(&core))
-            {
+            // Check-and-assign under one write lock: two threads mapping
+            // the same tuple concurrently must agree on its oid.
+            let mut identity = self.identity.write();
+            let table = identity.entry(class).or_default();
+            if let Some(&oid) = table.get(&core) {
                 return oid;
             }
+            let oid = Oid(self.next_imaginary.fetch_add(1, Ordering::Relaxed));
+            table.insert(core.clone(), oid);
+            drop(identity);
+            self.imaginary
+                .write()
+                .insert(oid, ImaginaryObject { class, core });
+            oid
+        } else {
+            let oid = Oid(self.next_imaginary.fetch_add(1, Ordering::Relaxed));
+            self.imaginary
+                .write()
+                .insert(oid, ImaginaryObject { class, core });
+            oid
         }
-        let oid = Oid(self.next_imaginary.get());
-        self.next_imaginary.set(oid.0 + 1);
-        if self.identity_mode == IdentityMode::Table {
-            self.identity
-                .borrow_mut()
-                .entry(class)
-                .or_default()
-                .insert(core.clone(), oid);
-        }
-        self.imaginary
-            .borrow_mut()
-            .insert(oid, ImaginaryObject { class, core });
-        oid
     }
 
     /// The core attribute names of a named imaginary class (§5), sorted.
     pub fn core_attrs(&self, name: Symbol) -> Option<Vec<Symbol>> {
         let c = self.lookup_class(name)?;
-        match self.kinds.borrow().get(&c) {
+        match self.kinds.read().get(&c) {
             Some(ClassKind::Imaginary { core }) => Some(core.clone()),
             _ => None,
         }
@@ -1132,7 +1491,7 @@ impl View {
             .ok_or(OodbError::UnknownClass(name))?;
         // Force a fresh population so the live-oid set is current.
         let live = self.population(class).map_err(ViewError::from)?;
-        let mut identity = self.identity.borrow_mut();
+        let mut identity = self.identity.write();
         let Some(table) = identity.get_mut(&class) else {
             return Ok(0);
         };
@@ -1143,7 +1502,7 @@ impl View {
             .filter(|o| !live.contains(o))
             .collect();
         table.retain(|_, oid| live.contains(oid));
-        let mut imaginary = self.imaginary.borrow_mut();
+        let mut imaginary = self.imaginary.write();
         for o in &dead {
             imaginary.remove(o);
         }
@@ -1156,7 +1515,7 @@ impl View {
         let Some(c) = self.lookup_class(name) else {
             return 0;
         };
-        self.identity.borrow().get(&c).map_or(0, |t| t.len())
+        self.identity.read().get(&c).map_or(0, |t| t.len())
     }
 
     // ------------------------------------------------------------------
@@ -1167,7 +1526,7 @@ impl View {
     /// real class mapped through the imports. Errors if the class was not
     /// imported.
     fn view_class_of(&self, oid: Oid) -> ov_query::Result<ClassId> {
-        if let Some(im) = self.imaginary.borrow().get(&oid) {
+        if let Some(im) = self.imaginary.read().get(&oid) {
             return Ok(im.class);
         }
         for (idx, handle) in self.sources.iter().enumerate() {
@@ -1191,9 +1550,9 @@ impl View {
         relevant_to: Option<Symbol>,
     ) -> ov_query::Result<Vec<ClassId>> {
         let base = self.view_class_of(oid)?;
-        let mut roots: Vec<ClassId> = if self.is_hidden_class(base) && self.body_depth.get() == 0 {
+        let mut roots: Vec<ClassId> = if self.is_hidden_class(base) && self.body_depth() == 0 {
             // Nearest visible ancestors.
-            let schema = self.schema.borrow();
+            let schema = self.schema.read();
             let mut visible: Vec<ClassId> = schema
                 .ancestors(base)
                 .into_iter()
@@ -1215,10 +1574,10 @@ impl View {
         // populating them: membership only matters to resolution when some
         // ancestor actually provides a definition, and skipping the rest
         // avoids both wasted work and spurious population cycles.
+        let populating = self.with_eval(|s| s.populating.clone());
         let candidates: Vec<ClassId> = {
-            let virt = self.virt.borrow();
-            let populating = self.populating.borrow();
-            let schema = self.schema.borrow();
+            let virt = self.virt.read();
+            let schema = self.schema.read();
             // Definitions already reachable through the base roots: a
             // virtual membership is only *relevant* to resolving `attr` if
             // it contributes a definition the base chain does not.
@@ -1266,7 +1625,7 @@ impl View {
         let c = self
             .lookup_class(class)
             .ok_or(OodbError::UnknownClass(class))?;
-        let kind = self.kinds.borrow().get(&c).cloned();
+        let kind = self.kinds.read().get(&c).cloned();
         match kind {
             Some(ClassKind::Imported { source, orig }) => {
                 let mut db = self.sources[source].write();
@@ -1283,12 +1642,12 @@ impl View {
     /// not assignable; imaginary objects' core attributes are immutable
     /// (§5.1).
     pub fn update_attr(&self, oid: Oid, attr: Symbol, value: Value) -> Result<()> {
-        if let Some(im) = self.imaginary.borrow().get(&oid) {
-            let class = self.schema.borrow().class(im.class).name;
+        if let Some(im) = self.imaginary.read().get(&oid) {
+            let class = self.schema.read().class(im.class).name;
             return Err(ViewError::CoreAttrUpdate { class, attr });
         }
         let view_class = self.view_class_of(oid).map_err(ViewError::from)?;
-        let schema = self.schema.borrow();
+        let schema = self.schema.read();
         if let Some((def_in, _)) = schema.visible_attrs(view_class).get(&attr) {
             if self.is_hidden_attr(*def_in, attr, &schema) {
                 return Err(ViewError::HiddenAttr {
@@ -1309,8 +1668,8 @@ impl View {
 
     /// Deletes a base object through the view.
     pub fn delete(&self, oid: Oid) -> Result<()> {
-        if let Some(im) = self.imaginary.borrow().get(&oid) {
-            let class = self.schema.borrow().class(im.class).name;
+        if let Some(im) = self.imaginary.read().get(&oid) {
+            let class = self.schema.read().class(im.class).name;
             return Err(ViewError::ImaginaryUpdate(class));
         }
         for handle in &self.sources {
@@ -1339,7 +1698,12 @@ impl View {
             });
         }
         let key = (name, args.to_vec());
-        if let Some(&c) = self.instances.borrow().get(&key) {
+        // Hold the write lock across the check *and* the definition:
+        // two threads instantiating `Adult(18)` concurrently must not both
+        // define the synthesized class. Lock order is instances → schema;
+        // nothing acquires `instances` while holding the schema lock.
+        let mut instances = self.instances.write();
+        if let Some(&c) = instances.get(&key) {
             return Ok(c);
         }
         // Substitute parameters by value and define as a regular virtual
@@ -1359,7 +1723,7 @@ impl View {
         }
         instance_name.push(')');
         let class = self.define_virtual_class(Symbol::new(&instance_name), &substituted)?;
-        self.instances.borrow_mut().insert(key, class);
+        instances.insert(key, class);
         Ok(class)
     }
 }
@@ -1440,22 +1804,22 @@ impl DataSource for View {
     }
 
     fn class_name(&self, c: ClassId) -> Symbol {
-        self.schema.borrow().class(c).name
+        self.schema.read().class(c).name
     }
 
     fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
-        self.schema.borrow().is_subclass(sub, sup)
+        self.schema.read().is_subclass(sub, sup)
     }
 
     fn ancestors(&self, c: ClassId) -> Vec<ClassId> {
-        ClassGraph::ancestors(&*self.schema.borrow(), c)
+        ClassGraph::ancestors(&*self.schema.read(), c)
     }
 
     fn class_of(&self, oid: Oid) -> ov_query::Result<ClassId> {
         let c = self.view_class_of(oid)?;
         if self.is_hidden_class(c) {
             // Present the object under its nearest visible ancestor.
-            let schema = self.schema.borrow();
+            let schema = self.schema.read();
             let mut visible: Vec<ClassId> = schema
                 .ancestors(c)
                 .into_iter()
@@ -1473,7 +1837,7 @@ impl DataSource for View {
     }
 
     fn extent(&self, class: ClassId) -> ov_query::Result<Vec<Oid>> {
-        let kind = self.kinds.borrow().get(&class).cloned();
+        let kind = self.kinds.read().get(&class).cloned();
         match kind {
             Some(ClassKind::Virtual) | Some(ClassKind::Imaginary { .. }) => {
                 Ok(self.population(class)?.iter().copied().collect())
@@ -1483,13 +1847,13 @@ impl DataSource for View {
                 // Virtual descendants are provably redundant here: their
                 // populations are drawn from classes already below `class`.
                 let descendants: Vec<ClassId> = {
-                    let schema = self.schema.borrow();
+                    let schema = self.schema.read();
                     let mut d = vec![class];
                     d.extend(schema.strict_descendants(class));
                     d
                 };
                 let mut out = BTreeSet::new();
-                let kinds = self.kinds.borrow();
+                let kinds = self.kinds.read();
                 for d in descendants {
                     if let Some(ClassKind::Imported { source, orig }) = kinds.get(&d) {
                         let db = self.sources[*source].read();
@@ -1506,14 +1870,14 @@ impl DataSource for View {
             Ok(c) => c,
             Err(_) => return Ok(false),
         };
-        if self.schema.borrow().is_subclass(vc, class) {
+        if self.schema.read().is_subclass(vc, class) {
             return Ok(true);
         }
         // Membership through an overlapping virtual class below `class`.
+        let populating = self.with_eval(|s| s.populating.clone());
         let candidates: Vec<ClassId> = {
-            let virt = self.virt.borrow();
-            let populating = self.populating.borrow();
-            let schema = self.schema.borrow();
+            let virt = self.virt.read();
+            let schema = self.schema.read();
             virt.keys()
                 .copied()
                 .filter(|&v| !populating.contains(&v) && schema.is_subclass(v, class))
@@ -1529,7 +1893,7 @@ impl DataSource for View {
 
     fn resolve(&self, oid: Oid, name: Symbol) -> ov_query::Result<ResolvedAttr> {
         let roots = self.membership_roots(oid, Some(name))?;
-        let schema = self.schema.borrow();
+        let schema = self.schema.read();
         // Candidate defining classes across all membership roots.
         let mut defining: Vec<ClassId> = Vec::new();
         for &root in &roots {
@@ -1586,7 +1950,7 @@ impl DataSource for View {
     }
 
     fn stored_field(&self, oid: Oid, name: Symbol) -> ov_query::Result<Value> {
-        if let Some(im) = self.imaginary.borrow().get(&oid) {
+        if let Some(im) = self.imaginary.read().get(&oid) {
             return Ok(im.core.get(name).cloned().unwrap_or(Value::Null));
         }
         for handle in &self.sources {
@@ -1603,7 +1967,7 @@ impl DataSource for View {
     }
 
     fn object_exists(&self, oid: Oid) -> bool {
-        self.imaginary.borrow().contains_key(&oid)
+        self.imaginary.read().contains_key(&oid)
             || self
                 .sources
                 .iter()
@@ -1611,7 +1975,7 @@ impl DataSource for View {
     }
 
     fn attr_sig(&self, c: ClassId, name: Symbol) -> Option<AttrSig> {
-        let schema = self.schema.borrow();
+        let schema = self.schema.read();
         let (def_in, def) = *schema.visible_attrs(c).get(&name)?;
         if self.is_hidden_attr(def_in, name, &schema) {
             return None;
@@ -1620,7 +1984,7 @@ impl DataSource for View {
     }
 
     fn class_type(&self, c: ClassId) -> Type {
-        let schema = self.schema.borrow();
+        let schema = self.schema.read();
         let fields = schema
             .visible_attrs(c)
             .into_iter()
@@ -1639,11 +2003,11 @@ impl DataSource for View {
     }
 
     fn enter_body(&self) {
-        self.body_depth.set(self.body_depth.get() + 1);
+        self.with_eval(|s| s.body_depth += 1);
     }
 
     fn exit_body(&self) {
-        self.body_depth.set(self.body_depth.get().saturating_sub(1));
+        self.with_eval(|s| s.body_depth = s.body_depth.saturating_sub(1));
     }
 
     fn apply_type(&self, name: Symbol, args: &[Type]) -> ov_query::Result<Type> {

@@ -60,10 +60,9 @@ proptest! {
         let incremental = def
             .bind_with(
                 &sys,
-                ViewOptions {
-                    materialization: Materialization::Incremental,
-                    ..Default::default()
-                },
+                ViewOptions::builder()
+                    .materialization(Materialization::Incremental)
+                    .build(),
             )
             .unwrap();
         // Warm the incremental cache so deltas actually apply.

@@ -383,6 +383,15 @@ mod tests {
     use super::*;
     use crate::symbol::sym;
 
+    /// Concurrent readers may share a `&Database` (or hold simultaneous
+    /// read guards on a `DbHandle`); all mutation takes `&mut self`.
+    #[test]
+    fn database_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<crate::catalog::DbHandle>();
+    }
+
     fn staff_db() -> (Database, ClassId, ClassId) {
         let mut db = Database::new(sym("Staff"));
         let person = db

@@ -121,6 +121,15 @@ impl IndexSet {
 mod tests {
     use super::*;
 
+    /// Index lookups (`get`, `candidates`) take `&self` and may run from
+    /// many threads at once; maintenance hooks take `&mut self`.
+    #[test]
+    fn indexes_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttrIndex>();
+        assert_send_sync::<IndexSet>();
+    }
+
     #[test]
     fn index_tracks_inserts_and_removals() {
         let mut set = IndexSet::default();

@@ -10,6 +10,11 @@
 //! The store is **versioned**: every mutation bumps a counter. The view
 //! layer keys its population caches on this version, which is how
 //! "materialized views … acquire a new dimension" (§6) is handled here.
+//!
+//! Concurrency: the store has no interior mutability — every read accessor
+//! takes `&self` and every mutation takes `&mut self`, so `Store` is
+//! `Send + Sync` and any number of threads may read one concurrently.
+//! Writers are serialized by the `RwLock` in [`crate::catalog::DbHandle`].
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -271,6 +276,15 @@ mod tests {
     use super::*;
     use crate::symbol::sym;
     use crate::value::Value;
+
+    /// The read path is lock-free shared state: a `&Store` can be handed to
+    /// any number of threads (all mutation goes through `&mut self`).
+    #[test]
+    fn store_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Store>();
+        assert_send_sync::<StoredObject>();
+    }
 
     #[test]
     fn insert_get_roundtrip() {

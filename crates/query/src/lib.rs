@@ -31,6 +31,7 @@ pub mod eval;
 pub mod exec;
 pub mod lexer;
 pub mod optimize;
+pub mod parallel;
 pub mod parser;
 pub mod source;
 pub mod typecheck;
@@ -43,6 +44,7 @@ pub use exec::{
     run_query,
 };
 pub use optimize::{optimize_expr, optimize_select};
+pub use parallel::{eval_select_parallel, run_query_parallel, ParallelConfig};
 pub use parser::{parse_expr, parse_program, parse_select, parse_type};
 pub use source::{require_class, DataSource, ResolvedAttr, SourceGraph};
 pub use typecheck::{infer, infer_expr, infer_select, infer_select_in, type_of_value, TypeEnv};

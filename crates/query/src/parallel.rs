@@ -1,0 +1,262 @@
+//! Parallel query execution.
+//!
+//! Single-binding `select … from V in C [where F]` queries iterate a
+//! collection and evaluate the filter and projection independently per
+//! element — an embarrassingly parallel loop. [`eval_select_parallel`]
+//! splits the collection into chunks and evaluates them on a scoped thread
+//! pool, merging the per-chunk sets. Everything else (multi-binding
+//! queries, small collections, non-select expressions) falls back to the
+//! sequential evaluator, so results are always identical to
+//! [`crate::eval_select`].
+//!
+//! This requires the data source to be shareable across threads, hence the
+//! `DataSource + Sync` bound — satisfied by `ov_oodb::Database` and (since
+//! its caches moved to sharded locks) `ov_views::View`.
+
+use std::collections::BTreeSet;
+
+use ov_oodb::{SelectExpr, Value};
+
+use crate::error::{QueryError, Result};
+use crate::eval::{eval_expr, truthy, Env, Evaluator};
+use crate::source::DataSource;
+
+/// Knobs for parallel scans.
+///
+/// The default is sequential (`threads == 1`): parallelism is opt-in, and
+/// collections smaller than `threshold` are never split — for small extents
+/// the thread spawn/merge overhead dwarfs the scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker thread count. `1` disables parallel execution entirely; `0`
+    /// is treated as `1`.
+    pub threads: usize,
+    /// Minimum collection size before a scan is split across threads.
+    pub threshold: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            threads: 1,
+            threshold: ParallelConfig::DEFAULT_THRESHOLD,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Default minimum collection size for going parallel.
+    pub const DEFAULT_THRESHOLD: usize = 1024;
+
+    /// A config using `threads` workers and the default threshold.
+    pub fn with_threads(threads: usize) -> ParallelConfig {
+        ParallelConfig {
+            threads,
+            ..ParallelConfig::default()
+        }
+    }
+
+    /// Should a scan over `len` elements be split?
+    pub fn should_split(&self, len: usize) -> bool {
+        self.threads > 1 && len >= self.threshold.max(2)
+    }
+
+    /// Worker count for a scan over `len` elements (≥ 1, ≤ `len`).
+    pub fn workers_for(&self, len: usize) -> usize {
+        self.threads.max(1).min(len.max(1))
+    }
+}
+
+/// Evaluates a select with chunked parallel iteration when profitable;
+/// exact same results as [`crate::eval_select`].
+pub fn eval_select_parallel(
+    src: &(dyn DataSource + Sync),
+    cfg: &ParallelConfig,
+    q: &SelectExpr,
+) -> Result<Value> {
+    // Only the single-binding form parallelizes: later bindings may refer
+    // to earlier variables, which forces the sequential nested loop.
+    let [(var, coll_expr)] = q.bindings.as_slice() else {
+        return Evaluator::new(src).select(q, &mut Env::new());
+    };
+    // The binding collection itself is evaluated sequentially — this keeps
+    // the name-resolution order (variable → named object → class extent)
+    // byte-for-byte identical to the sequential path.
+    let coll = Evaluator::new(src).eval(coll_expr, &mut Env::new())?;
+    let items: Vec<Value> = match coll {
+        Value::Set(s) => s.into_iter().collect(),
+        Value::List(l) => l,
+        Value::Null => Vec::new(),
+        other => {
+            return Err(QueryError::eval(format!(
+                "`from {var} in …` needs a set or list, found {}",
+                other.kind()
+            )))
+        }
+    };
+    if !cfg.should_split(items.len()) {
+        return Evaluator::new(src).select(q, &mut Env::new());
+    }
+    let out = filter_map_chunked(src, cfg, &items, |ev, item, keep| {
+        let mut env = Env::new();
+        env.bind(*var, item.clone());
+        if let Some(f) = q.filter.as_deref() {
+            if !truthy(&ev.eval(f, &mut env)?) {
+                return Ok(());
+            }
+        }
+        keep.insert(ev.eval(&q.proj, &mut env)?);
+        Ok(())
+    })?;
+    if q.the {
+        if out.len() == 1 {
+            Ok(out.into_iter().next().expect("len checked"))
+        } else {
+            Err(QueryError::TheCardinality { got: out.len() })
+        }
+    } else {
+        Ok(Value::Set(out))
+    }
+}
+
+/// Runs a query string, executing top-level selects through
+/// [`eval_select_parallel`]. Non-select expressions evaluate sequentially.
+pub fn run_query_parallel(
+    src: &(dyn DataSource + Sync),
+    cfg: &ParallelConfig,
+    query: &str,
+) -> Result<Value> {
+    let e = crate::parser::parse_expr(query)?;
+    match &e {
+        ov_oodb::Expr::Select(q) => eval_select_parallel(src, cfg, q),
+        _ => eval_expr(src, &e),
+    }
+}
+
+/// Splits `items` into one chunk per worker and runs `per_item` on each
+/// element on a scoped thread pool, merging the per-chunk result sets.
+/// The first error (in chunk order) wins.
+fn filter_map_chunked<T, F>(
+    src: &(dyn DataSource + Sync),
+    cfg: &ParallelConfig,
+    items: &[T],
+    per_item: F,
+) -> Result<BTreeSet<Value>>
+where
+    T: Sync,
+    F: Fn(&Evaluator<'_>, &T, &mut BTreeSet<Value>) -> Result<()> + Sync,
+{
+    let workers = cfg.workers_for(items.len());
+    let chunk_len = items.len().div_ceil(workers);
+    let results: Vec<Result<BTreeSet<Value>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| {
+                let per_item = &per_item;
+                scope.spawn(move || {
+                    let ev = Evaluator::new(src);
+                    let mut keep = BTreeSet::new();
+                    for item in chunk {
+                        per_item(&ev, item, &mut keep)?;
+                    }
+                    Ok(keep)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+    let mut out = BTreeSet::new();
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_script;
+    use ov_oodb::{sym, System};
+
+    fn setup(n: i64) -> System {
+        let mut sys = System::new();
+        execute_script(
+            &mut sys,
+            r#"
+            database D;
+            class Person type [Name: string, Age: integer];
+        "#,
+        )
+        .unwrap();
+        let handle = sys.database(sym("D")).unwrap();
+        let mut db = handle.write();
+        let class = db.schema.require_class(sym("Person")).unwrap();
+        for i in 0..n {
+            db.create_object(
+                class,
+                Value::tuple([
+                    (sym("Name"), Value::str(&format!("p{i}"))),
+                    (sym("Age"), Value::Int(i % 90)),
+                ]),
+            )
+            .unwrap();
+        }
+        drop(db);
+        sys
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let sys = setup(500);
+        let handle = sys.database(sym("D")).unwrap();
+        let db = handle.read();
+        let q = "select P from P in Person where P.Age >= 21";
+        let seq = crate::run_query(&*db, q).unwrap();
+        let cfg = ParallelConfig {
+            threads: 4,
+            threshold: 1,
+        };
+        let par = run_query_parallel(&*db, &cfg, q).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn projection_and_the_forms_match() {
+        let sys = setup(100);
+        let handle = sys.database(sym("D")).unwrap();
+        let db = handle.read();
+        let cfg = ParallelConfig {
+            threads: 3,
+            threshold: 1,
+        };
+        let q = "select P.Name from P in Person where P.Age = 5";
+        assert_eq!(
+            crate::run_query(&*db, q).unwrap(),
+            run_query_parallel(&*db, &cfg, q).unwrap()
+        );
+        let q = "select the P from P in Person where P.Name = \"p7\"";
+        assert_eq!(
+            crate::run_query(&*db, q).unwrap(),
+            run_query_parallel(&*db, &cfg, q).unwrap()
+        );
+    }
+
+    #[test]
+    fn below_threshold_stays_sequential() {
+        let sys = setup(10);
+        let handle = sys.database(sym("D")).unwrap();
+        let db = handle.read();
+        let cfg = ParallelConfig {
+            threads: 4,
+            threshold: 1_000,
+        };
+        let q = "select P from P in Person";
+        assert_eq!(
+            crate::run_query(&*db, q).unwrap(),
+            run_query_parallel(&*db, &cfg, q).unwrap()
+        );
+    }
+}

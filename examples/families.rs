@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --example families`
 
-use objects_and_views::oodb::{sym, System, Value};
-use objects_and_views::query::execute_script;
-use objects_and_views::views::{IdentityMode, Materialization, ViewDef, ViewOptions};
+use objects_and_views::prelude::*;
 
 fn main() {
     let mut sys = System::new();
@@ -94,11 +92,10 @@ fn main() {
     .unwrap()
     .bind_with(
         &sys,
-        ViewOptions {
-            identity_mode: IdentityMode::Fresh,
-            materialization: Materialization::AlwaysRecompute,
-            ..Default::default()
-        },
+        ViewOptions::builder()
+            .identity_mode(IdentityMode::Fresh)
+            .population(Population::AlwaysRecompute)
+            .build(),
     )
     .unwrap();
     println!(

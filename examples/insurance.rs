@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --example insurance`
 
-use objects_and_views::oodb::{sym, System, Value};
-use objects_and_views::query::execute_script;
-use objects_and_views::views::ViewDef;
+use objects_and_views::prelude::*;
 
 fn main() {
     let mut sys = System::new();

@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --example navy`
 
-use objects_and_views::oodb::{sym, ConflictPolicy, System};
-use objects_and_views::query::execute_script;
-use objects_and_views::views::{ViewDef, ViewOptions};
+use objects_and_views::prelude::*;
 
 fn main() {
     let mut sys = System::new();
@@ -108,10 +106,7 @@ fn main() {
     let strict = overlapping
         .bind_with(
             &sys,
-            ViewOptions {
-                policy: ConflictPolicy::Error,
-                ..Default::default()
-            },
+            ViewOptions::builder().policy(ConflictPolicy::Error).build(),
         )
         .unwrap();
     println!(
@@ -124,10 +119,9 @@ fn main() {
     let prioritized = overlapping
         .bind_with(
             &sys,
-            ViewOptions {
-                policy: ConflictPolicy::Priority(vec![sym("Heavy")]),
-                ..Default::default()
-            },
+            ViewOptions::builder()
+                .policy(ConflictPolicy::Priority(vec![sym("Heavy")]))
+                .build(),
         )
         .unwrap();
     println!(

@@ -9,8 +9,7 @@
 
 use std::time::Instant;
 
-use objects_and_views::oodb::{sym, Value};
-use objects_and_views::views::{Materialization, ViewDef, ViewOptions};
+use objects_and_views::prelude::*;
 
 fn time<R>(label: &str, mut f: impl FnMut() -> R) -> R {
     // One warmup, then a measured run.
@@ -25,7 +24,7 @@ fn main() {
     let n = 50_000;
     println!("people database with {n} objects\n");
 
-    let build = |materialization| {
+    let build = |population| {
         let mut sys = objects_and_views::oodb::System::new();
         objects_and_views::query::execute_script(
             &mut sys,
@@ -60,13 +59,7 @@ fn main() {
             "#,
         )
         .unwrap()
-        .bind_with(
-            &sys,
-            ViewOptions {
-                materialization,
-                ..Default::default()
-            },
-        )
+        .bind_with(&sys, ViewOptions::builder().population(population).build())
         .unwrap();
         (sys, view)
     };

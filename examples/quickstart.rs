@@ -6,9 +6,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use objects_and_views::oodb::{sym, System};
-use objects_and_views::query::execute_script;
-use objects_and_views::views::ViewDef;
+use objects_and_views::prelude::*;
 
 fn main() {
     // 1. A base database, loaded from DDL text.

@@ -6,8 +6,7 @@
 //!
 //! Run with: `cargo run --example relational_bridge`
 
-use objects_and_views::oodb::{sym, Type, Value};
-use objects_and_views::relational::{bridge, Relation, RelationalDb};
+use objects_and_views::prelude::*;
 
 fn main() {
     // 1. A small relational database.

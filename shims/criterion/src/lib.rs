@@ -1,0 +1,223 @@
+//! Minimal `criterion` stand-in (see `shims/README.md`).
+//!
+//! Provides the macro/builder surface the workspace's benches use and
+//! prints coarse mean/min wall-clock timings to stdout. No statistics, no
+//! HTML reports; `cargo bench` compiles and runs offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, like `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        run_one(id, self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement budget (coarse: caps total samples).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl IdLike, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&id.render(), self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IdLike,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&id.render(), self.sample_size, self.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Anything usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IdLike {
+    /// The printable form.
+    fn render(&self) -> String;
+}
+
+impl IdLike for &str {
+    fn render(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLike for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+impl IdLike for BenchmarkId {
+    fn render(&self) -> String {
+        self.0.clone()
+    }
+}
+
+/// A function/parameter benchmark id.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// Passed to benchmark closures; drives the timing loops.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured iterations.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // One warmup.
+        black_box(f());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            let dt = start.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+        }
+    }
+
+    /// Times `routine` over fresh un-timed `setup` output each iteration.
+    pub fn iter_with_setup<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let dt = start.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+        }
+    }
+}
+
+fn run_one(id: &str, samples: usize, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate: run once to estimate cost, then fit iterations into the
+    // budget, capped by sample_size.
+    let mut b = Bencher {
+        iters: 1,
+        total: Duration::ZERO,
+        min: Duration::MAX,
+    };
+    f(&mut b);
+    let per_iter = b.total.max(Duration::from_nanos(1));
+    let fit = (budget.as_nanos() / per_iter.as_nanos().max(1)).min(samples as u128) as u64;
+    let mut b = Bencher {
+        iters: fit.max(1),
+        total: Duration::ZERO,
+        min: Duration::MAX,
+    };
+    f(&mut b);
+    let mean = b.total.as_nanos() as f64 / b.iters as f64;
+    println!(
+        "{id:<48} mean {:>12}  min {:>12}  ({} iters)",
+        fmt_ns(mean),
+        fmt_ns(b.min.as_nanos() as f64),
+        b.iters
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, like the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); a shim
+            // that only smoke-runs can ignore them.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,145 @@
+//! Minimal `proptest` stand-in (see `shims/README.md`).
+//!
+//! Implements the strategy/runner subset this workspace's property tests
+//! use: `proptest!` with `#![proptest_config]`, `Strategy` combinators
+//! (`prop_map`, `prop_filter_map`, `prop_recursive`, `boxed`),
+//! `prop_oneof!`, `Just`, numeric ranges, string patterns (a mini regex
+//! generator for `"[a-z]{1,6}"`-style patterns), `collection::{vec,
+//! btree_map}`, `option::of`, `sample::Index`, and `any::<T>()`.
+//!
+//! Differences from the real crate, by design: generation is driven by a
+//! deterministic per-test RNG (seeded from the test's module path), there
+//! is **no shrinking**, and `.proptest-regressions` files are ignored. A
+//! failing case prints all generated inputs before propagating the panic.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a property (panics; the runner attributes
+/// the failure to the generated inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Discards the current case unless the condition holds (no retry: the
+/// shim just skips to the next case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __seed = $crate::test_runner::seed_from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut __rng = $crate::test_runner::TestRng::new(__seed);
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let __inputs = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n"),*),
+                    $(&$arg),*
+                );
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => {
+                        // prop_assume! miss: discard this case and move on.
+                    }
+                    Ok(Err(e)) => {
+                        panic!(
+                            "proptest case {}/{} {}\ninputs:\n{}",
+                            __case + 1, __config.cases, e, __inputs,
+                        );
+                    }
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest case {}/{} failed; inputs:\n{}",
+                            __case + 1, __config.cases, __inputs,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}

@@ -1,0 +1,18 @@
+//! Sampling helpers.
+
+/// An index into a collection whose length is only known at use time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Index(usize);
+
+impl Index {
+    /// Wraps a raw value; reduced modulo the collection length on use.
+    pub fn new(raw: usize) -> Index {
+        Index(raw)
+    }
+
+    /// Resolves against a collection of length `len` (must be non-zero).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.0 % len
+    }
+}

@@ -1,0 +1,172 @@
+//! A mini regex *generator* for string-pattern strategies.
+//!
+//! Supports the subset the workspace's tests use: literal characters,
+//! `\`-escapes, character classes `[a-zA-Z0-9 _]` (with ranges), and the
+//! quantifiers `{n}`, `{m,n}`, `*` (as `{0,8}`), `+` (as `{1,8}`), and
+//! `?` (as `{0,1}`). Anything fancier panics loudly rather than
+//! silently generating the wrong language.
+
+use crate::test_runner::TestRng;
+
+/// Default upper repetition bound for `*` / `+`.
+const UNBOUNDED_MAX: usize = 8;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+/// Generates one string matching `pattern`.
+pub fn from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for (atom, lo, hi) in &atoms {
+        let n = if hi > lo {
+            lo + rng.below(hi - lo + 1)
+        } else {
+            *lo
+        };
+        for _ in 0..n {
+            match atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => out.push(set[rng.below(set.len())]),
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("pattern {pattern:?}: dangling escape"));
+                i += 1;
+                Atom::Literal(c)
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!(
+                    "pattern {pattern:?}: unsupported regex feature {:?}",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("pattern {pattern:?}: unclosed {{"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse().unwrap_or_else(|_| bad_rep(pattern, &body)),
+                        n.parse().unwrap_or_else(|_| bad_rep(pattern, &body)),
+                    ),
+                    None => {
+                        let n = body.parse().unwrap_or_else(|_| bad_rep(pattern, &body));
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_MAX)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_MAX)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            *chars
+                .get(i)
+                .unwrap_or_else(|| panic!("pattern {pattern:?}: dangling escape in class"))
+        } else {
+            chars[i]
+        };
+        // Range like `a-z` (a trailing `-` is a literal).
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+            let hi = chars[i + 2];
+            assert!(c <= hi, "pattern {pattern:?}: inverted class range");
+            for v in c..=hi {
+                set.push(v);
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "pattern {pattern:?}: unclosed [");
+    assert!(!set.is_empty(), "pattern {pattern:?}: empty class");
+    (set, i + 1)
+}
+
+fn bad_rep(pattern: &str, body: &str) -> usize {
+    panic!("pattern {pattern:?}: bad repetition {{{body}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::from_pattern;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn workspace_patterns() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            let s = from_pattern("[a-zA-Z0-9 ]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+
+            let s = from_pattern("[A-Z][a-z]{0,6}", &mut rng);
+            assert!((1..=7).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_uppercase());
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::new(1);
+        assert_eq!(from_pattern("abc", &mut rng), "abc");
+        let s = from_pattern("x{3}", &mut rng);
+        assert_eq!(s, "xxx");
+        for _ in 0..50 {
+            let s = from_pattern("a?b+", &mut rng);
+            assert!(s.trim_start_matches('a').chars().all(|c| c == 'b'));
+            assert!(s.contains('b'));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Deterministic runner primitives: RNG, config, and case errors.
+
+use std::fmt;
+
+/// Per-test deterministic RNG (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        // Modulo bias is negligible for the small spans used in tests.
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+}
+
+/// Stable seed for a test, derived from its full path (FNV-1a).
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runner configuration. Only `cases` is honoured by the shim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases, other settings default.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A test-case failure carried through `Result` bodies.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The inputs were unsuitable; in the shim this still fails the test.
+    Reject(String),
+    /// The property did not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "failed: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}

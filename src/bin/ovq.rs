@@ -19,8 +19,7 @@
 
 use std::io::{BufRead, Write};
 
-use objects_and_views::oodb::sym;
-use objects_and_views::views::{Outcome, Session};
+use objects_and_views::prelude::*;
 
 fn main() {
     let mut session = Session::new();

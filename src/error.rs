@@ -1,0 +1,92 @@
+//! The unified workspace error.
+//!
+//! Each layer has its own error enum (`OodbError`, `QueryError`,
+//! `ViewError`) with `From` conversions along the dependency edges.
+//! [`Error`] flattens the three behind one type so application code using
+//! the umbrella crate can `?` across layers and walk a single
+//! [`std::error::Error::source`] chain.
+
+use std::fmt;
+
+use crate::oodb::OodbError;
+use crate::query::QueryError;
+use crate::views::ViewError;
+
+/// Any error produced by the workspace layers.
+///
+/// `source()` returns the wrapped layer error, which in turn chains to the
+/// error that caused it (a `ViewError` wrapping a `QueryError` wrapping an
+/// `OodbError` yields a three-link chain).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An error from the data model / object store layer.
+    Oodb(OodbError),
+    /// An error from the query language layer.
+    Query(QueryError),
+    /// An error from the view mechanism.
+    View(ViewError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Oodb(e) => write!(f, "oodb: {e}"),
+            Error::Query(e) => write!(f, "query: {e}"),
+            Error::View(e) => write!(f, "view: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Oodb(e) => Some(e),
+            Error::Query(e) => Some(e),
+            Error::View(e) => Some(e),
+        }
+    }
+}
+
+impl From<OodbError> for Error {
+    fn from(e: OodbError) -> Error {
+        Error::Oodb(e)
+    }
+}
+
+impl From<QueryError> for Error {
+    fn from(e: QueryError) -> Error {
+        Error::Query(e)
+    }
+}
+
+impl From<ViewError> for Error {
+    fn from(e: ViewError) -> Error {
+        Error::View(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn source_chains_through_layers() {
+        let base = OodbError::UnknownClass(crate::oodb::sym("Ghost"));
+        let view: ViewError = base.into();
+        let unified: Error = view.into();
+        // Error -> ViewError -> OodbError.
+        let s1 = unified.source().expect("layer error");
+        assert!(s1.downcast_ref::<ViewError>().is_some());
+        let s2 = s1.source().expect("cause");
+        assert!(s2.downcast_ref::<OodbError>().is_some());
+        assert!(s2.source().is_none());
+    }
+
+    #[test]
+    fn display_names_the_layer() {
+        let e: Error = QueryError::eval("boom").into();
+        assert!(e.to_string().starts_with("query: "));
+    }
+}

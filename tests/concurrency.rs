@@ -1,0 +1,211 @@
+//! The concurrent read path, end to end: `View` is `Send + Sync`, N reader
+//! threads sharing one view agree with a sequential baseline, the sharded
+//! population cache counts hits under contention, and the parallel query
+//! executor returns byte-identical results to the sequential one.
+
+use objects_and_views::prelude::*;
+
+const N_PEOPLE: i64 = 400;
+const N_READERS: usize = 8;
+
+fn staff_system() -> System {
+    let mut sys = System::new();
+    execute_script(
+        &mut sys,
+        r#"
+        database Staff;
+        class Person type [Name: string, Age: integer, Income: integer];
+        "#,
+    )
+    .unwrap();
+    let handle = sys.database(sym("Staff")).unwrap();
+    let mut db = handle.write();
+    let person = db.schema.require_class(sym("Person")).unwrap();
+    for i in 0..N_PEOPLE {
+        db.create_object(
+            person,
+            Value::tuple([
+                (sym("Name"), Value::str(&format!("p{i}"))),
+                (sym("Age"), Value::Int(i % 90)),
+                (sym("Income"), Value::Int((i * 997) % 150_000)),
+            ]),
+        )
+        .unwrap();
+    }
+    drop(db);
+    sys
+}
+
+fn adult_view(sys: &System, options: ViewOptions) -> View {
+    ViewDef::from_script(
+        r#"
+        create view V;
+        import all classes from database Staff;
+        class Adult includes (select P from Person where P.Age >= 18);
+        class Rich includes (select P from Person where P.Income >= 100000);
+        attribute Label in class Adult has value "adult";
+        "#,
+    )
+    .unwrap()
+    .bind_with(sys, options)
+    .unwrap()
+}
+
+/// The tentpole guarantee, checked at compile time: a view can be shared
+/// across threads by reference.
+#[test]
+fn view_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<View>();
+    assert_send_sync::<ViewStats>();
+    assert_send_sync::<ViewOptions>();
+}
+
+/// N reader threads hammer one shared view — extents, queries, attribute
+/// resolution — and every thread must observe exactly the sequential
+/// baseline's answers.
+#[test]
+fn concurrent_readers_agree_with_sequential_baseline() {
+    let sys = staff_system();
+    let view = adult_view(&sys, ViewOptions::default());
+
+    // Sequential baseline, computed before any concurrency.
+    let base_adults = view.extent_of(sym("Adult")).unwrap();
+    let base_rich = view.extent_of(sym("Rich")).unwrap();
+    let base_q = view
+        .query("select P.Name from P in Adult where P.Income >= 100000")
+        .unwrap();
+    let expected_adults = (0..N_PEOPLE).filter(|i| i % 90 >= 18).count();
+    assert_eq!(base_adults.len(), expected_adults);
+
+    std::thread::scope(|s| {
+        for _ in 0..N_READERS {
+            s.spawn(|| {
+                for _ in 0..10 {
+                    assert_eq!(view.extent_of(sym("Adult")).unwrap(), base_adults);
+                    assert_eq!(view.extent_of(sym("Rich")).unwrap(), base_rich);
+                    assert_eq!(
+                        view.query("select P.Name from P in Adult where P.Income >= 100000")
+                            .unwrap(),
+                        base_q
+                    );
+                }
+            });
+        }
+    });
+}
+
+/// Cold-start contention: many threads request the same population at
+/// once. Whoever wins the race computes; everyone gets the same answer,
+/// and the stats account for every request as either a hit or a miss.
+#[test]
+fn cold_start_race_converges_and_stats_account() {
+    let sys = staff_system();
+    let view = adult_view(&sys, ViewOptions::default());
+    let results: Vec<Vec<Oid>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..N_READERS)
+            .map(|_| s.spawn(|| view.extent_of(sym("Adult")).unwrap()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in &results[1..] {
+        assert_eq!(r, &results[0]);
+    }
+    let st = view.stats();
+    // Every thread's first read either hit the cache or recomputed; later
+    // reads of the warm cache are hits. Nothing is double-counted.
+    assert!(st.recomputations >= 1, "someone must have computed");
+    assert!(
+        st.cache_hits + st.cache_misses >= N_READERS as u64,
+        "each reader accounted: hits={} misses={}",
+        st.cache_hits,
+        st.cache_misses
+    );
+}
+
+/// Warm-cache reads are all hits, globally and per thread.
+#[test]
+fn warm_cache_hits_count_per_thread() {
+    let sys = staff_system();
+    let view = adult_view(&sys, ViewOptions::default());
+    view.extent_of(sym("Adult")).unwrap(); // warm
+    let before = view.stats();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..5 {
+                    view.extent_of(sym("Adult")).unwrap();
+                }
+                // This thread's own contribution is visible to it.
+                let mine = view.thread_stats();
+                assert!(mine.cache_hits >= 5, "thread saw {} hits", mine.cache_hits);
+            });
+        }
+    });
+    let after = view.stats();
+    assert_eq!(after.cache_hits - before.cache_hits, 20);
+    assert_eq!(after.recomputations, before.recomputations);
+}
+
+/// The parallel population scan and the parallel query executor return the
+/// same answers as their sequential counterparts.
+#[test]
+fn parallel_scan_matches_sequential() {
+    let sys = staff_system();
+    let seq = adult_view(&sys, ViewOptions::default());
+    let par = adult_view(
+        &sys,
+        ViewOptions::builder()
+            .population(Population::AlwaysRecompute)
+            .parallel(ParallelConfig {
+                threads: 4,
+                threshold: 16,
+            })
+            .build(),
+    );
+    assert_eq!(
+        seq.extent_of(sym("Adult")).unwrap(),
+        par.extent_of(sym("Adult")).unwrap()
+    );
+    assert_eq!(
+        seq.extent_of(sym("Rich")).unwrap(),
+        par.extent_of(sym("Rich")).unwrap()
+    );
+    assert!(
+        par.stats().parallel_scans > 0,
+        "the split path should have run"
+    );
+
+    // Parallel query executor over the view as a data source.
+    let cfg = ParallelConfig {
+        threads: 4,
+        threshold: 1,
+    };
+    let q = "select P.Name from P in Adult where P.Age >= 65";
+    assert_eq!(
+        seq.query(q).unwrap(),
+        run_query_parallel(&par, &cfg, q).unwrap()
+    );
+}
+
+/// Virtual attributes resolve correctly from worker threads: resolution
+/// walks populations (privileged visibility, cycle guards) whose state is
+/// now thread-local.
+#[test]
+fn attribute_resolution_across_threads() {
+    let sys = staff_system();
+    let view = adult_view(&sys, ViewOptions::default());
+    let adults = view.extent_of(sym("Adult")).unwrap();
+    let sample: Vec<Oid> = adults.into_iter().take(32).collect();
+    std::thread::scope(|s| {
+        for _ in 0..N_READERS {
+            s.spawn(|| {
+                for &o in &sample {
+                    let v =
+                        objects_and_views::query::eval_attr(&view, o, sym("Label"), &[]).unwrap();
+                    assert_eq!(v, Value::str("adult"));
+                }
+            });
+        }
+    });
+}

@@ -210,10 +210,9 @@ fn journal_overflow_never_corrupts_populations() {
     .unwrap()
     .bind_with(
         &sys,
-        ViewOptions {
-            materialization: Materialization::Incremental,
-            ..Default::default()
-        },
+        ViewOptions::builder()
+            .materialization(Materialization::Incremental)
+            .build(),
     )
     .unwrap();
     let db = sys.database(sym("D")).unwrap();

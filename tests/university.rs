@@ -154,10 +154,9 @@ fn campus_view_tracks_updates_under_all_materializations() {
             .unwrap()
             .bind_with(
                 &sys,
-                ViewOptions {
-                    materialization,
-                    ..Default::default()
-                },
+                ViewOptions::builder()
+                    .materialization(materialization)
+                    .build(),
             )
             .unwrap();
         assert_eq!(view.query("count(Honors)").unwrap(), Value::Int(2));
