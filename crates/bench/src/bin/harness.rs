@@ -6,6 +6,11 @@
 //! experiments in E4 and E5: population scans split across `N` workers,
 //! and `N` concurrent reader threads sharing one view.
 //!
+//! `--metrics FILE` writes, after all experiments, a JSON snapshot of the
+//! process-wide metrics registry (store mutations, journal delta/gap
+//! counts, index lookups, view population path counters and latency
+//! histograms) to `FILE`.
+//!
 //! Each section corresponds to an experiment id (E1–E12) in EXPERIMENTS.md,
 //! which maps them back to the paper's sections. Timings are coarse
 //! wall-clock means (use the Criterion benches for statistically careful
@@ -17,7 +22,8 @@ use ov_query::eval_attr;
 use ov_views::{IdentityMode, Materialization, ParallelConfig, Population, ViewDef, ViewOptions};
 
 fn main() {
-    let threads = parse_threads();
+    let args = parse_args();
+    let threads = args.threads;
     println!("# Objects-and-Views experiment harness");
     println!("# (sections correspond to EXPERIMENTS.md)");
     if threads > 1 {
@@ -38,21 +44,48 @@ fn main() {
     e11_churn();
     e12_relational();
     e13_indexes();
+    if let Some(path) = &args.metrics {
+        let json = ov_oodb::registry().snapshot().to_json();
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("\n# metrics written to {path}"),
+            Err(e) => {
+                eprintln!("error writing metrics to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     println!("\nall experiments completed.");
 }
 
-fn parse_threads() -> usize {
+struct Args {
+    threads: usize,
+    metrics: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        threads: 1,
+        metrics: None,
+    };
+    let usage = || -> ! {
+        eprintln!("usage: harness [--threads N] [--metrics FILE]");
+        std::process::exit(2);
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--threads" {
-            let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("usage: harness [--threads N]");
-                std::process::exit(2);
-            });
-            return std::cmp::max(n, 1);
+        match a.as_str() {
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                out.threads = std::cmp::max(n, 1);
+            }
+            "--metrics" => out.metrics = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
         }
     }
-    1
+    out
 }
 
 fn header(id: &str, title: &str) {

@@ -30,6 +30,15 @@ pub enum ViewError {
     /// Updating anything about an imaginary object other than through its
     /// base data is meaningless.
     ImaginaryUpdate(Symbol),
+    /// The attribute resolves to a computed (virtual) definition; assigning
+    /// it through the view would silently store a shadowing base value
+    /// instead of changing what the attribute computes.
+    ComputedAttrUpdate {
+        /// The class resolution started from.
+        class: Symbol,
+        /// The computed attribute.
+        attr: Symbol,
+    },
     /// The attribute is hidden in this view.
     HiddenAttr {
         /// The class resolution started from.
@@ -99,6 +108,10 @@ impl fmt::Display for ViewError {
             ViewError::ImaginaryUpdate(c) => {
                 write!(f, "cannot update imaginary object of class `{c}` directly")
             }
+            ViewError::ComputedAttrUpdate { class, attr } => write!(
+                f,
+                "attribute `{attr}` of class `{class}` is computed; it cannot be assigned through the view"
+            ),
             ViewError::HiddenAttr { class, attr } => {
                 write!(f, "attribute `{attr}` of class `{class}` is hidden in this view")
             }

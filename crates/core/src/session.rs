@@ -407,7 +407,37 @@ impl Session {
         } else {
             let _ = writeln!(out, "optimized: (unchanged)");
         }
+        // Execute with tracing: per-stage timings plus, for every
+        // population request, which path resolved it (cache hit / delta /
+        // full recompute with its scans). Same rendering as
+        // `View::explain`.
+        let traced = if let Some((_, view)) = self.views.get(&target) {
+            ov_query::run_query_traced(view, query)
+        } else {
+            let db = self.system.database(target)?;
+            let db = db.read();
+            ov_query::run_query_traced(&*db, query)
+        };
+        match traced {
+            Ok((_, trace)) => {
+                let _ = write!(out, "{trace}");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "execution: error: {e}");
+            }
+        }
         Ok(out)
+    }
+
+    /// Explains how the population of virtual class `class` of view `view`
+    /// is resolved right now (see `View::explain_population`), rendered as
+    /// one line.
+    pub fn explain_population(&self, view: Symbol, class: Symbol) -> Result<String> {
+        let (_, v) = self
+            .views
+            .get(&view)
+            .ok_or(ViewError::Oodb(ov_oodb::OodbError::UnknownDatabase(view)))?;
+        Ok(format!("{}\n", v.explain_population(class)?))
     }
 }
 
@@ -565,6 +595,34 @@ mod tests {
         assert!(e.contains("optimized: 7"), "got: {e}");
         let e = s.explain(sym("Staff"), "maggy.Ghost").unwrap();
         assert!(e.contains("type:      error"), "got: {e}");
+        // Execution failures are reported, not fatal.
+        assert!(e.contains("execution: error"), "got: {e}");
+    }
+
+    #[test]
+    fn explain_renders_population_plans() {
+        let mut s = loaded_session();
+        s.execute(
+            "create view V; import all classes from database Staff; \
+             class Adult includes (select P from Person where P.Age >= 21);",
+        )
+        .unwrap();
+        // Cold: the trace shows the executed stages and the recompute path.
+        let e = s
+            .explain(sym("V"), "select A.Name from A in Adult")
+            .unwrap();
+        assert!(e.contains("execute"), "got: {e}");
+        assert!(e.contains("population Adult: FullRecompute"), "got: {e}");
+        // Warm: same query now reports the cache hit — the exact rendering
+        // `View::explain` produces, surfaced through `.explain` in ovq.
+        let e = s
+            .explain(sym("V"), "select A.Name from A in Adult")
+            .unwrap();
+        assert!(e.contains("population Adult: CacheHit"), "got: {e}");
+        assert!(e.contains("rows: "), "got: {e}");
+        // And `.plan` renders a single population line.
+        let p = s.explain_population(sym("V"), sym("Adult")).unwrap();
+        assert!(p.starts_with("population Adult: CacheHit"), "got: {p}");
     }
 
     #[test]

@@ -10,12 +10,20 @@
 //!
 //! ## Laziness and caching
 //!
-//! Virtual-class populations are evaluated lazily and cached, keyed on the
-//! versions of the source databases (every base update invalidates). The
-//! **identity tables** of imaginary classes are *not* keyed: they survive
-//! recomputation and updates, which is precisely the paper's §5.1 identity
-//! semantics ("we are guaranteed that the same tuple will be assigned the
-//! same oid each time the class C is invoked").
+//! Virtual-class populations are evaluated lazily, under one of three
+//! [`Materialization`] policies. [`Materialization::Cached`] (the default)
+//! keys the cached population on the versions of the source databases and
+//! fully recomputes when any of them changes.
+//! [`Materialization::Incremental`] patches the cached population instead:
+//! it re-tests membership only for the oids in the stores' change
+//! journals, falling back to a full recompute on a journal gap or a
+//! non-delta-maintainable include. [`Materialization::AlwaysRecompute`]
+//! skips caching entirely (the relational baseline the benchmarks compare
+//! against). `View::explain_population` reports which path resolved a
+//! given request. The **identity tables** of imaginary classes are *not*
+//! keyed: they survive recomputation and updates, which is precisely the
+//! paper's §5.1 identity semantics ("we are guaranteed that the same tuple
+//! will be assigned the same oid each time the class C is invoked").
 //!
 //! ## Concurrency
 //!
@@ -41,7 +49,7 @@ use ov_oodb::{
     OodbError, Schema, SelectExpr, Symbol, System, Tuple, Type, Value,
 };
 use ov_query::{
-    eval_select, infer_select_in, resolve_type, DataSource, IncludeSpec, ParallelConfig,
+    eval_select, infer_select_in, plan, resolve_type, DataSource, IncludeSpec, ParallelConfig,
     QueryError, ResolvedAttr, TypeEnv,
 };
 
@@ -450,6 +458,18 @@ impl View {
 
     fn bump_stat(&self, stat: Stat) {
         self.stats.bump(stat);
+        // Mirror into the process-wide registry: `ViewStats` is the
+        // per-view picture, the registry the cross-view aggregate the
+        // harness and shell report.
+        match stat {
+            Stat::CacheHit => ov_oodb::metric_counter!("views.cache_hits").inc(),
+            Stat::CacheMiss => ov_oodb::metric_counter!("views.cache_misses").inc(),
+            Stat::Recomputation => ov_oodb::metric_counter!("views.recomputations").inc(),
+            Stat::IncrementalUpdate => ov_oodb::metric_counter!("views.incremental_updates").inc(),
+            Stat::IndexPushdown => ov_oodb::metric_counter!("views.index_pushdowns").inc(),
+            Stat::LockContention => ov_oodb::metric_counter!("views.lock_contention").inc(),
+            Stat::ParallelScan => ov_oodb::metric_counter!("views.parallel_scans").inc(),
+        }
         THREAD_STATS.with(|m| {
             let mut map = m.borrow_mut();
             let s = map.entry(self.token).or_default();
@@ -588,6 +608,48 @@ impl View {
     /// Runs a query string against the view.
     pub fn query(&self, src: &str) -> Result<Value> {
         ov_query::run_query(self, src).map_err(ViewError::from)
+    }
+
+    /// Runs a query like [`Self::query`] and additionally returns its
+    /// [`ov_query::QueryTrace`]: parse / typecheck / optimize / execute
+    /// timings plus, for every population request execution triggered,
+    /// which path resolved it (cache hit, delta, full recompute) and how
+    /// each scan ran (sequential, parallel with chunk count, index
+    /// pushdown).
+    pub fn explain(&self, src: &str) -> Result<(Value, ov_query::QueryTrace)> {
+        ov_query::run_query_traced(self, src).map_err(ViewError::from)
+    }
+
+    /// Requests the population of virtual (or imaginary) class `class` and
+    /// reports how the request was resolved: `CacheHit`, `Delta {
+    /// retested }`, or `FullRecompute` with its scans, plus row count and
+    /// wall-clock time. The population genuinely runs — the plan is a
+    /// record of what happened, not a prediction.
+    pub fn explain_population(&self, class: Symbol) -> Result<plan::PopulationTrace> {
+        let c = self
+            .lookup_class(class)
+            .ok_or(OodbError::UnknownClass(class))?;
+        match self.kinds.read().get(&c) {
+            Some(ClassKind::Virtual) | Some(ClassKind::Imaginary { .. }) => {}
+            _ => {
+                return Err(ViewError::Definition(format!(
+                    "`{class}` is not a virtual or imaginary class; only computed populations \
+                     have plans"
+                )))
+            }
+        }
+        let (result, events) = plan::collect(|| self.population(c));
+        result.map_err(ViewError::from)?;
+        let name = self.schema.read().class(c).name;
+        // The requested class's event completes last (nested populations of
+        // other virtual classes finish before it).
+        events
+            .into_iter()
+            .rev()
+            .find(|e| e.class == name)
+            .ok_or_else(|| {
+                ViewError::Definition(format!("population of `{class}` emitted no trace"))
+            })
     }
 
     // ------------------------------------------------------------------
@@ -1083,23 +1145,58 @@ impl View {
             let name = self.schema.read().class(c).name;
             return Err(ViewError::CyclicVirtualClass(name).into());
         }
+        let t0 = std::time::Instant::now();
+        plan::begin_population();
+        match self.population_inner(c) {
+            Ok((oids, outcome)) => {
+                let nanos = t0.elapsed().as_nanos() as u64;
+                match outcome {
+                    plan::PopOutcome::CacheHit => {
+                        ov_oodb::metric_histogram!("views.population.cache_hit_ns").record(nanos)
+                    }
+                    plan::PopOutcome::Delta { .. } => {
+                        ov_oodb::metric_histogram!("views.population.delta_ns").record(nanos)
+                    }
+                    plan::PopOutcome::FullRecompute => {
+                        ov_oodb::metric_histogram!("views.population.recompute_ns").record(nanos)
+                    }
+                }
+                if plan::tracing_active() {
+                    let name = self.schema.read().class(c).name;
+                    plan::end_population(name, outcome, oids.len(), nanos);
+                }
+                Ok(oids)
+            }
+            Err(e) => {
+                plan::abort_population();
+                Err(e)
+            }
+        }
+    }
+
+    /// The un-traced body of [`Self::population`]: resolves the request and
+    /// reports which of the three paths did it.
+    fn population_inner(
+        &self,
+        c: ClassId,
+    ) -> ov_query::Result<(Arc<BTreeSet<Oid>>, plan::PopOutcome)> {
         let versions = self.source_versions();
         let schema_len = self.schema.read().len();
         if self.materialization != Materialization::AlwaysRecompute {
             if let Some(cached) = self.pop_shard(c).read().get(&c) {
                 if cached.versions == versions && cached.schema_len == schema_len {
                     self.bump_stat(Stat::CacheHit);
-                    return Ok(cached.oids.clone());
+                    return Ok((cached.oids.clone(), plan::PopOutcome::CacheHit));
                 }
             }
             self.bump_stat(Stat::CacheMiss);
         }
         if self.materialization == Materialization::Incremental {
-            if let Some(updated) = self.try_incremental(c, &versions, schema_len)? {
+            if let Some((updated, retested)) = self.try_incremental(c, &versions, schema_len)? {
                 self.bump_stat(Stat::IncrementalUpdate);
                 let oids = Arc::new(updated);
                 self.store_pop(c, versions, schema_len, oids.clone());
-                return Ok(oids);
+                return Ok((oids, plan::PopOutcome::Delta { retested }));
             }
         }
         self.with_eval(|s| s.populating.insert(c));
@@ -1115,7 +1212,7 @@ impl View {
         });
         let oids = Arc::new(result?);
         self.store_pop(c, versions, schema_len, oids.clone());
-        Ok(oids)
+        Ok((oids, plan::PopOutcome::FullRecompute))
     }
 
     fn store_pop(
@@ -1135,15 +1232,16 @@ impl View {
         );
     }
 
-    /// Attempts a delta update of `c`'s cached population. Returns
-    /// `Ok(None)` when a full recompute is required (no cache, journal gap,
-    /// schema change, or an opaque include).
+    /// Attempts a delta update of `c`'s cached population. Returns the
+    /// patched population together with how many changed oids were
+    /// re-tested, or `Ok(None)` when a full recompute is required (no
+    /// cache, journal gap, schema change, or an opaque include).
     fn try_incremental(
         &self,
         c: ClassId,
         versions: &[u64],
         schema_len: usize,
-    ) -> ov_query::Result<Option<BTreeSet<Oid>>> {
+    ) -> ov_query::Result<Option<(BTreeSet<Oid>, usize)>> {
         let cached = match self.pop_shard(c).read().get(&c) {
             Some(entry) => entry.clone(),
             None => return Ok(None),
@@ -1166,12 +1264,17 @@ impl View {
             let db = handle.read();
             match db.store.changes_since(cached.versions[idx]) {
                 Some(oids) => changed.extend(oids),
-                None => return Ok(None), // journal gap
+                None => {
+                    // Journal gap: the store trimmed past our cached
+                    // version, so the delta is unrecoverable.
+                    ov_oodb::metric_counter!("views.journal_gap_fallbacks").inc();
+                    return Ok(None);
+                }
             }
         }
         let _ = versions;
         if changed.is_empty() {
-            return Ok(Some((*cached.oids).clone()));
+            return Ok(Some(((*cached.oids).clone(), 0)));
         }
         // Re-test membership only for the changed oids, with the same
         // privileged visibility and cycle guards as a full computation.
@@ -1179,6 +1282,7 @@ impl View {
             s.populating.insert(c);
             s.body_depth += 1;
         });
+        let retested = changed.len();
         let result = (|| -> ov_query::Result<BTreeSet<Oid>> {
             let mut set = (*cached.oids).clone();
             for oid in changed {
@@ -1194,7 +1298,7 @@ impl View {
             s.body_depth -= 1;
             s.populating.remove(&c);
         });
-        result.map(Some)
+        result.map(|set| Some((set, retested)))
     }
 
     /// Does any include admit `oid` right now (per its delta plan)?
@@ -1245,6 +1349,9 @@ impl View {
         let (populating, depth) = self.with_eval(|s| (s.populating.clone(), s.body_depth));
         let workers = self.parallel.workers_for(extent.len());
         let chunk_len = extent.len().div_ceil(workers);
+        plan::record_scan(plan::ScanKind::Parallel {
+            chunks: extent.len().div_ceil(chunk_len),
+        });
         let results: Vec<ov_query::Result<BTreeSet<Oid>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = extent
                 .chunks(chunk_len)
@@ -1306,8 +1413,9 @@ impl View {
                     // equality conjunct on an indexed stored attribute is
                     // answered from the index instead of scanning the
                     // extent.
-                    if let Some(candidates) = self.index_candidates(q) {
+                    if let Some((candidates, index)) = self.index_candidates(q) {
                         self.bump_stat(Stat::IndexPushdown);
+                        plan::record_scan(plan::ScanKind::IndexPushdown { index });
                         let var = q.bindings[0].0;
                         for oid in candidates {
                             let mut env = ov_query::Env::new();
@@ -1344,6 +1452,7 @@ impl View {
                             }
                         }
                     }
+                    plan::record_scan(plan::ScanKind::Sequential);
                     let v = eval_select(self, q)?;
                     let Value::Set(items) = v else {
                         unreachable!("select returns a set")
@@ -1415,8 +1524,9 @@ impl View {
     /// If `q` is a canonical specialization query over an *imported* class
     /// with an equality conjunct `var.A = literal` on an attribute the
     /// source database indexes, returns the candidate oids from the index
-    /// (the full filter is still applied by the caller).
-    fn index_candidates(&self, q: &SelectExpr) -> Option<Vec<Oid>> {
+    /// together with the index's `Class.Attr` label (the full filter is
+    /// still applied by the caller).
+    fn index_candidates(&self, q: &SelectExpr) -> Option<(Vec<Oid>, String)> {
         let [(var, Expr::Name(class_name))] = q.bindings.as_slice() else {
             return None;
         };
@@ -1431,7 +1541,9 @@ impl View {
         let filter = q.filter.as_deref()?;
         let (attr, value) = find_eq_conjunct(filter, *var)?;
         let db = self.sources[source].read();
-        db.indexed_deep_lookup(orig, attr, &value)
+        let candidates = db.indexed_deep_lookup(orig, attr, &value)?;
+        let label = format!("{}.{attr}", db.schema.class(orig).name);
+        Some((candidates, label))
     }
 
     /// Maps a core tuple to its imaginary oid (§5.1): "there could be a
@@ -1648,12 +1760,44 @@ impl View {
         }
         let view_class = self.view_class_of(oid).map_err(ViewError::from)?;
         let schema = self.schema.read();
-        if let Some((def_in, _)) = schema.visible_attrs(view_class).get(&attr) {
-            if self.is_hidden_attr(*def_in, attr, &schema) {
-                return Err(ViewError::HiddenAttr {
-                    class: schema.class(view_class).name,
-                    attr,
-                });
+        match schema.visible_attrs(view_class).get(&attr) {
+            Some((def_in, def)) => {
+                if self.is_hidden_attr(*def_in, attr, &schema) {
+                    return Err(ViewError::HiddenAttr {
+                        class: schema.class(view_class).name,
+                        attr,
+                    });
+                }
+                // A computed definition shadows any stored base attribute
+                // of the same name; forwarding the write would store a
+                // base value the view never reads back.
+                if !def.is_stored() {
+                    return Err(ViewError::ComputedAttrUpdate {
+                        class: schema.class(view_class).name,
+                        attr,
+                    });
+                }
+            }
+            None => {
+                // The attribute has no visible definition here — but the
+                // write still reaches the base store below, so a hide must
+                // still block it. Without a definition site to test
+                // precisely, fall back to the subclass-closed name check
+                // (§3: a hide in C covers C and all its subclasses): any
+                // hide whose root is related to `view_class` suppresses
+                // the name along this object's resolution chain.
+                if self.body_depth() == 0
+                    && self.hidden_attrs.iter().any(|&(c, a)| {
+                        a == attr
+                            && (schema.is_subclass(view_class, c)
+                                || schema.is_subclass(c, view_class))
+                    })
+                {
+                    return Err(ViewError::HiddenAttr {
+                        class: schema.class(view_class).name,
+                        attr,
+                    });
+                }
             }
         }
         drop(schema);
@@ -1666,7 +1810,10 @@ impl View {
         Err(OodbError::UnknownObject(oid).into())
     }
 
-    /// Deletes a base object through the view.
+    /// Deletes a base object through the view. Identity-table entries whose
+    /// core tuple references the deleted oid are swept immediately: under
+    /// [`IdentityMode::Table`] a stale entry would otherwise resurrect its
+    /// imaginary oid from a dead tuple if an equal tuple ever reappeared.
     pub fn delete(&self, oid: Oid) -> Result<()> {
         if let Some(im) = self.imaginary.read().get(&oid) {
             let class = self.schema.read().class(im.class).name;
@@ -1676,10 +1823,43 @@ impl View {
             let mut db = handle.write();
             if db.store.get(oid).is_some() {
                 db.delete_object(oid)?;
+                drop(db);
+                self.purge_dead_identity(oid);
                 return Ok(());
             }
         }
         Err(OodbError::UnknownObject(oid).into())
+    }
+
+    /// Drops every identity-table entry whose core tuple references `dead`
+    /// (with its cached imaginary object). Lock order identity → imaginary,
+    /// matching [`Self::gc_identity`] and [`Self::imaginary_oid`].
+    fn purge_dead_identity(&self, dead: Oid) {
+        let mut purged: Vec<Oid> = Vec::new();
+        let mut identity = self.identity.write();
+        for table in identity.values_mut() {
+            table.retain(|tuple, &mut im_oid| {
+                let mut refs = Vec::new();
+                for (_, v) in tuple.iter() {
+                    v.collect_oids(&mut refs);
+                }
+                if refs.contains(&dead) {
+                    purged.push(im_oid);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let mut imaginary = self.imaginary.write();
+        for o in &purged {
+            imaginary.remove(o);
+        }
+        drop(imaginary);
+        drop(identity);
+        if !purged.is_empty() {
+            ov_oodb::metric_counter!("views.identity_purged").add(purged.len() as u64);
+        }
     }
 
     /// Instantiates a parameterized class (`Resident("France")`), creating

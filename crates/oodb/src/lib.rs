@@ -54,6 +54,7 @@ pub mod error;
 pub mod expr;
 pub mod ids;
 pub mod index;
+pub mod metrics;
 pub mod resolve;
 pub mod schema;
 pub mod store;
@@ -68,6 +69,7 @@ pub use error::{OodbError, Result};
 pub use expr::{AggFunc, BinOp, Expr, SelectExpr, UnOp};
 pub use ids::{ClassId, DbId, Oid};
 pub use index::{AttrIndex, IndexSet};
+pub use metrics::{registry, Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use resolve::{resolve_attr, ConflictPolicy, Resolution};
 pub use schema::{AttrBody, AttrDef, AttrSig, Class, Schema};
 pub use store::{Store, StoredObject};

@@ -1,0 +1,395 @@
+//! Process-wide metrics: relaxed-atomic counters and fixed-bucket latency
+//! histograms, snapshot-able as JSON.
+//!
+//! This is the accounting half of the observability layer: the view layer's
+//! per-view [`ViewStats`](../../ov_views/struct.ViewStats.html) counters say
+//! what one view did; the registry here aggregates the same events — plus
+//! store mutations, journal consumption, and index lookups — across the
+//! whole process, so the bench harness (`--metrics out.json`) and the `ovq`
+//! shell (`.metrics`) can report a single coherent picture.
+//!
+//! Design constraints: **no external dependencies** (hand-rolled JSON, std
+//! atomics) and **no hot-path locking** — call sites cache their
+//! `Arc<Counter>` in a `OnceLock` via [`metric_counter!`] /
+//! [`metric_histogram!`], so steady-state cost is one relaxed
+//! `fetch_add`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+/// A monotonically increasing relaxed-atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Smallest histogram bucket upper bound, in nanoseconds. Bucket `i` counts
+/// samples `< BUCKET_FLOOR_NS << i`; the last bucket also absorbs overflow.
+pub const BUCKET_FLOOR_NS: u64 = 128;
+
+/// A fixed-bucket latency histogram over nanosecond samples.
+///
+/// Buckets are powers of two starting at [`BUCKET_FLOOR_NS`] (128 ns, 256 ns,
+/// … ≈ 275 s), which covers everything from a cache-hit population to a cold
+/// full recompute with ≤ 2× relative error per bucket. All cells are relaxed
+/// atomics: recording is wait-free and never synchronizes readers.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// The bucket index for a nanosecond sample.
+    fn bucket_of(nanos: u64) -> usize {
+        let mut bound = BUCKET_FLOOR_NS;
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            if nanos < bound {
+                return i;
+            }
+            bound <<= 1;
+        }
+        HISTOGRAM_BUCKETS - 1
+    }
+
+    /// The inclusive upper bound of bucket `i`, in nanoseconds (the last
+    /// bucket is unbounded; its nominal bound is returned).
+    pub fn bucket_bound(i: usize) -> u64 {
+        BUCKET_FLOOR_NS << i.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one nanosecond sample.
+    pub fn record(&self, nanos: u64) {
+        self.buckets[Self::bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Times `f` and records its wall-clock duration.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t0 = std::time::Instant::now();
+        let r = f();
+        self.record(t0.elapsed().as_nanos() as u64);
+        r
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy of the histogram (relaxed reads; exact only
+    /// in quiescence, which is all observability needs).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples, in nanoseconds.
+    pub sum: u64,
+    /// Per-bucket sample counts (see [`Histogram::bucket_bound`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean sample, in nanoseconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (0 ≤ q ≤ 1), in
+    /// nanoseconds: the bound of the first bucket whose cumulative count
+    /// reaches `q·count`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return Histogram::bucket_bound(i);
+            }
+        }
+        Histogram::bucket_bound(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// A process-wide registry of named counters and histograms.
+///
+/// Metric names are dot-separated paths (`"oodb.store.mutations"`,
+/// `"views.population.recompute_ns"`). Lookup takes a read lock; hot call
+/// sites should cache the returned `Arc` (see [`metric_counter!`]).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry (the process normally uses [`registry`]).
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::default)
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`], serializable as JSON.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot as a self-contained JSON document (counters
+    /// as integers; histograms as count/sum/mean/quantile summaries plus
+    /// the non-empty buckets as `[upper_bound_ns, count]` pairs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    {}: {value}", json_str(name));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {}: {{\"count\": {}, \"sum_ns\": {}, \"mean_ns\": {:.0}, \
+                 \"p50_ns\": {}, \"p99_ns\": {}, \"buckets\": [",
+                json_str(name),
+                h.count,
+                h.sum,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+            );
+            let mut first = true;
+            for (b, &n) in h.buckets.iter().enumerate() {
+                if n > 0 {
+                    let sep = if first { "" } else { ", " };
+                    let _ = write!(out, "{sep}[{}, {n}]", Histogram::bucket_bound(b));
+                    first = false;
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Quotes and escapes a string for JSON.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The process-wide counter named by the literal, resolved once per call
+/// site and cached in a `OnceLock` — steady-state cost is one relaxed
+/// `fetch_add`, no locking.
+#[macro_export]
+macro_rules! metric_counter {
+    ($name:expr) => {{
+        static __METRIC: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**__METRIC.get_or_init(|| $crate::metrics::registry().counter($name))
+    }};
+}
+
+/// The process-wide histogram named by the literal, cached per call site
+/// like [`metric_counter!`].
+#[macro_export]
+macro_rules! metric_histogram {
+    ($name:expr) => {{
+        static __METRIC: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Histogram>> =
+            ::std::sync::OnceLock::new();
+        &**__METRIC.get_or_init(|| $crate::metrics::registry().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("a.b");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("a.b").get(), 5);
+        assert_eq!(r.snapshot().counters["a.b"], 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(127), 0);
+        assert_eq!(Histogram::bucket_of(128), 1);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for ns in [50u64, 200, 200, 5_000] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 5_450);
+        // p50 falls in the 200 ns bucket (bound 256), p99 in the 5 µs one.
+        assert_eq!(s.quantile(0.5), 256);
+        assert!(s.quantile(0.99) >= 5_000);
+        assert!(s.mean() > 1_000.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_as_json() {
+        let r = MetricsRegistry::new();
+        r.counter("x.count").add(3);
+        r.histogram("y_ns").record(1_000);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"x.count\": 3"), "got: {json}");
+        assert!(json.contains("\"y_ns\""), "got: {json}");
+        assert!(json.contains("\"count\": 1"), "got: {json}");
+        // Hand-rolled JSON must stay structurally balanced.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "got: {json}"
+        );
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = registry().counter("test.metrics.shared");
+        let before = a.get();
+        metric_counter!("test.metrics.shared").inc();
+        assert_eq!(a.get(), before + 1);
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -92,6 +92,7 @@ impl Store {
         self.version += 1;
         self.journal.push_back((self.version, oid));
         self.trim_journal();
+        crate::metric_counter!("oodb.store.mutations").inc();
     }
 
     fn trim_journal(&mut self) {
@@ -133,7 +134,10 @@ impl Store {
         attr: crate::Symbol,
         value: &crate::Value,
     ) -> Option<Vec<Oid>> {
-        Some(self.indexes.get(class, attr)?.get(value).collect())
+        crate::metric_counter!("oodb.index.lookups").inc();
+        let hits = self.indexes.get(class, attr)?.get(value).collect();
+        crate::metric_counter!("oodb.index.hits").inc();
+        Some(hits)
     }
 
     /// Is `(class, attr)` indexed?
@@ -146,11 +150,14 @@ impl Store {
     /// means the store is unchanged since `version`.
     pub fn changes_since(&self, version: u64) -> Option<Vec<Oid>> {
         if version == self.version {
+            crate::metric_counter!("oodb.journal.delta_served").inc();
             return Some(Vec::new());
         }
         if version < self.journal_floor {
+            crate::metric_counter!("oodb.journal.gaps").inc();
             return None;
         }
+        crate::metric_counter!("oodb.journal.delta_served").inc();
         let mut out: Vec<Oid> = self
             .journal
             .iter()

@@ -33,6 +33,7 @@ pub mod lexer;
 pub mod optimize;
 pub mod parallel;
 pub mod parser;
+pub mod plan;
 pub mod source;
 pub mod typecheck;
 
@@ -46,5 +47,8 @@ pub use exec::{
 pub use optimize::{optimize_expr, optimize_select};
 pub use parallel::{eval_select_parallel, run_query_parallel, ParallelConfig};
 pub use parser::{parse_expr, parse_program, parse_select, parse_type};
+pub use plan::{
+    run_query_traced, PopOutcome, PopPath, PopulationTrace, QueryTrace, ScanKind, Stage,
+};
 pub use source::{require_class, DataSource, ResolvedAttr, SourceGraph};
 pub use typecheck::{infer, infer_expr, infer_select, infer_select_in, type_of_value, TypeEnv};

@@ -1,0 +1,464 @@
+//! Plan introspection and structured tracing (the `EXPLAIN` substrate).
+//!
+//! PR 1 gave population requests three resolution paths — cache hit, delta
+//! update from the store's change journal, full recompute — plus parallel
+//! scans and index pushdown inside a recompute. Nothing reported *which*
+//! path fired. This module is the record of that decision: the view layer
+//! emits [`PopulationTrace`] events through a thread-local collector while
+//! it evaluates, and [`run_query_traced`] wraps a query with per-stage
+//! timings ([`Stage`]) plus every population event the evaluation triggered.
+//!
+//! The collector is thread-local on purpose: population happens deep inside
+//! `DataSource::deep_extent` calls whose signatures know nothing about
+//! tracing, and threading a context through every evaluator frame would
+//! infect the whole query layer. Instead, the explaining caller brackets
+//! the work with [`collect`], and the view layer calls
+//! [`begin_population`] / [`record_scan`] / [`end_population`] at the
+//! decision points. When no collector is installed every hook is a cheap
+//! thread-local read followed by a no-op, so the untraced hot path stays
+//! untraced. Worker threads spawned *inside* a traced evaluation (parallel
+//! scans) do not see the parent's collector — the chunk count is recorded
+//! by the coordinating thread, which is the one making the plan decision.
+
+use std::cell::RefCell;
+use std::fmt;
+
+use ov_oodb::Symbol;
+
+use crate::error::Result;
+use crate::source::DataSource;
+
+/// How one include-term scan inside a full recompute was executed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScanKind {
+    /// Plain single-threaded evaluation over the source extent.
+    Sequential,
+    /// The extent was split across worker threads.
+    Parallel {
+        /// Number of chunks the extent was split into.
+        chunks: usize,
+    },
+    /// An equality conjunct was answered from a secondary index.
+    IndexPushdown {
+        /// The index used, as `Class.Attr`.
+        index: String,
+    },
+}
+
+impl fmt::Display for ScanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanKind::Sequential => write!(f, "[seq]"),
+            ScanKind::Parallel { chunks } => write!(f, "[parallel ×{chunks}]"),
+            ScanKind::IndexPushdown { index } => write!(f, "[index {index}]"),
+        }
+    }
+}
+
+/// Which of the three population paths resolved a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PopPath {
+    /// The version-keyed cache was current; no evaluation happened.
+    CacheHit,
+    /// The cached population was patched from the store change journal.
+    Delta {
+        /// Number of changed oids whose membership was re-tested.
+        retested: usize,
+    },
+    /// The population was evaluated from scratch.
+    FullRecompute {
+        /// How each include-term scan was executed, in evaluation order.
+        scans: Vec<ScanKind>,
+    },
+}
+
+impl fmt::Display for PopPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PopPath::CacheHit => write!(f, "CacheHit"),
+            PopPath::Delta { retested } => write!(f, "Delta{{retested={retested}}}"),
+            PopPath::FullRecompute { scans } => {
+                write!(f, "FullRecompute")?;
+                for s in scans {
+                    write!(f, " {s}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The path outcome the view layer reports to [`end_population`]; the
+/// collector grafts the recorded scans onto `FullRecompute` itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PopOutcome {
+    /// See [`PopPath::CacheHit`].
+    CacheHit,
+    /// See [`PopPath::Delta`].
+    Delta {
+        /// Number of changed oids re-tested.
+        retested: usize,
+    },
+    /// See [`PopPath::FullRecompute`].
+    FullRecompute,
+}
+
+/// One population request: which class, which path, how many members, how
+/// long.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PopulationTrace {
+    /// The virtual (or imaginary) class whose population was requested.
+    pub class: Symbol,
+    /// The resolution path taken.
+    pub path: PopPath,
+    /// Number of members in the resulting population.
+    pub rows: usize,
+    /// Wall-clock time of the request, in nanoseconds.
+    pub nanos: u64,
+}
+
+impl fmt::Display for PopulationTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "population {}: {} (rows={}, {})",
+            self.class,
+            self.path,
+            self.rows,
+            fmt_ns(self.nanos)
+        )
+    }
+}
+
+/// One timed stage of a traced query (parse, typecheck, optimize, execute).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stage {
+    /// Stage name.
+    pub name: &'static str,
+    /// Wall-clock time, in nanoseconds.
+    pub nanos: u64,
+    /// Stage-specific detail (inferred type, rewritten expression, …).
+    pub detail: String,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<10} {:>9}", self.name, fmt_ns(self.nanos))?;
+        if !self.detail.is_empty() {
+            write!(f, "  {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// The full trace of one query: per-stage timings plus every population
+/// request the execution triggered.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// Timed stages, in order.
+    pub stages: Vec<Stage>,
+    /// Population requests fired during execution, in completion order.
+    pub populations: Vec<PopulationTrace>,
+    /// Result cardinality, when the result is a set or list.
+    pub rows: Option<usize>,
+}
+
+impl fmt::Display for QueryTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.stages {
+            writeln!(f, "{s}")?;
+        }
+        for p in &self.populations {
+            writeln!(f, "{p}")?;
+        }
+        if let Some(rows) = self.rows {
+            writeln!(f, "rows: {rows}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a nanosecond duration with a human unit (`870ns`, `12.4µs`,
+/// `3.1ms`, `2.05s`).
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// One in-flight population frame: the scans recorded since its
+/// [`begin_population`].
+type ScanFrame = Vec<ScanKind>;
+
+struct Collector {
+    events: Vec<PopulationTrace>,
+    /// Stack of open population frames (populations can nest when a view
+    /// body mentions another virtual class).
+    frames: Vec<ScanFrame>,
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Is a trace collector installed on this thread? The view layer may use
+/// this to skip building detail strings on the untraced path.
+pub fn tracing_active() -> bool {
+    COLLECTOR.with(|c| c.borrow().is_some())
+}
+
+/// Opens a population frame. Every call must be paired with exactly one
+/// [`end_population`] or [`abort_population`]. No-op without a collector.
+pub fn begin_population() {
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.frames.push(Vec::new());
+        }
+    });
+}
+
+/// Records how an include-term scan of the current population frame was
+/// executed. No-op without a collector or an open frame.
+pub fn record_scan(kind: ScanKind) {
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            if let Some(frame) = col.frames.last_mut() {
+                frame.push(kind);
+            }
+        }
+    });
+}
+
+/// Closes the current population frame as `outcome` and emits its event.
+/// No-op without a collector.
+pub fn end_population(class: Symbol, outcome: PopOutcome, rows: usize, nanos: u64) {
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            let scans = col.frames.pop().unwrap_or_default();
+            let path = match outcome {
+                PopOutcome::CacheHit => PopPath::CacheHit,
+                PopOutcome::Delta { retested } => PopPath::Delta { retested },
+                PopOutcome::FullRecompute => PopPath::FullRecompute { scans },
+            };
+            col.events.push(PopulationTrace {
+                class,
+                path,
+                rows,
+                nanos,
+            });
+        }
+    });
+}
+
+/// Closes the current population frame without emitting an event (the
+/// population failed). No-op without a collector.
+pub fn abort_population() {
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.frames.pop();
+        }
+    });
+}
+
+/// Runs `f` with a trace collector installed on this thread and returns its
+/// result together with every population event it emitted. Nests: a
+/// `collect` inside a `collect` captures its own events only, then restores
+/// the outer collector.
+pub fn collect<R>(f: impl FnOnce() -> R) -> (R, Vec<PopulationTrace>) {
+    let prev = COLLECTOR.with(|c| {
+        c.borrow_mut().replace(Collector {
+            events: Vec::new(),
+            frames: Vec::new(),
+        })
+    });
+    let r = f();
+    let col = COLLECTOR.with(|c| match prev {
+        Some(prev) => c.borrow_mut().replace(prev),
+        None => c.borrow_mut().take(),
+    });
+    let events = col.map(|c| c.events).unwrap_or_default();
+    (r, events)
+}
+
+/// Runs a query like [`run_query`](crate::run_query) but returns, alongside
+/// the value, a [`QueryTrace`] with parse / typecheck / optimize / execute
+/// timings and every population event execution triggered. Typecheck
+/// failure is recorded in the trace but does not abort the run (the
+/// evaluator is dynamically typed, matching `run_query`).
+pub fn run_query_traced(src: &dyn DataSource, query: &str) -> Result<(ov_oodb::Value, QueryTrace)> {
+    use std::time::Instant;
+    let mut trace = QueryTrace::default();
+
+    let t0 = Instant::now();
+    let expr = crate::parser::parse_expr(query)?;
+    trace.stages.push(Stage {
+        name: "parse",
+        nanos: t0.elapsed().as_nanos() as u64,
+        detail: expr.to_string(),
+    });
+
+    let t0 = Instant::now();
+    let detail = match crate::typecheck::infer_expr(src, &expr) {
+        Ok(t) => format!("{t:?}"),
+        Err(e) => format!("error: {e}"),
+    };
+    trace.stages.push(Stage {
+        name: "typecheck",
+        nanos: t0.elapsed().as_nanos() as u64,
+        detail,
+    });
+
+    let t0 = Instant::now();
+    let optimized = crate::optimize::optimize_expr(&expr);
+    trace.stages.push(Stage {
+        name: "optimize",
+        nanos: t0.elapsed().as_nanos() as u64,
+        detail: if optimized == expr {
+            "(unchanged)".to_owned()
+        } else {
+            optimized.to_string()
+        },
+    });
+
+    let t0 = Instant::now();
+    let (value, populations) = collect(|| crate::eval::eval_expr(src, &optimized));
+    trace.stages.push(Stage {
+        name: "execute",
+        nanos: t0.elapsed().as_nanos() as u64,
+        detail: String::new(),
+    });
+    trace.populations = populations;
+    let value = value?;
+    trace.rows = match &value {
+        ov_oodb::Value::Set(s) => Some(s.len()),
+        ov_oodb::Value::List(l) => Some(l.len()),
+        _ => None,
+    };
+    Ok((value, trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ov_oodb::sym;
+
+    #[test]
+    fn hooks_are_noops_without_a_collector() {
+        assert!(!tracing_active());
+        begin_population();
+        record_scan(ScanKind::Sequential);
+        end_population(sym("X"), PopOutcome::FullRecompute, 0, 1);
+        abort_population();
+        // Nothing to observe: the point is simply that none of it panics.
+    }
+
+    #[test]
+    fn collect_captures_population_events() {
+        let ((), events) = collect(|| {
+            assert!(tracing_active());
+            begin_population();
+            record_scan(ScanKind::Parallel { chunks: 4 });
+            record_scan(ScanKind::Sequential);
+            end_population(sym("Adult"), PopOutcome::FullRecompute, 12, 5_000);
+        });
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].class, sym("Adult"));
+        assert_eq!(events[0].rows, 12);
+        assert_eq!(
+            events[0].path,
+            PopPath::FullRecompute {
+                scans: vec![ScanKind::Parallel { chunks: 4 }, ScanKind::Sequential]
+            }
+        );
+        assert!(!tracing_active());
+    }
+
+    #[test]
+    fn nested_frames_attach_scans_to_the_right_population() {
+        let ((), events) = collect(|| {
+            begin_population(); // outer
+            record_scan(ScanKind::Sequential);
+            begin_population(); // inner
+            record_scan(ScanKind::IndexPushdown {
+                index: "Person.City".into(),
+            });
+            end_population(sym("Inner"), PopOutcome::FullRecompute, 1, 10);
+            end_population(sym("Outer"), PopOutcome::FullRecompute, 2, 20);
+        });
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].class, sym("Inner"));
+        assert_eq!(
+            events[0].path,
+            PopPath::FullRecompute {
+                scans: vec![ScanKind::IndexPushdown {
+                    index: "Person.City".into()
+                }]
+            }
+        );
+        assert_eq!(
+            events[1].path,
+            PopPath::FullRecompute {
+                scans: vec![ScanKind::Sequential]
+            }
+        );
+    }
+
+    #[test]
+    fn abort_closes_a_frame_without_an_event() {
+        let ((), events) = collect(|| {
+            begin_population();
+            record_scan(ScanKind::Sequential);
+            abort_population();
+        });
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn nested_collect_restores_the_outer_collector() {
+        let ((), outer) = collect(|| {
+            begin_population();
+            end_population(sym("A"), PopOutcome::CacheHit, 1, 1);
+            let ((), inner) = collect(|| {
+                begin_population();
+                end_population(sym("B"), PopOutcome::CacheHit, 2, 2);
+            });
+            assert_eq!(inner.len(), 1);
+            assert_eq!(inner[0].class, sym("B"));
+            begin_population();
+            end_population(sym("C"), PopOutcome::CacheHit, 3, 3);
+        });
+        let classes: Vec<_> = outer.iter().map(|e| e.class).collect();
+        assert_eq!(classes, vec![sym("A"), sym("C")]);
+    }
+
+    #[test]
+    fn display_rendering() {
+        let p = PopulationTrace {
+            class: sym("Adult"),
+            path: PopPath::Delta { retested: 3 },
+            rows: 41,
+            nanos: 12_400,
+        };
+        assert_eq!(
+            p.to_string(),
+            "population Adult: Delta{retested=3} (rows=41, 12.4µs)"
+        );
+        let full = PopPath::FullRecompute {
+            scans: vec![
+                ScanKind::IndexPushdown {
+                    index: "Person.City".into(),
+                },
+                ScanKind::Parallel { chunks: 8 },
+            ],
+        };
+        assert_eq!(
+            full.to_string(),
+            "FullRecompute [index Person.City] [parallel ×8]"
+        );
+        assert_eq!(fmt_ns(870), "870ns");
+        assert_eq!(fmt_ns(3_100_000), "3.1ms");
+    }
+}

@@ -15,6 +15,9 @@
 //! | `.use NAME` | focus a database or view |
 //! | `.load FILE` | execute a script file |
 //! | `.dump DB` | print a database as DDL |
+//! | `.explain T Q` | plan + trace of query `Q` against database/view `T` |
+//! | `.plan V C` | population plan of virtual class `C` of view `V` |
+//! | `.metrics [FILE]` | process-wide metrics snapshot as JSON |
 //! | `.quit` | exit |
 
 use std::io::{BufRead, Write};
@@ -93,7 +96,9 @@ fn meta(session: &mut Session, cmd: &str) -> bool {
                  .dump DB         print a database as DDL\n\
                  .views           print every view definition as DDL\n\
                  .save [FILE]     serialize the whole session as a script\n\
-                 .explain T Q     parse/type/optimize query Q against T\n\
+                 .explain T Q     plan + trace of query Q against T\n\
+                 .plan V C        population plan of virtual class C of view V\n\
+                 .metrics [FILE]  process-wide metrics snapshot as JSON\n\
                  .quit            exit\n\
                  \n\
                  Anything else is a statement (end with `;`):\n\
@@ -130,6 +135,30 @@ fn meta(session: &mut Session, cmd: &str) -> bool {
             } else {
                 match session.explain(sym(target), q) {
                     Ok(text) => print!("{text}"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+        }
+        ".plan" => {
+            let mut parts = arg.splitn(2, ' ');
+            let view = parts.next().unwrap_or("");
+            let class = parts.next().unwrap_or("").trim();
+            if view.is_empty() || class.is_empty() {
+                eprintln!("usage: .plan VIEW CLASS");
+            } else {
+                match session.explain_population(sym(view), sym(class)) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+        }
+        ".metrics" => {
+            let json = objects_and_views::oodb::registry().snapshot().to_json();
+            if arg.is_empty() {
+                print!("{json}");
+            } else {
+                match std::fs::write(arg, &json) {
+                    Ok(()) => println!("-- metrics written to {arg}"),
                     Err(e) => eprintln!("error: {e}"),
                 }
             }

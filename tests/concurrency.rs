@@ -209,3 +209,84 @@ fn attribute_resolution_across_threads() {
         }
     });
 }
+
+/// An incremental view whose cached version falls behind a trimmed journal
+/// must fall back to full recomputation — and still agree, under concurrent
+/// writers, with a freshly-bound view's population.
+#[test]
+fn journal_gap_under_concurrent_writers_forces_recompute() {
+    let sys = staff_system();
+    let handle = sys.database(sym("Staff")).unwrap();
+    // A tiny journal: a handful of writes outrun the retained window.
+    const JOURNAL_CAP: usize = 8;
+    handle.write().store.set_journal_cap(JOURNAL_CAP);
+
+    let view = adult_view(
+        &sys,
+        ViewOptions::builder()
+            .materialization(Materialization::Incremental)
+            .build(),
+    );
+    // Warm the cache at the current version.
+    let warm = view.extent_of(sym("Adult")).unwrap();
+    assert!(!warm.is_empty());
+    let stats_before = view.stats();
+
+    // Concurrent writers push far more than JOURNAL_CAP mutations, so the
+    // cached version predates the journal floor by the time readers look.
+    let person = {
+        let db = handle.read();
+        db.schema.require_class(sym("Person")).unwrap()
+    };
+    const WRITERS: usize = 4;
+    const WRITES_EACH: usize = 16;
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let handle = &handle;
+            scope.spawn(move || {
+                for i in 0..WRITES_EACH {
+                    let mut db = handle.write();
+                    db.create_object(
+                        person,
+                        Value::tuple([
+                            (sym("Name"), Value::str(&format!("w{w}-{i}"))),
+                            (sym("Age"), Value::Int(30)),
+                            (sym("Income"), Value::Int(0)),
+                        ]),
+                    )
+                    .unwrap();
+                }
+            });
+        }
+    });
+
+    // The gap is real: the store cannot serve a delta from the cached
+    // version any more.
+    let cached_version_gone = {
+        let db = handle.read();
+        db.store.changes_since(0).is_none()
+    };
+    assert!(cached_version_gone, "journal should have trimmed past v0");
+
+    let after = view.extent_of(sym("Adult")).unwrap();
+    let stats_after = view.stats();
+    assert!(
+        stats_after.recomputations > stats_before.recomputations,
+        "journal gap must force the full-recompute path, got {stats_after:?}"
+    );
+    assert_eq!(
+        stats_after.incremental_updates, stats_before.incremental_updates,
+        "no delta can be served across a journal gap"
+    );
+    // And the fallback is correct: identical to a view bound fresh now.
+    let fresh = adult_view(&sys, ViewOptions::default());
+    assert_eq!(after, fresh.extent_of(sym("Adult")).unwrap());
+    assert_eq!(after.len(), warm.len() + WRITERS * WRITES_EACH);
+
+    // The plan layer reports the same story.
+    let trace = view.explain_population(sym("Adult")).unwrap();
+    assert!(
+        matches!(trace.path, objects_and_views::query::PopPath::CacheHit),
+        "population is cached again after the recompute: {trace}"
+    );
+}
