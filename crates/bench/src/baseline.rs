@@ -1,0 +1,325 @@
+//! Bench baseline snapshots: record, save, load, compare.
+//!
+//! The harness records one mean-nanoseconds sample per timed table cell
+//! under a stable `"Experiment/label/column"` key (e.g.
+//! `"E1/10000/computed@view"`). A *baseline* is the flat JSON object of
+//! those keys, written with sorted keys so snapshots diff cleanly:
+//!
+//! ```json
+//! {
+//!   "E1/1000/computed@view": 1234.5,
+//!   "E1/1000/stored@base": 210.0
+//! }
+//! ```
+//!
+//! `harness --save-baseline [FILE]` writes one; `harness --baseline [FILE]`
+//! re-runs the experiments, compares against the saved snapshot, prints
+//! per-key deltas grouped by experiment, and exits nonzero when any key
+//! regressed beyond the threshold. Comparison is deliberately coarse — the
+//! harness takes wall-clock means, so a regression needs BOTH a ratio above
+//! `threshold` AND an absolute delta above a noise floor before it counts.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Ratio (new/old) above which a timing counts as regressed, by default.
+pub const DEFAULT_THRESHOLD: f64 = 2.0;
+
+/// Absolute delta (ns) below which a ratio blowup is ignored as noise:
+/// a 30 ns → 90 ns cell is a 3× "regression" that means nothing.
+pub const NOISE_FLOOR_NS: f64 = 1_000.0;
+
+/// Default snapshot filename used when `--baseline`/`--save-baseline` are
+/// given without an argument.
+pub const DEFAULT_FILE: &str = "BENCH_baseline.json";
+
+static RECORDS: Mutex<Option<BTreeMap<String, f64>>> = Mutex::new(None);
+
+/// Records one timed cell under `experiment/label/column`.
+///
+/// Always on: recording a few hundred keys per harness run costs nothing
+/// next to the experiments themselves, and keeps the call sites free of
+/// mode checks.
+pub fn record(experiment: &str, label: &str, column: &str, ns: f64) {
+    let key = format!("{experiment}/{label}/{column}");
+    RECORDS
+        .lock()
+        .expect("baseline records poisoned")
+        .get_or_insert_with(BTreeMap::new)
+        .insert(key, ns);
+}
+
+/// All records so far, keyed `"Experiment/label/column"` → mean ns.
+pub fn snapshot() -> BTreeMap<String, f64> {
+    RECORDS
+        .lock()
+        .expect("baseline records poisoned")
+        .clone()
+        .unwrap_or_default()
+}
+
+/// Renders a snapshot as pretty JSON with sorted keys (BTreeMap order).
+pub fn to_json(map: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!("  \"{}\": {:.1}", escape(k), v));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Parses a flat `{"key": number, ...}` JSON object (the only shape
+/// [`to_json`] produces). Rejects anything nested; good errors, no deps.
+pub fn parse_json(src: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut map = BTreeMap::new();
+    let s = src.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "baseline file is not a JSON object".to_string())?;
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        let (key, after_key) = parse_string(rest)?;
+        let after_colon = after_key
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected `:` after key {key:?}"))?;
+        let t = after_colon.trim_start();
+        let num_len = t
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(t.len());
+        let ns: f64 = t[..num_len]
+            .parse()
+            .map_err(|e| format!("bad number for key {key:?}: {e}"))?;
+        map.insert(key, ns);
+        rest = t[num_len..].trim_start();
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r.trim_start(),
+            None if rest.is_empty() => break,
+            None => return Err(format!("expected `,` or end of object near {rest:.20?}")),
+        }
+    }
+    Ok(map)
+}
+
+/// Parses one leading JSON string, returning (contents, remainder).
+fn parse_string(s: &str) -> Result<(String, &str), String> {
+    let body = s
+        .trim_start()
+        .strip_prefix('"')
+        .ok_or_else(|| format!("expected a string near {s:.20?}"))?;
+    let mut out = String::new();
+    let mut chars = body.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &body[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, e @ ('"' | '\\' | '/'))) => out.push(e),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                other => return Err(format!("unsupported escape {other:?} in baseline key")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string in baseline file".into())
+}
+
+/// One compared key.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// `"Experiment/label/column"`.
+    pub key: String,
+    /// Baseline mean ns.
+    pub old_ns: f64,
+    /// Current mean ns.
+    pub new_ns: f64,
+    /// `new / old` (∞-safe: old ≤ 0 counts as ratio 1).
+    pub ratio: f64,
+    /// Did this key regress past the threshold and noise floor?
+    pub regressed: bool,
+}
+
+/// The result of comparing a current run against a saved baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// One row per key present in both snapshots, sorted by key.
+    pub rows: Vec<Delta>,
+    /// Keys in the baseline but absent from the current run.
+    pub missing: Vec<String>,
+    /// Keys in the current run but absent from the baseline.
+    pub added: Vec<String>,
+}
+
+impl Comparison {
+    /// Number of regressed rows.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|d| d.regressed).count()
+    }
+}
+
+/// Compares `current` against `baseline`. A key regresses when
+/// `new/old > threshold` AND `new - old > NOISE_FLOOR_NS`.
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    threshold: f64,
+) -> Comparison {
+    let mut cmp = Comparison::default();
+    for (key, &old_ns) in baseline {
+        match current.get(key) {
+            None => cmp.missing.push(key.clone()),
+            Some(&new_ns) => {
+                let ratio = if old_ns > 0.0 { new_ns / old_ns } else { 1.0 };
+                let regressed = ratio > threshold && (new_ns - old_ns) > NOISE_FLOOR_NS;
+                cmp.rows.push(Delta {
+                    key: key.clone(),
+                    old_ns,
+                    new_ns,
+                    ratio,
+                    regressed,
+                });
+            }
+        }
+    }
+    for key in current.keys() {
+        if !baseline.contains_key(key) {
+            cmp.added.push(key.clone());
+        }
+    }
+    cmp
+}
+
+/// Renders a comparison as the per-experiment delta report the harness
+/// prints. Keys share sort order with the snapshots, so rows group by
+/// experiment naturally; a blank line separates experiments.
+pub fn render(cmp: &Comparison, threshold: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# baseline comparison ({} keys, threshold {threshold}x)\n",
+        cmp.rows.len()
+    ));
+    let mut last_exp = String::new();
+    for d in &cmp.rows {
+        let exp = d.key.split('/').next().unwrap_or("").to_string();
+        if exp != last_exp {
+            out.push('\n');
+            last_exp = exp;
+        }
+        let flag = if d.regressed {
+            "  REGRESSED"
+        } else if d.ratio < 1.0 / DEFAULT_THRESHOLD {
+            "  (improved)"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "{:<44} {:>12} -> {:>12}  {:>6.2}x{}\n",
+            d.key,
+            crate::fmt_ns(d.old_ns),
+            crate::fmt_ns(d.new_ns),
+            d.ratio,
+            flag
+        ));
+    }
+    if !cmp.missing.is_empty() {
+        out.push_str(&format!(
+            "\n{} baseline key(s) not produced by this run:\n",
+            cmp.missing.len()
+        ));
+        for k in &cmp.missing {
+            out.push_str(&format!("  - {k}\n"));
+        }
+    }
+    if !cmp.added.is_empty() {
+        out.push_str(&format!(
+            "\n{} new key(s) absent from the baseline:\n",
+            cmp.added.len()
+        ));
+        for k in &cmp.added {
+            out.push_str(&format!("  + {k}\n"));
+        }
+    }
+    out.push_str(&format!("\nregressions: {}\n", cmp.regressions()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reset() {
+        *RECORDS.lock().unwrap() = None;
+    }
+
+    #[test]
+    fn json_round_trips_with_sorted_keys() {
+        reset();
+        record("E2", "b", "col", 2_000.0);
+        record("E1", "a", "col with \"quote\"", 1_500.5);
+        let snap = snapshot();
+        let json = to_json(&snap);
+        // Sorted: E1 before E2.
+        assert!(json.find("E1/a").unwrap() < json.find("E2/b").unwrap());
+        let back = parse_json(&json).unwrap();
+        assert_eq!(back, snap);
+        reset();
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_json("[1,2]").is_err());
+        assert!(parse_json("{\"k\": }").is_err());
+        assert!(parse_json("{\"k: 1}").is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn compare_flags_real_regressions_only() {
+        let mut old = BTreeMap::new();
+        let mut new = BTreeMap::new();
+        // 3x over a microsecond: regression.
+        old.insert("E1/a/x".into(), 10_000.0);
+        new.insert("E1/a/x".into(), 30_000.0);
+        // 3x but tiny absolute delta: noise, not a regression.
+        old.insert("E1/a/y".into(), 100.0);
+        new.insert("E1/a/y".into(), 300.0);
+        // Within threshold.
+        old.insert("E2/b/z".into(), 10_000.0);
+        new.insert("E2/b/z".into(), 12_000.0);
+        // Missing + added.
+        old.insert("E3/gone/x".into(), 1.0);
+        new.insert("E3/new/x".into(), 1.0);
+        let cmp = compare(&old, &new, 2.0);
+        assert_eq!(cmp.regressions(), 1);
+        assert_eq!(cmp.rows.iter().find(|d| d.regressed).unwrap().key, "E1/a/x");
+        assert_eq!(cmp.missing, vec!["E3/gone/x".to_string()]);
+        assert_eq!(cmp.added, vec!["E3/new/x".to_string()]);
+        let report = render(&cmp, 2.0);
+        assert!(report.contains("REGRESSED"));
+        assert!(report.contains("regressions: 1"));
+    }
+
+    #[test]
+    fn same_snapshot_has_zero_regressions() {
+        let mut snap = BTreeMap::new();
+        snap.insert("E1/a/x".into(), 5_000.0);
+        snap.insert("E9/b/pop".into(), 123_456.0);
+        let cmp = compare(&snap, &snap, 2.0);
+        assert_eq!(cmp.regressions(), 0);
+        assert!(cmp.missing.is_empty() && cmp.added.is_empty());
+    }
+}

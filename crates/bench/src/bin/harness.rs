@@ -2,19 +2,35 @@
 //!
 //! Run with: `cargo run --release -p ov-bench --bin harness`
 //!
-//! `--threads N` (default 1) additionally runs the multi-threaded read
-//! experiments in E4 and E5: population scans split across `N` workers,
-//! and `N` concurrent reader threads sharing one view.
+//! Flags (see `--help` for the same text):
 //!
-//! `--metrics FILE` writes, after all experiments, a JSON snapshot of the
-//! process-wide metrics registry (store mutations, journal delta/gap
-//! counts, index lookups, view population path counters and latency
-//! histograms) to `FILE`.
+//! - `--threads N` (default 1) additionally runs the multi-threaded read
+//!   experiments in E4 and E5: population scans split across `N` workers,
+//!   and `N` concurrent reader threads sharing one view.
+//! - `--metrics FILE` writes, after all experiments, a JSON snapshot of
+//!   the process-wide metrics registry (store mutations, journal delta/gap
+//!   counts, index lookups, view population path counters and latency
+//!   histograms with p50/p95/p99) to `FILE`.
+//! - `--trace FILE` enables the flight recorder for the whole run and
+//!   writes the recorded spans to `FILE` on exit — Chrome trace-event JSON
+//!   (load in Perfetto / `chrome://tracing`), or JSON-lines when `FILE`
+//!   ends in `.jsonl`.
+//! - `--save-baseline [FILE]` writes a baseline snapshot of every timed
+//!   table cell (`"Experiment/label/column"` → mean ns, sorted keys) to
+//!   `FILE` (default `BENCH_baseline.json`).
+//! - `--baseline [FILE]` compares this run against a saved snapshot,
+//!   prints per-experiment deltas, and exits nonzero if any cell regressed
+//!   past the threshold.
+//! - `--threshold X` (default 2.0) sets the regression ratio for
+//!   `--baseline`; a cell regresses when `new/old > X` and the absolute
+//!   delta clears a small noise floor.
 //!
-//! Each section corresponds to an experiment id (E1–E12) in EXPERIMENTS.md,
+//! Each section corresponds to an experiment id (E1–E13) in EXPERIMENTS.md,
 //! which maps them back to the paper's sections. Timings are coarse
 //! wall-clock means (use the Criterion benches for statistically careful
 //! numbers); the semantic rows are exact.
+
+use std::sync::Mutex;
 
 use ov_bench::*;
 use ov_oodb::{sym, ConflictPolicy, Value};
@@ -24,6 +40,9 @@ use ov_views::{IdentityMode, Materialization, ParallelConfig, Population, ViewDe
 fn main() {
     let args = parse_args();
     let threads = args.threads;
+    if args.trace.is_some() {
+        ov_oodb::trace::set_enabled(true);
+    }
     println!("# Objects-and-Views experiment harness");
     println!("# (sections correspond to EXPERIMENTS.md)");
     if threads > 1 {
@@ -46,50 +65,188 @@ fn main() {
     e13_indexes();
     if let Some(path) = &args.metrics {
         let json = ov_oodb::registry().snapshot().to_json();
-        match std::fs::write(path, &json) {
-            Ok(()) => println!("\n# metrics written to {path}"),
-            Err(e) => {
-                eprintln!("error writing metrics to {path}: {e}");
-                std::process::exit(1);
-            }
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error writing metrics to {path}: {e}");
+            std::process::exit(1);
         }
+        println!("\n# metrics written to {path}");
+    }
+    if let Some(path) = &args.trace {
+        ov_oodb::trace::set_enabled(false);
+        let rec = ov_oodb::recorder();
+        let dump = if path.ends_with(".jsonl") {
+            rec.dump_jsonl()
+        } else {
+            rec.dump_chrome_trace()
+        };
+        if let Err(e) = std::fs::write(path, &dump) {
+            eprintln!("error writing trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "# trace written to {path} ({} spans from {} threads, {} dropped)",
+            rec.snapshot().len(),
+            rec.thread_count(),
+            rec.dropped()
+        );
+    }
+    if let Some(path) = &args.save_baseline {
+        let json = baseline::to_json(&baseline::snapshot());
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error writing baseline to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("# baseline written to {path}");
     }
     println!("\nall experiments completed.");
+    if let Some(path) = &args.baseline {
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error reading baseline {path}: {e}");
+            eprintln!("(generate one first with `harness --save-baseline {path}`)");
+            std::process::exit(2);
+        });
+        let saved = baseline::parse_json(&src).unwrap_or_else(|e| {
+            eprintln!("error parsing baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let cmp = baseline::compare(&saved, &baseline::snapshot(), args.threshold);
+        print!("\n{}", baseline::render(&cmp, args.threshold));
+        if cmp.regressions() > 0 {
+            eprintln!(
+                "FAIL: {} cell(s) regressed past {}x",
+                cmp.regressions(),
+                args.threshold
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 struct Args {
     threads: usize,
     metrics: Option<String>,
+    trace: Option<String>,
+    baseline: Option<String>,
+    save_baseline: Option<String>,
+    threshold: f64,
+}
+
+const USAGE: &str = "\
+usage: harness [FLAGS]
+
+  --threads N           run E4b/E5b with N worker/reader threads (default 1)
+  --metrics FILE        write a JSON metrics snapshot (counters + histogram
+                        p50/p95/p99) to FILE after the run
+  --trace FILE          enable the flight recorder and write the span trace
+                        to FILE on exit: Chrome trace-event JSON (open in
+                        Perfetto), or JSON-lines if FILE ends in .jsonl
+  --save-baseline [FILE]  write a baseline snapshot of every timed cell to
+                        FILE (default BENCH_baseline.json)
+  --baseline [FILE]     compare this run against the snapshot in FILE
+                        (default BENCH_baseline.json); print per-experiment
+                        deltas and exit 1 on regressions
+  --threshold X         regression ratio for --baseline (default 2.0)
+  --help                this text
+
+--baseline and --save-baseline are mutually exclusive (a snapshot taken and
+judged by the same run would always pass); --threshold needs --baseline.";
+
+fn die(msg: &str) -> ! {
+    eprintln!("harness: {msg}\n\n{USAGE}");
+    std::process::exit(2);
 }
 
 fn parse_args() -> Args {
     let mut out = Args {
         threads: 1,
         metrics: None,
+        trace: None,
+        baseline: None,
+        save_baseline: None,
+        threshold: baseline::DEFAULT_THRESHOLD,
     };
-    let usage = || -> ! {
-        eprintln!("usage: harness [--threads N] [--metrics FILE]");
-        std::process::exit(2);
-    };
-    let mut args = std::env::args().skip(1);
+    let mut threshold_set = false;
+    let mut args = std::env::args().skip(1).peekable();
+    // A flag value may be omitted for [FILE] flags; anything starting with
+    // `--` is the next flag, not a value.
+    fn optional_value(
+        args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+    ) -> Option<String> {
+        match args.peek() {
+            Some(v) if !v.starts_with("--") => args.next(),
+            _ => None,
+        }
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--threads" => {
-                let n: usize = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-                out.threads = std::cmp::max(n, 1);
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
             }
-            "--metrics" => out.metrics = Some(args.next().unwrap_or_else(|| usage())),
-            _ => usage(),
+            "--threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--threads needs a number"));
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--threads: `{v}` is not a number")));
+                out.threads = n.max(1);
+            }
+            "--metrics" => {
+                out.metrics = Some(args.next().unwrap_or_else(|| die("--metrics needs a file")))
+            }
+            "--trace" => {
+                out.trace = Some(args.next().unwrap_or_else(|| die("--trace needs a file")))
+            }
+            "--baseline" => {
+                out.baseline =
+                    Some(optional_value(&mut args).unwrap_or_else(|| baseline::DEFAULT_FILE.into()))
+            }
+            "--save-baseline" => {
+                out.save_baseline =
+                    Some(optional_value(&mut args).unwrap_or_else(|| baseline::DEFAULT_FILE.into()))
+            }
+            "--threshold" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--threshold needs a ratio, e.g. 2.0"));
+                let x: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--threshold: `{v}` is not a number")));
+                if !(x.is_finite() && x >= 1.0) {
+                    die(&format!(
+                        "--threshold must be a finite ratio >= 1.0, got {v}"
+                    ));
+                }
+                out.threshold = x;
+                threshold_set = true;
+            }
+            other => die(&format!("unknown flag `{other}`")),
         }
+    }
+    if out.baseline.is_some() && out.save_baseline.is_some() {
+        die("--baseline and --save-baseline are mutually exclusive");
+    }
+    if threshold_set && out.baseline.is_none() {
+        die("--threshold only makes sense with --baseline");
     }
     out
 }
 
+/// The experiment id of the section being printed, so [`tcell`] can record
+/// baseline keys without threading it through every experiment function.
+static CURRENT_EXP: Mutex<String> = Mutex::new(String::new());
+
 fn header(id: &str, title: &str) {
+    *CURRENT_EXP.lock().unwrap() = id.to_string();
     println!("\n## {id} — {title}");
+}
+
+/// A timed table cell: records `CURRENT_EXP/label/column` for the baseline
+/// pipeline, then formats like [`fmt_ns`].
+fn tcell(label: &str, column: &str, ns: f64) -> String {
+    baseline::record(&CURRENT_EXP.lock().unwrap(), label, column, ns);
+    fmt_ns(ns)
 }
 
 fn row(label: &str, cells: &[String]) {
@@ -133,9 +290,14 @@ fn e1_virtual_attributes() {
                 std::hint::black_box(eval_attr(&view, o, address, &[]).unwrap());
             }
         });
+        let label = n.to_string();
         row(
-            &n.to_string(),
-            &[fmt_ns(base), fmt_ns(stored_view), fmt_ns(computed)],
+            &label,
+            &[
+                tcell(&label, "stored@base", base),
+                tcell(&label, "stored@view", stored_view),
+                tcell(&label, "computed@view", computed),
+            ],
         );
     }
 }
@@ -179,7 +341,10 @@ fn e3_import_hide() {
         let t = time_ns(10, || {
             std::hint::black_box(def.bind(&sys).unwrap());
         });
-        row(&classes.to_string(), &[fmt_ns(t)]);
+        row(
+            &classes.to_string(),
+            &[tcell(&classes.to_string(), "bind@schema", t)],
+        );
     }
     row("data objects (20 classes)", &["bind time".into()]);
     for &objs in &[10usize, 100, 1_000, 10_000] {
@@ -189,7 +354,10 @@ fn e3_import_hide() {
         let t = time_ns(10, || {
             std::hint::black_box(def.bind(&sys).unwrap());
         });
-        row(&(objs * 20).to_string(), &[fmt_ns(t)]);
+        row(
+            &(objs * 20).to_string(),
+            &[tcell(&(objs * 20).to_string(), "bind@data", t)],
+        );
     }
 }
 
@@ -250,13 +418,14 @@ fn e4_population() {
                 .unwrap();
             std::hint::black_box(incremental.extent_of(sym("Adult")).unwrap());
         });
+        let label = n.to_string();
         row(
-            &n.to_string(),
+            &label,
             &[
-                fmt_ns(t_rec),
-                fmt_ns(t_cache),
-                fmt_ns(t_upd_cache),
-                fmt_ns(t_upd_incr),
+                tcell(&label, "recompute", t_rec),
+                tcell(&label, "cached", t_cache),
+                tcell(&label, "upd+read cached", t_upd_cache),
+                tcell(&label, "upd+read incr", t_upd_incr),
             ],
         );
     }
@@ -319,9 +488,14 @@ fn e4_parallel(threads: usize) {
         });
         let t_conc =
             t0.elapsed().as_nanos() as f64 / (f64::from(reads_per_thread) * threads as f64);
+        let label = n.to_string();
         row(
-            &n.to_string(),
-            &[fmt_ns(t_seq), fmt_ns(t_par), fmt_ns(t_conc)],
+            &label,
+            &[
+                tcell(&label, "recompute x1", t_seq),
+                tcell(&label, "recompute xN", t_par),
+                tcell(&label, "concurrent readers", t_conc),
+            ],
         );
         let st = par.stats();
         assert!(st.parallel_scans > 0, "parallel path did not trigger");
@@ -355,8 +529,14 @@ fn e5_resolution() {
             std::hint::black_box(eval_attr(&view, o, sym("Print"), &[]).ok());
         }
     });
-    row("base-chain attribute", &[fmt_ns(t_plain)]);
-    row("overlap attribute (memberships)", &[fmt_ns(t_overlap)]);
+    row(
+        "base-chain attribute",
+        &[tcell("base-chain", "resolve", t_plain)],
+    );
+    row(
+        "overlap attribute (memberships)",
+        &[tcell("overlap", "resolve", t_overlap)],
+    );
     row("chain depth (plain schema)", &["resolve+eval".into()]);
     for &depth in &[2usize, 8, 32, 128] {
         let mut db = ov_oodb::Database::new(sym(&format!("HDeep{depth}")));
@@ -378,7 +558,10 @@ fn e5_resolution() {
         let t = time_ns(200, || {
             std::hint::black_box(eval_attr(&db, oid, sym("X"), &[]).unwrap());
         });
-        row(&depth.to_string(), &[fmt_ns(t)]);
+        row(
+            &depth.to_string(),
+            &[tcell(&format!("depth{depth}"), "resolve+eval", t)],
+        );
     }
 }
 
@@ -427,8 +610,11 @@ fn e5_concurrent(threads: usize) {
         }
     });
     let t_conc = t0.elapsed().as_nanos() as f64 / (f64::from(iters) * threads as f64);
-    row("1 thread", &[fmt_ns(t_one)]);
-    row(&format!("{threads} threads (amortized)"), &[fmt_ns(t_conc)]);
+    row("1 thread", &[tcell("overlap", "1 thread", t_one)]);
+    row(
+        &format!("{threads} threads (amortized)"),
+        &[tcell("overlap", "N threads amortized", t_conc)],
+    );
     let st = view.stats();
     println!(
         "stats: cache_hits={} cache_misses={} lock_contention={}",
@@ -465,7 +651,14 @@ fn e6_inference() {
         let t_like = time_ns(5, || {
             std::hint::black_box(like_def.bind(&sys).unwrap());
         });
-        row(&classes.to_string(), &[fmt_ns(t_gen), fmt_ns(t_like)]);
+        let label = classes.to_string();
+        row(
+            &label,
+            &[
+                tcell(&label, "generalization", t_gen),
+                tcell(&label, "behavioral-like", t_like),
+            ],
+        );
     }
 }
 
@@ -488,7 +681,14 @@ fn e7_parameterized() {
         let t_cached = time_ns(50, || {
             std::hint::black_box(view.query(r#"count(Resident("London"))"#).unwrap());
         });
-        row(&n.to_string(), &[fmt_ns(t_first), fmt_ns(t_cached)]);
+        let label = n.to_string();
+        row(
+            &label,
+            &[
+                tcell(&label, "first instantiation", t_first),
+                tcell(&label, "cached", t_cached),
+            ],
+        );
     }
 }
 
@@ -589,7 +789,12 @@ fn e9_identity() {
         });
         row(
             &n.to_string(),
-            &[a.to_string(), b.to_string(), c.to_string(), fmt_ns(t)],
+            &[
+                a.to_string(),
+                b.to_string(),
+                c.to_string(),
+                tcell(&n.to_string(), "pop time table", t),
+            ],
         );
     }
     println!("(the paper's claim: flat = nested under identity tables; fresh oids collapse to 0)");
@@ -624,7 +829,10 @@ fn e10_value_to_object() {
             std::hint::black_box(eval_attr(&view, o, sym("Location"), &[]).unwrap());
         }
     });
-    row("`select the` lookup (32 objs/op)", &[fmt_ns(t)]);
+    row(
+        "`select the` lookup (32 objs/op)",
+        &[tcell("lookup32", "select-the", t)],
+    );
 }
 
 fn e11_churn() {
@@ -722,9 +930,14 @@ fn e13_indexes() {
             )
             .unwrap();
             size = view.extent_of(sym("Londoner")).unwrap().len();
-            results.push(fmt_ns(time_ns(5, || {
+            let t = time_ns(5, || {
                 std::hint::black_box(view.extent_of(sym("Londoner")).unwrap());
-            })));
+            });
+            results.push(tcell(
+                &n.to_string(),
+                if indexed { "indexed" } else { "scan" },
+                t,
+            ));
         }
         results.push(size.to_string());
         row(&n.to_string(), &results);
@@ -762,13 +975,14 @@ fn e12_relational() {
         let t_restage = time_ns(3, || {
             ov_relational::bridge::restage(&rdb, &sys).unwrap();
         });
+        let label = n.to_string();
         row(
-            &n.to_string(),
+            &label,
             &[
-                fmt_ns(t_stage),
-                fmt_ns(t_pop),
-                fmt_ns(t_query),
-                fmt_ns(t_restage),
+                tcell(&label, "stage", t_stage),
+                tcell(&label, "populate", t_pop),
+                tcell(&label, "query", t_query),
+                tcell(&label, "restage", t_restage),
             ],
         );
     }

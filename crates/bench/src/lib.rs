@@ -11,6 +11,8 @@
 //! class populations and hierarchy inference (§4), resolution with
 //! schizophrenia (§4.3), and imaginary-object identity (§5).
 
+pub mod baseline;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -132,6 +132,7 @@ impl Session {
 
     /// Executes a single pre-parsed statement.
     pub fn execute_stmt(&mut self, stmt: Stmt) -> Result<Outcome> {
+        let _span = ov_oodb::span!("session.execute_stmt");
         match stmt {
             Stmt::Database(name) => {
                 if self.system.database(name).is_err() {
@@ -225,6 +226,7 @@ impl Session {
         let (def, _) = self.views.get(&name).expect("focused view exists");
         let mut candidate = def.clone();
         patch(&mut candidate);
+        let _span = ov_oodb::span!("session.rebind_view", view = name);
         let rebound = candidate.bind_with(&self.system, self.options.clone())?;
         self.views.insert(name, (candidate, rebound));
         Ok(Outcome::Done)

@@ -240,6 +240,7 @@ impl ViewDef {
 
     /// Binds with explicit options.
     pub fn bind_with(&self, system: &System, options: ViewOptions) -> Result<View> {
+        let _span = ov_oodb::span!("view.bind", view = self.name);
         let mut view = View {
             token: NEXT_VIEW_TOKEN.fetch_add(1, Ordering::Relaxed),
             name: self.name,
@@ -745,6 +746,7 @@ impl View {
     }
 
     fn add_hide(&mut self, hide: &Hide) -> Result<()> {
+        let _span = ov_oodb::span!("view.hide");
         let schema = self.schema.read();
         match hide {
             Hide::Attrs { attrs, class } => {
@@ -1146,20 +1148,29 @@ impl View {
             return Err(ViewError::CyclicVirtualClass(name).into());
         }
         let t0 = std::time::Instant::now();
+        let mut span = ov_oodb::span!("view.population");
         plan::begin_population();
         match self.population_inner(c) {
             Ok((oids, outcome)) => {
                 let nanos = t0.elapsed().as_nanos() as u64;
-                match outcome {
+                let path = match outcome {
                     plan::PopOutcome::CacheHit => {
-                        ov_oodb::metric_histogram!("views.population.cache_hit_ns").record(nanos)
+                        ov_oodb::metric_histogram!("views.population.cache_hit_ns").record(nanos);
+                        "cache_hit"
                     }
                     plan::PopOutcome::Delta { .. } => {
-                        ov_oodb::metric_histogram!("views.population.delta_ns").record(nanos)
+                        ov_oodb::metric_histogram!("views.population.delta_ns").record(nanos);
+                        "delta"
                     }
                     plan::PopOutcome::FullRecompute => {
-                        ov_oodb::metric_histogram!("views.population.recompute_ns").record(nanos)
+                        ov_oodb::metric_histogram!("views.population.recompute_ns").record(nanos);
+                        "recompute"
                     }
+                };
+                if span.is_recording() {
+                    span.field("class", self.schema.read().class(c).name);
+                    span.field("path", path);
+                    span.field("rows", oids.len());
                 }
                 if plan::tracing_active() {
                     let name = self.schema.read().class(c).name;
@@ -1169,6 +1180,7 @@ impl View {
             }
             Err(e) => {
                 plan::abort_population();
+                span.field("path", "error");
                 Err(e)
             }
         }
@@ -1358,6 +1370,9 @@ impl View {
                 .map(|chunk| {
                     let populating = &populating;
                     scope.spawn(move || {
+                        // Per-chunk span, emitted on the worker thread so
+                        // the flight recorder attributes it to the worker.
+                        let _chunk_span = ov_oodb::span!("view.scan_chunk", len = chunk.len());
                         self.adopt_eval_state(populating, depth);
                         let scan = || -> ov_query::Result<BTreeSet<Oid>> {
                             let ev = ov_query::Evaluator::new(self);
@@ -2072,6 +2087,10 @@ impl DataSource for View {
     }
 
     fn resolve(&self, oid: Oid, name: Symbol) -> ov_query::Result<ResolvedAttr> {
+        // Hide-resolution happens here: hidden definitions are filtered
+        // from the candidate set below, so the span covers the full
+        // membership + upward-resolution walk.
+        let _span = ov_oodb::span!("view.resolve", attr = name);
         let roots = self.membership_roots(oid, Some(name))?;
         let schema = self.schema.read();
         // Candidate defining classes across all membership roots.

@@ -59,6 +59,7 @@ pub mod resolve;
 pub mod schema;
 pub mod store;
 pub mod symbol;
+pub mod trace;
 pub mod types;
 pub mod value;
 
@@ -74,5 +75,6 @@ pub use resolve::{resolve_attr, ConflictPolicy, Resolution};
 pub use schema::{AttrBody, AttrDef, AttrSig, Class, Schema};
 pub use store::{Store, StoredObject};
 pub use symbol::{sym, Symbol};
+pub use trace::{recorder, FieldValue, SpanGuard, SpanRecord, TraceRecorder};
 pub use types::{ClassGraph, Type};
 pub use value::{Tuple, Value};

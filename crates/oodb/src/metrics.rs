@@ -153,6 +153,21 @@ impl HistogramSnapshot {
         }
     }
 
+    /// The median (p50) latency estimate, in nanoseconds.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The p95 latency estimate, in nanoseconds.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// The p99 latency estimate, in nanoseconds.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Upper-bound estimate of the `q`-quantile (0 ≤ q ≤ 1), in
     /// nanoseconds: the bound of the first bucket whose cumulative count
     /// reaches `q·count`.
@@ -263,13 +278,14 @@ impl MetricsSnapshot {
             let _ = write!(
                 out,
                 "{sep}\n    {}: {{\"count\": {}, \"sum_ns\": {}, \"mean_ns\": {:.0}, \
-                 \"p50_ns\": {}, \"p99_ns\": {}, \"buckets\": [",
+                 \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"buckets\": [",
                 json_str(name),
                 h.count,
                 h.sum,
                 h.mean(),
-                h.quantile(0.50),
-                h.quantile(0.99),
+                h.p50(),
+                h.p95(),
+                h.p99(),
             );
             let mut first = true;
             for (b, &n) in h.buckets.iter().enumerate() {
@@ -357,10 +373,17 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 4);
         assert_eq!(s.sum, 5_450);
-        // p50 falls in the 200 ns bucket (bound 256), p99 in the 5 µs one.
+        // p50 falls in the 200 ns bucket (bound 256), p95/p99 in the 5 µs
+        // one.
         assert_eq!(s.quantile(0.5), 256);
+        assert_eq!(s.p50(), s.quantile(0.5));
+        assert!(s.p95() >= 5_000);
+        assert_eq!(s.p99(), s.quantile(0.99));
         assert!(s.quantile(0.99) >= 5_000);
         assert!(s.mean() > 1_000.0);
+        // Empty histograms report zero percentiles, not garbage.
+        let empty = Histogram::new().snapshot();
+        assert_eq!((empty.p50(), empty.p95(), empty.p99()), (0, 0, 0));
     }
 
     #[test]
@@ -372,6 +395,7 @@ mod tests {
         assert!(json.contains("\"x.count\": 3"), "got: {json}");
         assert!(json.contains("\"y_ns\""), "got: {json}");
         assert!(json.contains("\"count\": 1"), "got: {json}");
+        assert!(json.contains("\"p95_ns\""), "got: {json}");
         // Hand-rolled JSON must stay structurally balanced.
         assert_eq!(
             json.matches('{').count(),

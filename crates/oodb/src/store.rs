@@ -134,9 +134,11 @@ impl Store {
         attr: crate::Symbol,
         value: &crate::Value,
     ) -> Option<Vec<Oid>> {
+        let mut span = crate::span!("store.index_lookup", attr = attr);
         crate::metric_counter!("oodb.index.lookups").inc();
-        let hits = self.indexes.get(class, attr)?.get(value).collect();
+        let hits: Vec<Oid> = self.indexes.get(class, attr)?.get(value).collect();
         crate::metric_counter!("oodb.index.hits").inc();
+        span.field("hits", hits.len());
         Some(hits)
     }
 
@@ -149,15 +151,19 @@ impl Store {
     /// `None` if the journal no longer reaches back that far. An empty list
     /// means the store is unchanged since `version`.
     pub fn changes_since(&self, version: u64) -> Option<Vec<Oid>> {
+        let mut span = crate::span!("store.changes_since", since = version);
         if version == self.version {
             crate::metric_counter!("oodb.journal.delta_served").inc();
+            span.field("outcome", "unchanged");
             return Some(Vec::new());
         }
         if version < self.journal_floor {
             crate::metric_counter!("oodb.journal.gaps").inc();
+            span.field("outcome", "gap");
             return None;
         }
         crate::metric_counter!("oodb.journal.delta_served").inc();
+        span.field("outcome", "delta");
         let mut out: Vec<Oid> = self
             .journal
             .iter()
@@ -187,6 +193,7 @@ impl Store {
     /// Allocates a fresh (globally-unique) oid and inserts an object real in
     /// `class`.
     pub fn insert(&mut self, class: ClassId, value: Tuple) -> Oid {
+        let _span = crate::span!("store.insert");
         let oid = fresh_oid();
         self.objects.insert(oid, StoredObject { oid, class, value });
         self.extents.entry(class).or_default().insert(oid);
@@ -208,6 +215,7 @@ impl Store {
 
     /// Replaces the stored value of `oid`.
     pub fn update(&mut self, oid: Oid, value: Tuple) -> Result<()> {
+        let _span = crate::span!("store.update", oid = oid.0);
         let obj = self
             .objects
             .get_mut(&oid)
@@ -223,6 +231,7 @@ impl Store {
 
     /// Sets one stored field of `oid`.
     pub fn set_field(&mut self, oid: Oid, name: crate::Symbol, value: crate::Value) -> Result<()> {
+        let _span = crate::span!("store.set_field", oid = oid.0, attr = name);
         let obj = self
             .objects
             .get_mut(&oid)
@@ -239,6 +248,7 @@ impl Store {
 
     /// Removes `oid`, returning the object.
     pub fn remove(&mut self, oid: Oid) -> Result<StoredObject> {
+        let _span = crate::span!("store.remove", oid = oid.0);
         let obj = self
             .objects
             .remove(&oid)

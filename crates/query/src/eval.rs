@@ -69,11 +69,13 @@ impl Env {
 
 /// Evaluates `expr` against `src` with an empty environment.
 pub fn eval_expr(src: &dyn DataSource, expr: &Expr) -> Result<Value> {
+    let _span = ov_oodb::span!("query.execute");
     Evaluator::new(src).eval(expr, &mut Env::new())
 }
 
 /// Evaluates a query against `src`.
 pub fn eval_select(src: &dyn DataSource, query: &SelectExpr) -> Result<Value> {
+    let _span = ov_oodb::span!("query.select");
     Evaluator::new(src).select(query, &mut Env::new())
 }
 
@@ -82,6 +84,7 @@ pub fn eval_select(src: &dyn DataSource, query: &SelectExpr) -> Result<Value> {
 /// paper's point that `Maggy.City` and `Maggy.Address` use one notation
 /// regardless of storage (§2).
 pub fn eval_attr(src: &dyn DataSource, oid: Oid, name: Symbol, args: &[Value]) -> Result<Value> {
+    let _span = ov_oodb::span!("query.eval_attr", attr = name);
     Evaluator::new(src).attr_of(oid, name, args, 0)
 }
 

@@ -419,7 +419,12 @@ pub fn rewrite_expr(e: &Expr, f: &mut dyn FnMut(&Expr) -> Option<Expr>) -> Expr 
 
 /// Runs a single query string against any data source (database or view).
 pub fn run_query(src: &dyn crate::source::DataSource, query: &str) -> Result<Value> {
-    let e = crate::parser::parse_expr(query)?;
+    let _span = ov_oodb::span!("query.run");
+    let e = {
+        let _parse = ov_oodb::span!("query.parse");
+        crate::parser::parse_expr(query)?
+    };
+    let _exec = ov_oodb::span!("query.execute");
     eval_expr(src, &e)
 }
 

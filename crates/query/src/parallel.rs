@@ -148,12 +148,22 @@ where
 {
     let workers = cfg.workers_for(items.len());
     let chunk_len = items.len().div_ceil(workers);
+    let _span = ov_oodb::span!(
+        "query.parallel_scan",
+        items = items.len(),
+        chunks = items.len().div_ceil(chunk_len)
+    );
     let results: Vec<Result<BTreeSet<Value>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_len)
-            .map(|chunk| {
+            .enumerate()
+            .map(|(i, chunk)| {
                 let per_item = &per_item;
                 scope.spawn(move || {
+                    // Emitted on the worker, so the flight recorder sees
+                    // the chunk under the worker's own thread id.
+                    let _chunk_span =
+                        ov_oodb::span!("query.scan_chunk", chunk = i, len = chunk.len());
                     let ev = Evaluator::new(src);
                     let mut keep = BTreeSet::new();
                     for item in chunk {

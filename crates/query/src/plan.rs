@@ -290,10 +290,14 @@ pub fn collect<R>(f: impl FnOnce() -> R) -> (R, Vec<PopulationTrace>) {
 /// evaluator is dynamically typed, matching `run_query`).
 pub fn run_query_traced(src: &dyn DataSource, query: &str) -> Result<(ov_oodb::Value, QueryTrace)> {
     use std::time::Instant;
+    let _span = ov_oodb::span!("query.run");
     let mut trace = QueryTrace::default();
 
     let t0 = Instant::now();
-    let expr = crate::parser::parse_expr(query)?;
+    let expr = {
+        let _s = ov_oodb::span!("query.parse");
+        crate::parser::parse_expr(query)?
+    };
     trace.stages.push(Stage {
         name: "parse",
         nanos: t0.elapsed().as_nanos() as u64,
@@ -301,9 +305,12 @@ pub fn run_query_traced(src: &dyn DataSource, query: &str) -> Result<(ov_oodb::V
     });
 
     let t0 = Instant::now();
-    let detail = match crate::typecheck::infer_expr(src, &expr) {
-        Ok(t) => format!("{t:?}"),
-        Err(e) => format!("error: {e}"),
+    let detail = {
+        let _s = ov_oodb::span!("query.typecheck");
+        match crate::typecheck::infer_expr(src, &expr) {
+            Ok(t) => format!("{t:?}"),
+            Err(e) => format!("error: {e}"),
+        }
     };
     trace.stages.push(Stage {
         name: "typecheck",
@@ -312,7 +319,10 @@ pub fn run_query_traced(src: &dyn DataSource, query: &str) -> Result<(ov_oodb::V
     });
 
     let t0 = Instant::now();
-    let optimized = crate::optimize::optimize_expr(&expr);
+    let optimized = {
+        let _s = ov_oodb::span!("query.optimize");
+        crate::optimize::optimize_expr(&expr)
+    };
     trace.stages.push(Stage {
         name: "optimize",
         nanos: t0.elapsed().as_nanos() as u64,
@@ -324,7 +334,10 @@ pub fn run_query_traced(src: &dyn DataSource, query: &str) -> Result<(ov_oodb::V
     });
 
     let t0 = Instant::now();
-    let (value, populations) = collect(|| crate::eval::eval_expr(src, &optimized));
+    let (value, populations) = {
+        let _s = ov_oodb::span!("query.execute");
+        collect(|| crate::eval::eval_expr(src, &optimized))
+    };
     trace.stages.push(Stage {
         name: "execute",
         nanos: t0.elapsed().as_nanos() as u64,

@@ -18,6 +18,7 @@
 //! | `.explain T Q` | plan + trace of query `Q` against database/view `T` |
 //! | `.plan V C` | population plan of virtual class `C` of view `V` |
 //! | `.metrics [FILE]` | process-wide metrics snapshot as JSON |
+//! | `.trace on\|off\|dump FILE` | flight recorder control + Chrome-trace export |
 //! | `.quit` | exit |
 
 use std::io::{BufRead, Write};
@@ -99,6 +100,11 @@ fn meta(session: &mut Session, cmd: &str) -> bool {
                  .explain T Q     plan + trace of query Q against T\n\
                  .plan V C        population plan of virtual class C of view V\n\
                  .metrics [FILE]  process-wide metrics snapshot as JSON\n\
+                 .trace on|off    enable/disable the span flight recorder\n\
+                 .trace dump FILE write recorded spans to FILE (Chrome trace\n\
+                                  JSON; .jsonl suffix selects JSON-lines)\n\
+                 .trace clear     discard recorded spans\n\
+                 .trace           recorder status\n\
                  .quit            exit\n\
                  \n\
                  Anything else is a statement (end with `;`):\n\
@@ -161,6 +167,61 @@ fn meta(session: &mut Session, cmd: &str) -> bool {
                     Ok(()) => println!("-- metrics written to {arg}"),
                     Err(e) => eprintln!("error: {e}"),
                 }
+            }
+        }
+        ".trace" => {
+            let oodb = || objects_and_views::oodb::recorder();
+            let mut parts = arg.splitn(2, ' ');
+            let sub = parts.next().unwrap_or("");
+            let file = parts.next().unwrap_or("").trim();
+            match sub {
+                "on" => {
+                    objects_and_views::oodb::trace::set_enabled(true);
+                    println!("-- tracing on");
+                }
+                "off" => {
+                    objects_and_views::oodb::trace::set_enabled(false);
+                    println!("-- tracing off");
+                }
+                "clear" => {
+                    oodb().clear();
+                    println!("-- trace buffer cleared");
+                }
+                "dump" => {
+                    if file.is_empty() {
+                        eprintln!("usage: .trace dump FILE");
+                    } else {
+                        let rec = oodb();
+                        let out = if file.ends_with(".jsonl") {
+                            rec.dump_jsonl()
+                        } else {
+                            rec.dump_chrome_trace()
+                        };
+                        match std::fs::write(file, &out) {
+                            Ok(()) => println!(
+                                "-- {} spans from {} threads written to {file}",
+                                rec.snapshot().len(),
+                                rec.thread_count()
+                            ),
+                            Err(e) => eprintln!("error: {e}"),
+                        }
+                    }
+                }
+                "" => {
+                    let rec = oodb();
+                    println!(
+                        "-- tracing {}: {} spans buffered, {} threads, {} dropped",
+                        if objects_and_views::oodb::trace::enabled() {
+                            "on"
+                        } else {
+                            "off"
+                        },
+                        rec.snapshot().len(),
+                        rec.thread_count(),
+                        rec.dropped()
+                    );
+                }
+                other => eprintln!("unknown `.trace {other}` (try on, off, dump FILE, clear)"),
             }
         }
         ".save" => {

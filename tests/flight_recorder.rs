@@ -1,0 +1,67 @@
+//! End-to-end flight-recorder test: one session workload must leave spans
+//! from all three instrumented crates (store, query, views) in the
+//! recorder, and the Chrome-trace export of that recording must be
+//! well-formed.
+//!
+//! The enabled flag is process-global, so this lives in its own
+//! integration-test binary — no other test in this binary toggles tracing.
+
+use objects_and_views::oodb::{recorder, trace};
+use objects_and_views::views::{Outcome, Session};
+
+#[test]
+fn workload_emits_spans_from_all_three_crates() {
+    recorder().clear();
+    trace::set_enabled(true);
+    let mut session = Session::new();
+    let outcomes = session
+        .execute(
+            r#"
+            database D;
+            class Person type [Name: string, Age: integer];
+            insert Person value [Name: "ada", Age: 36];
+            insert Person value [Name: "kid", Age: 9];
+            create view V;
+            import all classes from database D;
+            class Adult includes (select P from Person where P.Age >= 21);
+            select A.Name from A in Adult;
+            "#,
+        )
+        .expect("workload runs");
+    assert!(matches!(outcomes.last(), Some(Outcome::Value(_))));
+    trace::set_enabled(false);
+
+    let spans = recorder().snapshot();
+    let names: std::collections::BTreeSet<&str> = spans.iter().map(|s| s.name).collect();
+    // One representative span per crate layer.
+    for expected in [
+        "store.insert",         // ov-oodb store mutation
+        "query.execute",        // ov-query pipeline stage
+        "view.population",      // ov-views population
+        "session.execute_stmt", // ov-views session binding
+    ] {
+        assert!(
+            names.contains(expected),
+            "missing span {expected:?}; got {names:?}"
+        );
+    }
+
+    // The Chrome export is one JSON object Perfetto can load: it has the
+    // trace-events envelope, thread-name metadata, and complete events.
+    let chrome = recorder().dump_chrome_trace();
+    assert!(chrome.starts_with('{') && chrome.trim_end().ends_with('}'));
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("\"ph\": \"M\""));
+    assert!(chrome.contains("\"ph\": \"X\""));
+    assert!(chrome.contains("store.insert"));
+
+    // JSONL: one object per line, keys sorted (dur_ns first).
+    let jsonl = recorder().dump_jsonl();
+    let mut lines = 0usize;
+    for line in jsonl.lines() {
+        assert!(line.starts_with("{\"dur_ns\":"), "unsorted keys: {line}");
+        assert!(line.ends_with('}'));
+        lines += 1;
+    }
+    assert_eq!(lines, spans.len());
+}
