@@ -45,6 +45,18 @@ fn main() {
     }
     println!("# Objects-and-Views experiment harness");
     println!("# (sections correspond to EXPERIMENTS.md)");
+    if let Some(seed) = args.chaos {
+        let outcome = chaos_run(seed, args.budget_ms);
+        write_metrics_and_trace(&args);
+        match outcome {
+            Ok(()) => println!("\nchaos run completed: zero invariant violations."),
+            Err(msg) => {
+                eprintln!("\nCHAOS FAIL (seed {seed}): {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if threads > 1 {
         println!("# --threads {threads}: E4/E5 include multi-threaded runs");
     }
@@ -63,33 +75,7 @@ fn main() {
     e11_churn();
     e12_relational();
     e13_indexes();
-    if let Some(path) = &args.metrics {
-        let json = ov_oodb::registry().snapshot().to_json();
-        if let Err(e) = std::fs::write(path, &json) {
-            eprintln!("error writing metrics to {path}: {e}");
-            std::process::exit(1);
-        }
-        println!("\n# metrics written to {path}");
-    }
-    if let Some(path) = &args.trace {
-        ov_oodb::trace::set_enabled(false);
-        let rec = ov_oodb::recorder();
-        let dump = if path.ends_with(".jsonl") {
-            rec.dump_jsonl()
-        } else {
-            rec.dump_chrome_trace()
-        };
-        if let Err(e) = std::fs::write(path, &dump) {
-            eprintln!("error writing trace to {path}: {e}");
-            std::process::exit(1);
-        }
-        println!(
-            "# trace written to {path} ({} spans from {} threads, {} dropped)",
-            rec.snapshot().len(),
-            rec.thread_count(),
-            rec.dropped()
-        );
-    }
+    write_metrics_and_trace(&args);
     if let Some(path) = &args.save_baseline {
         let json = baseline::to_json(&baseline::snapshot());
         if let Err(e) = std::fs::write(path, &json) {
@@ -122,6 +108,36 @@ fn main() {
     }
 }
 
+fn write_metrics_and_trace(args: &Args) {
+    if let Some(path) = &args.metrics {
+        let json = ov_oodb::registry().snapshot().to_json();
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error writing metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\n# metrics written to {path}");
+    }
+    if let Some(path) = &args.trace {
+        ov_oodb::trace::set_enabled(false);
+        let rec = ov_oodb::recorder();
+        let dump = if path.ends_with(".jsonl") {
+            rec.dump_jsonl()
+        } else {
+            rec.dump_chrome_trace()
+        };
+        if let Err(e) = std::fs::write(path, &dump) {
+            eprintln!("error writing trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "# trace written to {path} ({} spans from {} threads, {} dropped)",
+            rec.snapshot().len(),
+            rec.thread_count(),
+            rec.dropped()
+        );
+    }
+}
+
 struct Args {
     threads: usize,
     metrics: Option<String>,
@@ -129,6 +145,8 @@ struct Args {
     baseline: Option<String>,
     save_baseline: Option<String>,
     threshold: f64,
+    chaos: Option<u64>,
+    budget_ms: Option<u64>,
 }
 
 const USAGE: &str = "\
@@ -146,10 +164,20 @@ usage: harness [FLAGS]
                         (default BENCH_baseline.json); print per-experiment
                         deltas and exit 1 on regressions
   --threshold X         regression ratio for --baseline (default 2.0)
+  --chaos SEED          skip the experiments; run the seeded fault-injection
+                        workload instead (probabilistic failpoints on every
+                        store/query/view site) and verify the robustness
+                        invariants: no escaped panics, typed errors only,
+                        full recovery once faults clear
+  --budget-ms N         (chaos only) run every chaos read under an N ms
+                        deadline budget; breaches must surface as typed
+                        ResourceExhausted/Cancelled errors
   --help                this text
 
 --baseline and --save-baseline are mutually exclusive (a snapshot taken and
-judged by the same run would always pass); --threshold needs --baseline.";
+judged by the same run would always pass); --threshold needs --baseline.
+--chaos excludes both baseline flags (injected faults distort timings);
+--budget-ms needs --chaos.";
 
 fn die(msg: &str) -> ! {
     eprintln!("harness: {msg}\n\n{USAGE}");
@@ -164,6 +192,8 @@ fn parse_args() -> Args {
         baseline: None,
         save_baseline: None,
         threshold: baseline::DEFAULT_THRESHOLD,
+        chaos: None,
+        budget_ms: None,
     };
     let mut threshold_set = false;
     let mut args = std::env::args().skip(1).peekable();
@@ -221,6 +251,22 @@ fn parse_args() -> Args {
                 out.threshold = x;
                 threshold_set = true;
             }
+            "--chaos" => {
+                let v = args.next().unwrap_or_else(|| die("--chaos needs a seed"));
+                let n: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--chaos: `{v}` is not a u64 seed")));
+                out.chaos = Some(n);
+            }
+            "--budget-ms" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--budget-ms needs a number of milliseconds"));
+                let n: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--budget-ms: `{v}` is not a number")));
+                out.budget_ms = Some(n);
+            }
             other => die(&format!("unknown flag `{other}`")),
         }
     }
@@ -230,7 +276,255 @@ fn parse_args() -> Args {
     if threshold_set && out.baseline.is_none() {
         die("--threshold only makes sense with --baseline");
     }
+    if out.chaos.is_some() && (out.baseline.is_some() || out.save_baseline.is_some()) {
+        die("--chaos excludes --baseline/--save-baseline (faults distort timings)");
+    }
+    if out.budget_ms.is_some() && out.chaos.is_none() {
+        die("--budget-ms only makes sense with --chaos");
+    }
     out
+}
+
+/// The seeded chaos workload behind `--chaos SEED`: every failpoint site
+/// armed probabilistically, then a write/read/churn loop against one view.
+///
+/// Invariants checked (any breach exits nonzero):
+/// 1. no panic escapes any store write or view read — injected panics must
+///    be contained to typed `QueryError::Panicked` errors or retried away;
+/// 2. every failure is a typed error (enforced by construction: both arms
+///    return `Result`, and arm 1 catches anything else);
+/// 3. once faults clear, the pipeline recovers completely — no poisoned
+///    lock, and the next recompute agrees *exactly* with a direct base
+///    scan (so a stale or generation-mixed population cannot linger).
+fn chaos_run(seed: u64, budget_ms: Option<u64>) -> Result<(), String> {
+    use ov_oodb::faults::{self, FaultAction, FaultSchedule};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    println!("\n## chaos — seeded fault-injection workload (seed {seed})");
+    if let Some(ms) = budget_ms {
+        println!("# every read under a {ms} ms deadline budget");
+    }
+    // Incremental materialization + parallel scans + an index, so the
+    // journal (`store.changes_since`), chunked-scan (`*.scan_chunk`) and
+    // `store.index_lookup` sites all sit on the hot path.
+    let sys = people(2_000);
+    let db = sys.database(sym("Staff")).unwrap();
+    let victims = person_oids(&sys, 32);
+    let person = {
+        let mut d = db.write();
+        let p = d.schema.class_by_name(sym("Person")).unwrap();
+        d.create_index(p, sym("City")).unwrap();
+        p
+    };
+    // `Adult` is a plain scan population; `Londoner` pushes its equality
+    // filter down to the `Person.City` index.
+    let view = ViewDef::from_script(
+        r#"
+        create view Chaos;
+        import all classes from database Staff;
+        class Adult includes (select P from Person where P.Age >= 21);
+        class Londoner includes (select P from Person where P.City = "London");
+        "#,
+    )
+    .unwrap()
+    .bind_with(
+        &sys,
+        ViewOptions::builder()
+            .materialization(Materialization::Incremental)
+            .parallel(ParallelConfig::with_threads(4))
+            .build(),
+    )
+    .map_err(|e| e.to_string())?;
+    // A staged relational database rides along: `restage` rewrites whole
+    // objects, which is the only path through the `store.update` site.
+    let mut rdb = payroll(200, 8);
+    let (rsys, _) = ov_relational::bridge::stage(&rdb).map_err(|e| e.to_string())?;
+    // Warm the population caches first so degradation has a last-good
+    // generation to serve.
+    view.extent_of(sym("Adult")).map_err(|e| e.to_string())?;
+    view.extent_of(sym("Londoner")).map_err(|e| e.to_string())?;
+
+    faults::set_seed(seed);
+    for site in [
+        "store.insert",
+        "store.update",
+        "store.set_field",
+        "store.remove",
+        "store.index_lookup",
+        "store.changes_since",
+        "query.scan_chunk",
+        "view.scan_chunk",
+        "view.population_recompute",
+    ] {
+        faults::arm(site, FaultSchedule::Probability(0.05), FaultAction::Error);
+    }
+    // One site injects panics too, to exercise unwind containment in the
+    // parallel scan path.
+    faults::arm(
+        "view.scan_chunk",
+        FaultSchedule::Probability(0.03),
+        FaultAction::Panic,
+    );
+
+    // Injected panics are caught below (or inside the parallel scan), but
+    // the default hook would still spam stderr for each one.
+    let quiet = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let budget =
+        budget_ms.map(|ms| std::sync::Arc::new(ov_query::Budget::new().with_deadline_ms(ms)));
+    let rounds = 500usize;
+    let (mut ok_w, mut err_w, mut ok_r, mut err_r) = (0u64, 0u64, 0u64, 0u64);
+    let mut created: Vec<ov_oodb::Oid> = Vec::new();
+    let mut violation = None;
+    for i in 0..rounds {
+        // Mutate: mostly field updates, with some churn (insert/remove)
+        // and the occasional relational restage, so every store site fires.
+        let write = catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
+            match i % 7 {
+                3 => {
+                    // Whole-object replacement through `Store::update`.
+                    let o = victims[i % victims.len()];
+                    let mut d = db.write();
+                    let t = d.store.require(o).map_err(|e| e.to_string())?.value.clone();
+                    d.store.update(o, t).map_err(|e| e.to_string())
+                }
+                4 => {
+                    rdb.relation_mut(sym("Emp"))
+                        .unwrap()
+                        .update(|_| true, sym("Salary"), Value::Int(i as i64))
+                        .map_err(|e| e.to_string())?;
+                    ov_relational::bridge::restage(&rdb, &rsys).map_err(|e| e.to_string())
+                }
+                5 => db
+                    .write()
+                    .create_object(
+                        person,
+                        Value::tuple([
+                            ("Name", Value::str(&format!("chaos{i}"))),
+                            ("Age", Value::Int((i % 90) as i64)),
+                            ("Sex", Value::str("male")),
+                            ("City", Value::str("London")),
+                            ("Street", Value::str("1 St")),
+                            ("Income", Value::Int(0)),
+                            ("Kids", Value::Int(0)),
+                        ]),
+                    )
+                    .map(|o| created.push(o))
+                    .map_err(|e| e.to_string()),
+                6 if !created.is_empty() => {
+                    let o = created.swap_remove(i % created.len());
+                    db.write()
+                        .delete_object(o)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                }
+                _ => {
+                    let o = victims[i % victims.len()];
+                    db.write()
+                        .set_attr(o, sym("Age"), Value::Int((i % 90) as i64))
+                        .map_err(|e| e.to_string())
+                }
+            }
+        }));
+        match write {
+            Ok(Ok(())) => ok_w += 1,
+            Ok(Err(_)) => err_w += 1,
+            Err(_) => {
+                violation = Some(format!("round {i}: a panic escaped a store write"));
+                break;
+            }
+        }
+        // Rotate across the read paths: plain-scan population, indexed
+        // population, and the parallel query executor.
+        let qcfg = ov_views::ParallelConfig {
+            threads: 4,
+            threshold: 64,
+        };
+        let do_read = || -> Result<usize, String> {
+            match i % 4 {
+                2 => view
+                    .extent_of(sym("Londoner"))
+                    .map(|ext| ext.len())
+                    .map_err(|e| e.to_string()),
+                3 => ov_query::run_query_parallel(
+                    &view,
+                    &qcfg,
+                    "select P.Name from P in Adult where P.Age >= 65",
+                )
+                .map(|v| std::hint::black_box(v.to_string()).len())
+                .map_err(|e| e.to_string()),
+                _ => view
+                    .extent_of(sym("Adult"))
+                    .map(|ext| ext.len())
+                    .map_err(|e| e.to_string()),
+            }
+        };
+        let read = catch_unwind(AssertUnwindSafe(|| match &budget {
+            Some(b) => ov_query::budget::with(b.clone(), do_read),
+            None => do_read(),
+        }));
+        match read {
+            Ok(Ok(len)) => {
+                ok_r += 1;
+                std::hint::black_box(len);
+            }
+            Ok(Err(msg)) => {
+                err_r += 1;
+                std::hint::black_box(msg);
+            }
+            Err(_) => {
+                violation = Some(format!("round {i}: a panic escaped a view read"));
+                break;
+            }
+        }
+    }
+    std::panic::set_hook(quiet);
+    let status = faults::status();
+    faults::clear();
+    if let Some(msg) = violation {
+        return Err(msg);
+    }
+
+    println!("rounds: {rounds}  writes ok/err: {ok_w}/{err_w}  reads ok/err: {ok_r}/{err_r}");
+    println!("failpoints (site: hits fired):");
+    for (site, hits, fired) in status {
+        println!("  {site:<28} {hits:>6} {fired:>5}");
+    }
+    let st = view.stats();
+    println!(
+        "degradation: stale_serves={} fault_retries={} seq_fallbacks={} recomputations={}",
+        st.stale_serves, st.fault_retries, st.seq_fallbacks, st.recomputations
+    );
+
+    // Recovery: with faults cleared, one more write must land and the next
+    // read must agree exactly with a direct base scan.
+    db.write()
+        .set_attr(victims[0], sym("Age"), Value::Int(30))
+        .map_err(|e| format!("post-chaos write failed: {e}"))?;
+    let adults = view
+        .extent_of(sym("Adult"))
+        .map_err(|e| format!("post-chaos read failed: {e}"))?;
+    let got: std::collections::BTreeSet<_> = adults.into_iter().collect();
+    let expected: std::collections::BTreeSet<_> = {
+        let d = db.read();
+        d.deep_extent(person)
+            .into_iter()
+            .filter(|&o| matches!(eval_attr(&*d, o, sym("Age"), &[]), Ok(Value::Int(a)) if a >= 21))
+            .collect()
+    };
+    if got != expected {
+        return Err(format!(
+            "post-chaos population diverged from a direct base scan: {} vs {} members",
+            got.len(),
+            expected.len()
+        ));
+    }
+    println!(
+        "recovery: post-chaos population matches a direct base scan ({} members)",
+        got.len()
+    );
+    Ok(())
 }
 
 /// The experiment id of the section being printed, so [`tcell`] can record

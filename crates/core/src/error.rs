@@ -90,6 +90,35 @@ pub enum ViewError {
     NotVisible(ov_oodb::Oid),
     /// Misc definition error with context.
     Definition(String),
+    /// Graceful degradation failed: a population recompute kept faulting
+    /// (or a worker chunk panicked), the retry budget is spent, and no
+    /// last-good cached population was available to serve stale. The
+    /// underlying failure is in `cause` (and in [`source`]).
+    ///
+    /// [`source`]: std::error::Error::source
+    Degraded {
+        /// The virtual (or imaginary) class whose population failed.
+        class: Symbol,
+        /// Recompute attempts made (initial try + retries).
+        attempts: u32,
+        /// The final failure.
+        cause: Box<ViewError>,
+    },
+}
+
+impl ViewError {
+    /// True when the failure is transient — an injected or environmental
+    /// fault that a retry might clear — as opposed to a semantic error or a
+    /// resource-budget breach. Mirrors [`QueryError::is_transient`] and
+    /// `OodbError::is_transient`.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ViewError::Query(e) => e.is_transient(),
+            ViewError::Oodb(e) => e.is_transient(),
+            ViewError::Degraded { cause, .. } => cause.is_transient(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for ViewError {
@@ -147,6 +176,15 @@ impl fmt::Display for ViewError {
                 write!(f, "object {oid} is not visible in this view")
             }
             ViewError::Definition(msg) => write!(f, "view definition error: {msg}"),
+            ViewError::Degraded {
+                class,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "view degraded: population of `{class}` failed after {attempts} attempt(s) \
+                 with no cached fallback: {cause}"
+            ),
         }
     }
 }
@@ -156,6 +194,7 @@ impl std::error::Error for ViewError {
         match self {
             ViewError::Query(e) => Some(e),
             ViewError::Oodb(e) => Some(e),
+            ViewError::Degraded { cause, .. } => Some(&**cause),
             _ => None,
         }
     }

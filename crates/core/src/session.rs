@@ -223,6 +223,8 @@ impl Session {
                 "view-definition statements need a focused view (`create view V;` first)".into(),
             ));
         };
+        // Unreachable expect: `focus` is only ever set to a key of
+        // `views`, and entries are never removed.
         let (def, _) = self.views.get(&name).expect("focused view exists");
         let mut candidate = def.clone();
         patch(&mut candidate);

@@ -36,9 +36,9 @@
 //! can itself be split across a scoped thread pool (see
 //! [`ov_query::ParallelConfig`]).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -86,6 +86,51 @@ thread_local! {
     /// Per-thread stats contributions, keyed by view token (see
     /// [`View::thread_stats`]).
     static THREAD_STATS: RefCell<HashMap<u64, ViewStats>> = RefCell::new(HashMap::new());
+    /// Set by [`View::population`] when degradation *failed* — the retry
+    /// budget is spent and no cached population existed to serve stale.
+    /// The public entry points consume it to wrap the propagating error in
+    /// [`ViewError::Degraded`]; `DataSource` trait methods can't carry the
+    /// context themselves because they speak `QueryError`.
+    static DEGRADED_NOTE: Cell<Option<(Symbol, u32)>> = const { Cell::new(None) };
+}
+
+/// Recompute attempts [`View::population`] makes on a transient fault
+/// (initial try + retries) before degrading to the stale cache.
+const MAX_POPULATION_ATTEMPTS: u32 = 3;
+
+/// Consecutive parallel-scan failures before a view stops splitting
+/// population scans across workers (sticky for the view's lifetime;
+/// visible as [`ViewStats::seq_fallbacks`]).
+const PARALLEL_STRIKE_LIMIT: u32 = 3;
+
+/// Scope guard for the population eval-state bracket: marks `class` as
+/// populating and raises the privileged-visibility depth on construction,
+/// restores both on drop. Drop-based so the bracket also closes when the
+/// computation *unwinds* (an injected panic, a bug in an attribute body) —
+/// otherwise a leaked `body_depth` would let later queries on this thread
+/// see through the view's hides.
+struct PopBracket<'a> {
+    view: &'a View,
+    class: ClassId,
+}
+
+impl<'a> PopBracket<'a> {
+    fn enter(view: &'a View, class: ClassId) -> PopBracket<'a> {
+        view.with_eval(|s| {
+            s.populating.insert(class);
+            s.body_depth += 1;
+        });
+        PopBracket { view, class }
+    }
+}
+
+impl Drop for PopBracket<'_> {
+    fn drop(&mut self) {
+        self.view.with_eval(|s| {
+            s.body_depth -= 1;
+            s.populating.remove(&self.class);
+        });
+    }
 }
 
 /// How virtual-class populations are (re)computed.
@@ -219,6 +264,10 @@ pub struct View {
     identity_mode: IdentityMode,
     parallel: ParallelConfig,
     stats: StatCells,
+    /// Consecutive parallel population-scan failures (chunk faults or
+    /// panics). At [`PARALLEL_STRIKE_LIMIT`] the view stops splitting scans
+    /// and stays sequential — a tripped circuit breaker.
+    parallel_strikes: AtomicU32,
 }
 
 impl Drop for View {
@@ -262,6 +311,7 @@ impl ViewDef {
             identity_mode: options.identity_mode,
             parallel: options.parallel,
             stats: StatCells::default(),
+            parallel_strikes: AtomicU32::new(0),
         };
         for import in &self.imports {
             view.do_import(system, import)?;
@@ -311,6 +361,14 @@ pub struct ViewStats {
     pub lock_contention: u64,
     /// Population scans that were split across worker threads.
     pub parallel_scans: u64,
+    /// Population requests answered from a stale cached population after
+    /// recomputation failed (graceful degradation).
+    pub stale_serves: u64,
+    /// Population recompute attempts retried after a transient fault.
+    pub fault_retries: u64,
+    /// Parallel population scans that fell back to a sequential scan after
+    /// worker chunks faulted or panicked.
+    pub seq_fallbacks: u64,
 }
 
 /// One counter of [`ViewStats`], bumped through [`StatCells`].
@@ -323,6 +381,9 @@ enum Stat {
     IndexPushdown,
     LockContention,
     ParallelScan,
+    StaleServe,
+    FaultRetry,
+    SeqFallback,
 }
 
 /// Atomic storage behind [`ViewStats`]. Relaxed ordering: the counters are
@@ -336,6 +397,9 @@ struct StatCells {
     index_pushdowns: AtomicU64,
     lock_contention: AtomicU64,
     parallel_scans: AtomicU64,
+    stale_serves: AtomicU64,
+    fault_retries: AtomicU64,
+    seq_fallbacks: AtomicU64,
 }
 
 impl StatCells {
@@ -348,6 +412,9 @@ impl StatCells {
             Stat::IndexPushdown => &self.index_pushdowns,
             Stat::LockContention => &self.lock_contention,
             Stat::ParallelScan => &self.parallel_scans,
+            Stat::StaleServe => &self.stale_serves,
+            Stat::FaultRetry => &self.fault_retries,
+            Stat::SeqFallback => &self.seq_fallbacks,
         };
         cell.fetch_add(1, Ordering::Relaxed);
     }
@@ -361,6 +428,9 @@ impl StatCells {
             index_pushdowns: self.index_pushdowns.load(Ordering::Relaxed),
             lock_contention: self.lock_contention.load(Ordering::Relaxed),
             parallel_scans: self.parallel_scans.load(Ordering::Relaxed),
+            stale_serves: self.stale_serves.load(Ordering::Relaxed),
+            fault_retries: self.fault_retries.load(Ordering::Relaxed),
+            seq_fallbacks: self.seq_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -470,6 +540,9 @@ impl View {
             Stat::IndexPushdown => ov_oodb::metric_counter!("views.index_pushdowns").inc(),
             Stat::LockContention => ov_oodb::metric_counter!("views.lock_contention").inc(),
             Stat::ParallelScan => ov_oodb::metric_counter!("views.parallel_scans").inc(),
+            Stat::StaleServe => ov_oodb::metric_counter!("views.degraded_serves").inc(),
+            Stat::FaultRetry => ov_oodb::metric_counter!("views.fault_retries").inc(),
+            Stat::SeqFallback => ov_oodb::metric_counter!("views.seq_fallbacks").inc(),
         }
         THREAD_STATS.with(|m| {
             let mut map = m.borrow_mut();
@@ -482,6 +555,9 @@ impl View {
                 Stat::IndexPushdown => s.index_pushdowns += 1,
                 Stat::LockContention => s.lock_contention += 1,
                 Stat::ParallelScan => s.parallel_scans += 1,
+                Stat::StaleServe => s.stale_serves += 1,
+                Stat::FaultRetry => s.fault_retries += 1,
+                Stat::SeqFallback => s.seq_fallbacks += 1,
             }
         });
     }
@@ -593,22 +669,44 @@ impl View {
         let c = self
             .lookup_class(name)
             .ok_or(OodbError::UnknownClass(name))?;
-        DataSource::extent(self, c).map_err(ViewError::from)
+        self.with_degradation(|| DataSource::extent(self, c))
     }
 
     /// Evaluates attribute `attr` of `oid` through the view.
     pub fn attr(&self, oid: Oid, attr: Symbol) -> Result<Value> {
-        ov_query::eval_attr(self, oid, attr, &[]).map_err(ViewError::from)
+        self.with_degradation(|| ov_query::eval_attr(self, oid, attr, &[]))
     }
 
     /// Evaluates attribute `attr(args…)` of `oid` through the view.
     pub fn attr_with_args(&self, oid: Oid, attr: Symbol, args: &[Value]) -> Result<Value> {
-        ov_query::eval_attr(self, oid, attr, args).map_err(ViewError::from)
+        self.with_degradation(|| ov_query::eval_attr(self, oid, attr, args))
     }
 
     /// Runs a query string against the view.
     pub fn query(&self, src: &str) -> Result<Value> {
-        ov_query::run_query(self, src).map_err(ViewError::from)
+        self.with_degradation(|| ov_query::run_query(self, src))
+    }
+
+    /// Brackets a query-layer call at the public boundary: clears any
+    /// leftover degradation note (a caller may have abandoned an errored
+    /// evaluation), runs `f`, and on error upgrades it to
+    /// [`ViewError::Degraded`] when [`Self::population`] noted that its
+    /// fallbacks were exhausted. The note rides a thread-local because the
+    /// `DataSource` methods between here and `population` speak
+    /// `QueryError`, which has no room for view-layer context.
+    fn with_degradation<R>(&self, f: impl FnOnce() -> ov_query::Result<R>) -> Result<R> {
+        DEGRADED_NOTE.with(|n| n.set(None));
+        f().map_err(|e| {
+            let e = ViewError::from(e);
+            match DEGRADED_NOTE.with(|n| n.take()) {
+                Some((class, attempts)) => ViewError::Degraded {
+                    class,
+                    attempts,
+                    cause: Box::new(e),
+                },
+                None => e,
+            }
+        })
     }
 
     /// Runs a query like [`Self::query`] and additionally returns its
@@ -618,7 +716,7 @@ impl View {
     /// each scan ran (sequential, parallel with chunk count, index
     /// pushdown).
     pub fn explain(&self, src: &str) -> Result<(Value, ov_query::QueryTrace)> {
-        ov_query::run_query_traced(self, src).map_err(ViewError::from)
+        self.with_degradation(|| ov_query::run_query_traced(self, src))
     }
 
     /// Requests the population of virtual (or imaginary) class `class` and
@@ -639,8 +737,8 @@ impl View {
                 )))
             }
         }
-        let (result, events) = plan::collect(|| self.population(c));
-        result.map_err(ViewError::from)?;
+        let (result, events) = plan::collect(|| self.with_degradation(|| self.population(c)));
+        result?;
         let name = self.schema.read().class(c).name;
         // The requested class's event completes last (nested populations of
         // other virtual classes finish before it).
@@ -1150,7 +1248,37 @@ impl View {
         let t0 = std::time::Instant::now();
         let mut span = ov_oodb::span!("view.population");
         plan::begin_population();
-        match self.population_inner(c) {
+        // Transient faults (an injected fault, a flaky source) are retried
+        // with a tiny capped backoff before any degradation kicks in.
+        // Budget breaches and semantic errors are never retried: the former
+        // would breach again immediately, the latter are deterministic.
+        let mut attempts = 1u32;
+        let result = loop {
+            match self.population_inner(c) {
+                Ok(ok) => break Ok(ok),
+                Err(e) if e.is_transient() && attempts < MAX_POPULATION_ATTEMPTS => {
+                    self.bump_stat(Stat::FaultRetry);
+                    let _retry_span =
+                        ov_oodb::span!("view.population_retry", attempt = attempts as usize);
+                    // 50µs, 100µs, 200µs, … capped at 400µs: enough to let a
+                    // contended writer finish, small enough to be invisible
+                    // to deadlines measured in milliseconds.
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        50u64 << (attempts - 1).min(3),
+                    ));
+                    attempts += 1;
+                    // A deadline that expired while we slept turns into a
+                    // typed cancellation rather than another doomed attempt.
+                    if let Some(b) = ov_query::budget::current() {
+                        if let Err(breach) = b.check_deadline() {
+                            break Err(breach);
+                        }
+                    }
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        match result {
             Ok((oids, outcome)) => {
                 let nanos = t0.elapsed().as_nanos() as u64;
                 let path = match outcome {
@@ -1166,11 +1294,17 @@ impl View {
                         ov_oodb::metric_histogram!("views.population.recompute_ns").record(nanos);
                         "recompute"
                     }
+                    plan::PopOutcome::StaleServe { .. } => {
+                        unreachable!("population_inner never reports StaleServe")
+                    }
                 };
                 if span.is_recording() {
                     span.field("class", self.schema.read().class(c).name);
                     span.field("path", path);
                     span.field("rows", oids.len());
+                    if attempts > 1 {
+                        span.field("retries", (attempts - 1) as usize);
+                    }
                 }
                 if plan::tracing_active() {
                     let name = self.schema.read().class(c).name;
@@ -1178,12 +1312,66 @@ impl View {
                 }
                 Ok(oids)
             }
-            Err(e) => {
-                plan::abort_population();
-                span.field("path", "error");
-                Err(e)
+            Err(e) => self.degrade(c, e, attempts, t0, span),
+        }
+    }
+
+    /// The failure tail of [`Self::population`]: serves the last good
+    /// cached population (any version — it is by definition stale) when the
+    /// failure is degradable, else lets the typed error propagate, noting
+    /// exhausted degradation for [`Self::with_degradation`] when the
+    /// failure was fault-induced.
+    ///
+    /// A stale serve can never mix generations: the cache holds one
+    /// `Arc<BTreeSet<Oid>>` per class, swapped atomically under the shard
+    /// lock, so callers see either the old population or the new one in
+    /// full — never a blend.
+    fn degrade(
+        &self,
+        c: ClassId,
+        e: QueryError,
+        attempts: u32,
+        t0: std::time::Instant,
+        mut span: ov_oodb::SpanGuard,
+    ) -> ov_query::Result<Arc<BTreeSet<Oid>>> {
+        let fault_induced = e.is_transient() || matches!(e, QueryError::Panicked { .. });
+        let degradable = fault_induced
+            || matches!(
+                e,
+                QueryError::Cancelled(_) | QueryError::ResourceExhausted(_)
+            );
+        if degradable {
+            let stale = self.pop_shard(c).read().get(&c).map(|p| p.oids.clone());
+            if let Some(oids) = stale {
+                self.bump_stat(Stat::StaleServe);
+                let nanos = t0.elapsed().as_nanos() as u64;
+                ov_oodb::metric_histogram!("views.population.stale_serve_ns").record(nanos);
+                if span.is_recording() {
+                    span.field("class", self.schema.read().class(c).name);
+                    span.field("path", "stale_serve");
+                    span.field("attempts", attempts as usize);
+                }
+                if plan::tracing_active() {
+                    let name = self.schema.read().class(c).name;
+                    plan::end_population(
+                        name,
+                        plan::PopOutcome::StaleServe { attempts },
+                        oids.len(),
+                        nanos,
+                    );
+                }
+                return Ok(oids);
             }
         }
+        plan::abort_population();
+        span.field("path", "error");
+        if fault_induced {
+            // No cached fallback: record that degradation was attempted
+            // and exhausted, so the public boundary can say so.
+            let name = self.schema.read().class(c).name;
+            DEGRADED_NOTE.with(|n| n.set(Some((name, attempts))));
+        }
+        Err(e)
     }
 
     /// The un-traced body of [`Self::population`]: resolves the request and
@@ -1211,17 +1399,16 @@ impl View {
                 return Ok((oids, plan::PopOutcome::Delta { retested }));
             }
         }
-        self.with_eval(|s| s.populating.insert(c));
         self.bump_stat(Stat::Recomputation);
         // Population queries are view-internal definitions: like attribute
         // bodies, they see through the view's hides (paper Example 5 hides
-        // the very attributes its imaginary Address class selects).
-        self.with_eval(|s| s.body_depth += 1);
-        let result = self.compute_population(c);
-        self.with_eval(|s| {
-            s.body_depth -= 1;
-            s.populating.remove(&c);
-        });
+        // the very attributes its imaginary Address class selects). The
+        // bracket restores on unwind too: a panicking recompute must not
+        // leak privileged visibility into later queries on this thread.
+        let result = {
+            let _guard = PopBracket::enter(self, c);
+            self.compute_population(c)
+        };
         let oids = Arc::new(result?);
         self.store_pop(c, versions, schema_len, oids.clone());
         Ok((oids, plan::PopOutcome::FullRecompute))
@@ -1290,26 +1477,21 @@ impl View {
         }
         // Re-test membership only for the changed oids, with the same
         // privileged visibility and cycle guards as a full computation.
-        self.with_eval(|s| {
-            s.populating.insert(c);
-            s.body_depth += 1;
-        });
         let retested = changed.len();
-        let result = (|| -> ov_query::Result<BTreeSet<Oid>> {
-            let mut set = (*cached.oids).clone();
-            for oid in changed {
-                if self.delta_member(&info, oid)? {
-                    set.insert(oid);
-                } else {
-                    set.remove(&oid);
+        let result = {
+            let _guard = PopBracket::enter(self, c);
+            (|| -> ov_query::Result<BTreeSet<Oid>> {
+                let mut set = (*cached.oids).clone();
+                for oid in changed {
+                    if self.delta_member(&info, oid)? {
+                        set.insert(oid);
+                    } else {
+                        set.remove(&oid);
+                    }
                 }
-            }
-            Ok(set)
-        })();
-        self.with_eval(|s| {
-            s.body_depth -= 1;
-            s.populating.remove(&c);
-        });
+                Ok(set)
+            })()
+        };
         result.map(|set| Some((set, retested)))
     }
 
@@ -1348,7 +1530,7 @@ impl View {
     }
 
     /// Filters `extent` by `filter` (with `var` bound to each object) on a
-    /// scoped worker pool. Workers inherit the calling thread's evaluation
+    /// scoped worker pool (see [`PopBracket`] for the eval-state bracket). Workers inherit the calling thread's evaluation
     /// state — the in-progress population set (cycle guard) and the
     /// privileged-visibility depth — so the filter sees exactly what a
     /// sequential scan would see. The first error (in chunk order) wins.
@@ -1375,6 +1557,12 @@ impl View {
                         let _chunk_span = ov_oodb::span!("view.scan_chunk", len = chunk.len());
                         self.adopt_eval_state(populating, depth);
                         let scan = || -> ov_query::Result<BTreeSet<Oid>> {
+                            // Failpoint: per-chunk errors and panics, for
+                            // exercising the sequential-fallback breaker.
+                            if ov_oodb::faults::enabled() {
+                                ov_oodb::faults::hit("view.scan_chunk")
+                                    .map_err(OodbError::Fault)?;
+                            }
                             let ev = ov_query::Evaluator::new(self);
                             let mut keep = BTreeSet::new();
                             for &oid in chunk {
@@ -1400,7 +1588,16 @@ impl View {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    // A panicking chunk becomes a typed per-chunk error
+                    // instead of tearing down the coordinator; the worker's
+                    // eval state dies with its thread.
+                    Err(payload) => Err(QueryError::Panicked {
+                        site: "view.scan_chunk",
+                        msg: ov_query::panic_message(&payload),
+                    }),
+                })
                 .collect()
         });
         let mut out = BTreeSet::new();
@@ -1411,6 +1608,11 @@ impl View {
     }
 
     fn compute_population(&self, c: ClassId) -> ov_query::Result<BTreeSet<Oid>> {
+        // Failpoint: lets the chaos harness fail (or delay, or panic) a
+        // recompute as a whole, exercising the retry / stale-serve paths.
+        if ov_oodb::faults::enabled() {
+            ov_oodb::faults::hit("view.population_recompute").map_err(OodbError::Fault)?;
+        }
         let info = self
             .virt
             .read()
@@ -1460,10 +1662,38 @@ impl View {
                         if !q.the && ov_query::DataSource::named_object(self, *coll_name).is_none()
                         {
                             let extent = DataSource::extent(self, class)?;
-                            if self.parallel.should_split(extent.len()) {
+                            if self.parallel.should_split(extent.len())
+                                && self.parallel_strikes.load(Ordering::Relaxed)
+                                    < PARALLEL_STRIKE_LIMIT
+                            {
                                 self.bump_stat(Stat::ParallelScan);
-                                out.extend(self.parallel_filter(&extent, var, filter.as_ref())?);
-                                continue;
+                                match self.parallel_filter(&extent, var, filter.as_ref()) {
+                                    Ok(set) => {
+                                        self.parallel_strikes.store(0, Ordering::Relaxed);
+                                        out.extend(set);
+                                        continue;
+                                    }
+                                    // Chunk faults and panics degrade to the
+                                    // sequential scan below; enough strikes
+                                    // in a row trip the breaker and the view
+                                    // stops splitting scans. Budget breaches
+                                    // propagate — a sequential retry would
+                                    // breach the same shared counters.
+                                    Err(e)
+                                        if e.is_transient()
+                                            || matches!(e, QueryError::Panicked { .. }) =>
+                                    {
+                                        let strikes =
+                                            self.parallel_strikes.fetch_add(1, Ordering::Relaxed)
+                                                + 1;
+                                        self.bump_stat(Stat::SeqFallback);
+                                        let _s = ov_oodb::span!(
+                                            "view.seq_fallback",
+                                            strikes = strikes as usize
+                                        );
+                                    }
+                                    Err(e) => return Err(e),
+                                }
                             }
                         }
                     }

@@ -37,6 +37,7 @@ impl System {
         if self.by_name.contains_key(&name) {
             return Err(OodbError::DuplicateDatabase(name));
         }
+        // Unreachable expect: 2^32 databases would exhaust memory first.
         let id = DbId(u32::try_from(self.databases.len()).expect("catalog overflow"));
         self.databases.push(Arc::new(RwLock::new(db)));
         self.by_name.insert(name, id);

@@ -120,6 +120,9 @@ impl Database {
                 full.set(*name, Value::Null);
             }
         }
+        // Before `Store::insert` (which is infallible by design): a firing
+        // failpoint rejects the creation with no store state touched.
+        crate::failpoint!("store.insert");
         Ok(self.store.insert(class, full))
     }
 

@@ -82,6 +82,8 @@ pub fn dump_database_with_offset(db: &Database, offset: u64) -> String {
         .map(|(i, &oid)| (oid, offset + i as u64))
         .collect();
     for &oid in &sorted {
+        // Unreachable expect: `sorted` came from this store's own listing
+        // and `db` is borrowed for the whole dump, so no oid can vanish.
         let obj = db.store.get(oid).expect("listed");
         let class_name = db.schema.class(obj.class).name;
         let _ = write!(out, "object #{} in {} value ", renumber[&oid], class_name);

@@ -91,6 +91,9 @@ pub enum OodbError {
         /// The offending oid.
         oid: Oid,
     },
+    /// A failpoint fired (see [`crate::faults`]). Deliberately transient:
+    /// retry/degradation logic upstack keys off this variant.
+    Fault(crate::faults::InjectedFault),
 }
 
 impl fmt::Display for OodbError {
@@ -147,11 +150,28 @@ impl fmt::Display for OodbError {
             OodbError::BadReference { context, oid } => {
                 write!(f, "{context}: dangling or ill-classed reference {oid}")
             }
+            OodbError::Fault(inner) => write!(f, "{inner}"),
         }
     }
 }
 
-impl std::error::Error for OodbError {}
+impl std::error::Error for OodbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OodbError::Fault(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl OodbError {
+    /// Is this error an injected (or otherwise transient) failure that a
+    /// retry could plausibly clear? Degradation logic in `ov-views` uses
+    /// this to decide between retrying and serving a stale population.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, OodbError::Fault(_))
+    }
+}
 
 #[cfg(test)]
 mod tests {

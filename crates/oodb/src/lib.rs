@@ -52,6 +52,7 @@ pub mod database;
 pub mod dump;
 pub mod error;
 pub mod expr;
+pub mod faults;
 pub mod ids;
 pub mod index;
 pub mod metrics;
@@ -68,6 +69,7 @@ pub use database::{Database, DeleteMode};
 pub use dump::{dump_database, dump_database_with_offset};
 pub use error::{OodbError, Result};
 pub use expr::{AggFunc, BinOp, Expr, SelectExpr, UnOp};
+pub use faults::{FaultAction, FaultSchedule, InjectedFault};
 pub use ids::{ClassId, DbId, Oid};
 pub use index::{AttrIndex, IndexSet};
 pub use metrics::{registry, Counter, Histogram, MetricsRegistry, MetricsSnapshot};

@@ -76,6 +76,8 @@ pub fn resolve_attr<'a>(schema: &'a Schema, class: ClassId, name: Symbol) -> Res
     match minimal.as_slice() {
         [one] => Resolution::Found {
             def_in: *one,
+            // Unreachable expect: `minimal` only holds classes that were
+            // collected above precisely because they define `name`.
             def: schema.class(*one).own_attr(name).expect("defines it"),
         },
         _ => Resolution::Conflict(minimal),

@@ -204,6 +204,7 @@ impl Schema {
                 });
             }
         }
+        // Unreachable expect: 2^32 classes would exhaust memory first.
         let id = ClassId(u32::try_from(self.classes.len()).expect("class table overflow"));
         self.classes.push(Class {
             id,

@@ -136,6 +136,12 @@ impl Store {
     ) -> Option<Vec<Oid>> {
         let mut span = crate::span!("store.index_lookup", attr = attr);
         crate::metric_counter!("oodb.index.lookups").inc();
+        // Injected fault = forced index miss: callers already treat `None`
+        // as "no index, scan instead", so degradation is exercised for free.
+        if crate::faults::hit("store.index_lookup").is_err() {
+            span.field("outcome", "injected_miss");
+            return None;
+        }
         let hits: Vec<Oid> = self.indexes.get(class, attr)?.get(value).collect();
         crate::metric_counter!("oodb.index.hits").inc();
         span.field("hits", hits.len());
@@ -152,6 +158,14 @@ impl Store {
     /// means the store is unchanged since `version`.
     pub fn changes_since(&self, version: u64) -> Option<Vec<Oid>> {
         let mut span = crate::span!("store.changes_since", since = version);
+        // Injected fault = forced journal gap: `None` is the documented
+        // "recompute from scratch" signal, so delta-serving faults drive the
+        // same recovery path as genuine journal overflow.
+        if crate::faults::hit("store.changes_since").is_err() {
+            crate::metric_counter!("oodb.journal.gaps").inc();
+            span.field("outcome", "injected_gap");
+            return None;
+        }
         if version == self.version {
             crate::metric_counter!("oodb.journal.delta_served").inc();
             span.field("outcome", "unchanged");
@@ -216,6 +230,7 @@ impl Store {
     /// Replaces the stored value of `oid`.
     pub fn update(&mut self, oid: Oid, value: Tuple) -> Result<()> {
         let _span = crate::span!("store.update", oid = oid.0);
+        crate::failpoint!("store.update");
         let obj = self
             .objects
             .get_mut(&oid)
@@ -232,6 +247,7 @@ impl Store {
     /// Sets one stored field of `oid`.
     pub fn set_field(&mut self, oid: Oid, name: crate::Symbol, value: crate::Value) -> Result<()> {
         let _span = crate::span!("store.set_field", oid = oid.0, attr = name);
+        crate::failpoint!("store.set_field");
         let obj = self
             .objects
             .get_mut(&oid)
@@ -249,6 +265,7 @@ impl Store {
     /// Removes `oid`, returning the object.
     pub fn remove(&mut self, oid: Oid) -> Result<StoredObject> {
         let _span = crate::span!("store.remove", oid = oid.0);
+        crate::failpoint!("store.remove");
         let obj = self
             .objects
             .remove(&oid)

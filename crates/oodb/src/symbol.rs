@@ -52,6 +52,8 @@ impl Symbol {
         // Names are schema-level identifiers: a small, bounded set per
         // process, so leaking the backing string is the right trade.
         let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        // Unreachable expect: 2^32 distinct symbols would exhaust memory
+        // first (each one leaks its backing string by design).
         let id = u32::try_from(w.strings.len()).expect("interner overflow");
         w.strings.push(leaked);
         w.map.insert(leaked, id);

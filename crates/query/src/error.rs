@@ -50,6 +50,21 @@ pub enum QueryError {
     },
     /// An error from the data-model layer.
     Oodb(OodbError),
+    /// A cooperative [`Budget`](crate::Budget) deadline expired; evaluation
+    /// stopped at the next check point.
+    Cancelled(crate::budget::BudgetBreach),
+    /// A cooperative [`Budget`](crate::Budget) count limit (eval steps,
+    /// rows, recursion depth) was exceeded.
+    ResourceExhausted(crate::budget::BudgetBreach),
+    /// A worker thread panicked mid-evaluation (e.g. an injected panic in a
+    /// parallel scan chunk); the panic was caught at the chunk boundary and
+    /// converted instead of poisoning the coordinator.
+    Panicked {
+        /// The site that caught the panic.
+        site: &'static str,
+        /// The panic payload, rendered.
+        msg: String,
+    },
 }
 
 impl QueryError {
@@ -76,6 +91,11 @@ impl fmt::Display for QueryError {
                 "`select the` expected exactly one result element, got {got}"
             ),
             QueryError::Oodb(e) => write!(f, "{e}"),
+            QueryError::Cancelled(b) => write!(f, "query cancelled: {b}"),
+            QueryError::ResourceExhausted(b) => write!(f, "resource exhausted: {b}"),
+            QueryError::Panicked { site, msg } => {
+                write!(f, "worker panicked at `{site}`: {msg}")
+            }
         }
     }
 }
@@ -84,8 +104,18 @@ impl std::error::Error for QueryError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             QueryError::Oodb(e) => Some(e),
+            QueryError::Cancelled(b) | QueryError::ResourceExhausted(b) => Some(b),
             _ => None,
         }
+    }
+}
+
+impl QueryError {
+    /// Is this error an injected/transient failure a retry could clear?
+    /// (Budget breaches are *not* transient: retrying an exhausted budget
+    /// burns time without changing the outcome.)
+    pub fn is_transient(&self) -> bool {
+        matches!(self, QueryError::Oodb(e) if e.is_transient())
     }
 }
 

@@ -91,12 +91,19 @@ pub fn eval_attr(src: &dyn DataSource, oid: Oid, name: Symbol, args: &[Value]) -
 /// The evaluator; cheap to construct per query.
 pub struct Evaluator<'a> {
     src: &'a dyn DataSource,
+    /// The budget governing this thread when the evaluator was built
+    /// (captured once — see [`crate::budget`] for the install discipline).
+    budget: Option<std::sync::Arc<crate::budget::Budget>>,
 }
 
 impl<'a> Evaluator<'a> {
-    /// An evaluator over `src`.
+    /// An evaluator over `src`, governed by the thread's current
+    /// [`Budget`](crate::Budget) (if one is installed).
     pub fn new(src: &'a dyn DataSource) -> Evaluator<'a> {
-        Evaluator { src }
+        Evaluator {
+            src,
+            budget: crate::budget::current(),
+        }
     }
 
     /// Evaluates `expr` in `env`.
@@ -109,6 +116,9 @@ impl<'a> Evaluator<'a> {
             return Err(QueryError::eval(
                 "evaluation depth limit exceeded (recursive computed attribute?)",
             ));
+        }
+        if let Some(b) = &self.budget {
+            b.step(depth)?;
         }
         match expr {
             Expr::Lit(v) => Ok(v.clone()),
@@ -253,6 +263,9 @@ impl<'a> Evaluator<'a> {
                 "evaluation depth limit exceeded (recursive computed attribute?)",
             ));
         }
+        if let Some(b) = &self.budget {
+            b.step(depth)?;
+        }
         match self.src.resolve(oid, name)? {
             ResolvedAttr::Stored => {
                 if !args.is_empty() {
@@ -396,7 +409,14 @@ impl<'a> Evaluator<'a> {
             depth + 1,
         ) {
             Ok(v) => {
-                out.insert(v);
+                if out.insert(v) {
+                    if let Some(b) = &self.budget {
+                        if let Err(e) = b.note_rows(1) {
+                            err = Some(e);
+                            return false;
+                        }
+                    }
+                }
                 true
             }
             Err(e) => {

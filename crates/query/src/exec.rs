@@ -428,6 +428,18 @@ pub fn run_query(src: &dyn crate::source::DataSource, query: &str) -> Result<Val
     eval_expr(src, &e)
 }
 
+/// Runs a query governed by a cooperative [`Budget`](crate::Budget): the
+/// budget is installed for the duration of the run (parse depth, eval
+/// steps, rows, and the deadline all count against it) and breaches
+/// surface as [`QueryError::Cancelled`] / [`QueryError::ResourceExhausted`].
+pub fn run_query_with_budget(
+    src: &dyn crate::source::DataSource,
+    query: &str,
+    budget: std::sync::Arc<crate::budget::Budget>,
+) -> Result<Value> {
+    crate::budget::with(budget, || run_query(src, query))
+}
+
 /// Runs a query with a pre-bound environment (rarely needed; used in tests).
 pub fn run_query_env(
     src: &dyn crate::source::DataSource,

@@ -328,14 +328,20 @@ impl<'a> Lexer<'a> {
         let n: u64 = text
             .parse()
             .map_err(|e| self.error(format!("bad oid literal: {e}")))?;
-        Ok(Tok::OidLit(if imaginary {
-            n + ov_oodb::ids::IMAGINARY_OID_BASE
+        if imaginary {
+            // checked: `#i18446744073709551615` must be a lex error, not a
+            // debug-build overflow panic.
+            n.checked_add(ov_oodb::ids::IMAGINARY_OID_BASE)
+                .map(Tok::OidLit)
+                .ok_or_else(|| self.error("imaginary oid literal out of range"))
         } else {
-            n
-        }))
+            Ok(Tok::OidLit(n))
+        }
     }
 
     fn operator(&mut self) -> Result<Tok> {
+        // Unreachable expect: the caller dispatches here only after peeking
+        // a non-EOF character, and nothing bumps in between.
         let c = self.bump().expect("peeked");
         Ok(match c {
             '(' => Tok::LParen,

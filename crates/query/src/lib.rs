@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod budget;
 pub mod error;
 pub mod eval;
 pub mod exec;
@@ -38,14 +39,15 @@ pub mod source;
 pub mod typecheck;
 
 pub use ast::{ImportWhat, IncludeSpec, Stmt, TypeExpr};
+pub use budget::{Budget, BudgetBreach};
 pub use error::{Pos, QueryError, Result};
 pub use eval::{eval_attr, eval_expr, eval_select, truthy, value_eq, Env, Evaluator};
 pub use exec::{
     execute_script, execute_stmts, execute_stmts_with_map, map_select, resolve_type, rewrite_expr,
-    run_query,
+    run_query, run_query_with_budget,
 };
 pub use optimize::{optimize_expr, optimize_select};
-pub use parallel::{eval_select_parallel, run_query_parallel, ParallelConfig};
+pub use parallel::{eval_select_parallel, panic_message, run_query_parallel, ParallelConfig};
 pub use parser::{parse_expr, parse_program, parse_select, parse_type};
 pub use plan::{
     run_query_traced, PopOutcome, PopPath, PopulationTrace, QueryTrace, ScanKind, Stage,

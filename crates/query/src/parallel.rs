@@ -153,29 +153,56 @@ where
         items = items.len(),
         chunks = items.len().div_ceil(chunk_len)
     );
+    // The coordinator's budget is re-installed on every worker so all
+    // chunks drain the same shared step/row counters.
+    let budget = crate::budget::current();
     let results: Vec<Result<BTreeSet<Value>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_len)
             .enumerate()
             .map(|(i, chunk)| {
                 let per_item = &per_item;
+                let budget = budget.clone();
                 scope.spawn(move || {
                     // Emitted on the worker, so the flight recorder sees
                     // the chunk under the worker's own thread id.
                     let _chunk_span =
                         ov_oodb::span!("query.scan_chunk", chunk = i, len = chunk.len());
-                    let ev = Evaluator::new(src);
-                    let mut keep = BTreeSet::new();
-                    for item in chunk {
-                        per_item(&ev, item, &mut keep)?;
+                    let work = || -> Result<BTreeSet<Value>> {
+                        ov_oodb::faults::hit("query.scan_chunk")
+                            .map_err(ov_oodb::OodbError::Fault)?;
+                        if let Some(b) = &budget {
+                            b.check_deadline()?;
+                        }
+                        let ev = Evaluator::new(src);
+                        let mut keep = BTreeSet::new();
+                        for item in chunk {
+                            per_item(&ev, item, &mut keep)?;
+                        }
+                        if let Some(b) = &budget {
+                            b.note_rows(keep.len() as u64)?;
+                        }
+                        Ok(keep)
+                    };
+                    match &budget {
+                        Some(b) => crate::budget::with(b.clone(), work),
+                        None => work(),
                     }
-                    Ok(keep)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // A panicking chunk (an injected panic, a bug in an
+                // attribute body) becomes a typed per-chunk error instead
+                // of tearing down the coordinator.
+                Err(payload) => Err(QueryError::Panicked {
+                    site: "query.scan_chunk",
+                    msg: panic_message(&payload),
+                }),
+            })
             .collect()
     });
     let mut out = BTreeSet::new();
@@ -183,6 +210,21 @@ where
         out.extend(r?);
     }
     Ok(out)
+}
+
+/// Renders a caught panic payload (the `&str` / `String` conventions cover
+/// `panic!` and `assert!`; anything else is opaque). Public so other layers
+/// converting caught worker panics into [`QueryError::Panicked`] render
+/// payloads the same way.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic payload>".to_owned())
+    }
 }
 
 #[cfg(test)]

@@ -52,9 +52,20 @@ pub fn parse_type(src: &str) -> Result<TypeExpr> {
     Ok(t)
 }
 
+/// Hard cap on parser nesting. Each grammar level is several stack frames
+/// (`expr_prec` → `unary` → `postfix` → `primary`), so this keeps a
+/// maximally nested input (`((((…1…))))`, `{{{{…}}}}`) comfortably inside
+/// the default thread stack instead of overflowing it. An installed
+/// [`Budget`](crate::Budget) with a lower depth cap tightens this further.
+const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser {
     tokens: Vec<Token>,
     idx: usize,
+    /// Current nesting depth of recursive grammar productions.
+    depth: usize,
+    /// The effective cap (see [`MAX_PARSE_DEPTH`]).
+    depth_cap: usize,
 }
 
 impl Parser {
@@ -62,7 +73,35 @@ impl Parser {
         Ok(Parser {
             tokens: lex(src)?,
             idx: 0,
+            depth: 0,
+            depth_cap: crate::budget::parse_depth_cap(MAX_PARSE_DEPTH),
         })
+    }
+
+    /// Enters one level of recursive grammar nesting, erring (a typed
+    /// [`QueryError::ResourceExhausted`] when a budget set the cap, a parse
+    /// error otherwise) instead of overflowing the stack. Paired with
+    /// [`Parser::ascend`]; a `?`-propagated error may skip the `ascend`,
+    /// which is fine — a failed parse abandons the whole `Parser`.
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > self.depth_cap {
+            self.depth -= 1;
+            return Err(if self.depth_cap < MAX_PARSE_DEPTH {
+                QueryError::ResourceExhausted(crate::budget::BudgetBreach {
+                    limit: "recursion depth",
+                    allowed: self.depth_cap as u64,
+                })
+            } else {
+                self.error("input nested too deeply")
+            });
+        }
+        Ok(())
+    }
+
+    /// Leaves one level of recursive grammar nesting.
+    fn ascend(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> &Tok {
@@ -434,6 +473,13 @@ impl Parser {
     // -----------------------------------------------------------------
 
     fn type_expr(&mut self) -> Result<TypeExpr> {
+        self.descend()?;
+        let r = self.type_expr_inner();
+        self.ascend();
+        r
+    }
+
+    fn type_expr_inner(&mut self) -> Result<TypeExpr> {
         match self.peek().clone() {
             Tok::LBrace => {
                 self.bump();
@@ -481,6 +527,13 @@ impl Parser {
 
     /// Parses at minimum precedence `min_prec` (1 = everything).
     fn expr_prec(&mut self, min_prec: u8) -> Result<Expr> {
+        self.descend()?;
+        let r = self.expr_prec_inner(min_prec);
+        self.ascend();
+        r
+    }
+
+    fn expr_prec_inner(&mut self, min_prec: u8) -> Result<Expr> {
         let mut lhs = self.unary()?;
         while let Some(op) = self.peek_binop() {
             // `isa` is handled as a comparison-level postfix.
@@ -544,6 +597,15 @@ impl Parser {
     }
 
     fn unary(&mut self) -> Result<Expr> {
+        // Guarded separately from `expr_prec`: prefix chains (`not not …`,
+        // `--…`) recurse here without passing back through it.
+        self.descend()?;
+        let e = self.unary_inner();
+        self.ascend();
+        e
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr> {
         if self.at_kw("not") {
             self.bump();
             let e = self.unary()?;
@@ -1200,5 +1262,86 @@ mod tests {
             "list(Person)"
         );
         assert!(parse_type("{").is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // Fuzz-style hardening: every malformed input must return Err, never
+    // panic or overflow the stack.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn truncated_inputs_error_cleanly() {
+        for src in [
+            "",
+            "select",
+            "select P from",
+            "select P from P in",
+            "select P from P in Person where",
+            "class Person type [Name:",
+            "object #1 in Person value [",
+            "1 +",
+            "(1 + 2",
+            "[Name: \"x\"",
+            "{1, 2,",
+            "\"unterminated",
+            "P.",
+            "#",
+            "#i",
+        ] {
+            assert!(parse_expr(src).is_err(), "should reject {src:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_inputs_error_cleanly() {
+        for src in [
+            "\u{0}\u{0}\u{0}",
+            "%%%@@!!",
+            "select select select",
+            "1e999999999999",
+            "#18446744073709551616",
+            "#i18446744073709551615",
+            "where where where",
+            ");;;](",
+            "\\q",
+        ] {
+            assert!(parse_expr(src).is_err(), "should reject {src:?}");
+        }
+    }
+
+    #[test]
+    fn deeply_nested_expressions_hit_the_depth_cap_not_the_stack() {
+        // 10k nested parens would overflow the parser's recursion without
+        // the depth cap; with it, a clean error comes back.
+        let deep = format!("{}1{}", "(".repeat(10_000), ")".repeat(10_000));
+        let e = parse_expr(&deep).unwrap_err();
+        assert!(e.to_string().contains("nested too deeply"), "{e}");
+        // Same for prefix operators, set literals, and nested selects.
+        let deep = format!("{}1", "not ".repeat(10_000));
+        assert!(parse_expr(&deep).is_err());
+        let deep = format!("{}1{}", "{".repeat(10_000), "}".repeat(10_000));
+        assert!(parse_expr(&deep).is_err());
+        let deep = format!("{}{{[A: string]}}", "list(".repeat(10_000));
+        assert!(parse_type(&deep).is_err());
+    }
+
+    #[test]
+    fn nesting_below_the_cap_still_parses() {
+        // Each paren level costs two depth units (binary + prefix tiers).
+        let ok = format!("{}1{}", "(".repeat(40), ")".repeat(40));
+        assert!(parse_expr(&ok).is_ok());
+    }
+
+    #[test]
+    fn budget_tightens_the_parse_depth_cap_to_a_typed_breach() {
+        let budget = std::sync::Arc::new(crate::Budget::new().with_max_depth(8));
+        let deep = format!("{}1{}", "(".repeat(30), ")".repeat(30));
+        let err = crate::budget::with(budget, || parse_expr(&deep)).unwrap_err();
+        assert!(
+            matches!(err, QueryError::ResourceExhausted(_)),
+            "budget-capped depth must be a typed breach: {err}"
+        );
+        // The same input parses fine without a budget.
+        assert!(parse_expr(&deep).is_ok());
     }
 }

@@ -70,6 +70,13 @@ pub enum PopPath {
         /// How each include-term scan was executed, in evaluation order.
         scans: Vec<ScanKind>,
     },
+    /// Recomputation failed (fault, timeout) and the last good cached
+    /// population was served instead — the result is explicitly stale.
+    StaleServe {
+        /// How many recompute attempts (initial + retries) failed before
+        /// the view fell back to the cached population.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for PopPath {
@@ -84,6 +91,7 @@ impl fmt::Display for PopPath {
                 }
                 Ok(())
             }
+            PopPath::StaleServe { attempts } => write!(f, "StaleServe{{attempts={attempts}}}"),
         }
     }
 }
@@ -101,6 +109,11 @@ pub enum PopOutcome {
     },
     /// See [`PopPath::FullRecompute`].
     FullRecompute,
+    /// See [`PopPath::StaleServe`].
+    StaleServe {
+        /// Failed recompute attempts before the stale fallback.
+        attempts: u32,
+    },
 }
 
 /// One population request: which class, which path, how many members, how
@@ -242,6 +255,7 @@ pub fn end_population(class: Symbol, outcome: PopOutcome, rows: usize, nanos: u6
                 PopOutcome::CacheHit => PopPath::CacheHit,
                 PopOutcome::Delta { retested } => PopPath::Delta { retested },
                 PopOutcome::FullRecompute => PopPath::FullRecompute { scans },
+                PopOutcome::StaleServe { attempts } => PopPath::StaleServe { attempts },
             };
             col.events.push(PopulationTrace {
                 class,

@@ -19,14 +19,70 @@
 //! | `.plan V C` | population plan of virtual class `C` of view `V` |
 //! | `.metrics [FILE]` | process-wide metrics snapshot as JSON |
 //! | `.trace on\|off\|dump FILE` | flight recorder control + Chrome-trace export |
+//! | `.faults …` | fault-injection control (see `.help`) |
+//! | `.budget …` | per-statement execution budget (see `.help`) |
 //! | `.quit` | exit |
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
+use objects_and_views::oodb::faults;
 use objects_and_views::prelude::*;
+use objects_and_views::query::Budget;
+
+/// The failpoint sites compiled into the pipeline, for `.faults arm` name
+/// validation (the registry needs `&'static str` names anyway).
+const FAULT_SITES: &[&str] = &[
+    "store.insert",
+    "store.update",
+    "store.set_field",
+    "store.remove",
+    "store.index_lookup",
+    "store.changes_since",
+    "query.scan_chunk",
+    "view.scan_chunk",
+    "view.population_recompute",
+];
+
+/// Budget knobs applied to every subsequent statement (each statement gets
+/// a *fresh* `Budget` built from these, so limits don't accumulate).
+#[derive(Clone, Copy, Default)]
+struct BudgetSpec {
+    deadline_ms: Option<u64>,
+    max_steps: Option<u64>,
+    max_rows: Option<u64>,
+    max_depth: Option<usize>,
+}
+
+impl BudgetSpec {
+    fn is_off(&self) -> bool {
+        self.deadline_ms.is_none()
+            && self.max_steps.is_none()
+            && self.max_rows.is_none()
+            && self.max_depth.is_none()
+    }
+
+    fn build(&self) -> Budget {
+        let mut b = Budget::new();
+        if let Some(ms) = self.deadline_ms {
+            b = b.with_deadline_ms(ms);
+        }
+        if let Some(n) = self.max_steps {
+            b = b.with_max_steps(n);
+        }
+        if let Some(n) = self.max_rows {
+            b = b.with_max_rows(n);
+        }
+        if let Some(n) = self.max_depth {
+            b = b.with_max_depth(n);
+        }
+        b
+    }
+}
 
 fn main() {
     let mut session = Session::new();
+    let mut budget = BudgetSpec::default();
     let mut batch = false;
     let mut scripts = Vec::new();
     for arg in std::env::args().skip(1) {
@@ -67,7 +123,7 @@ fn main() {
         }
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('.') {
-            if !meta(&mut session, trimmed) {
+            if !meta(&mut session, &mut budget, trimmed) {
                 break;
             }
             continue;
@@ -75,14 +131,14 @@ fn main() {
         buffer.push_str(&line);
         // Execute once the statement terminator is present.
         if trimmed.ends_with(';') {
-            run(&mut session, &buffer);
+            run(&mut session, &budget, &buffer);
             buffer.clear();
         }
     }
 }
 
 /// Handles a meta command; returns false to exit.
-fn meta(session: &mut Session, cmd: &str) -> bool {
+fn meta(session: &mut Session, budget: &mut BudgetSpec, cmd: &str) -> bool {
     let mut parts = cmd.splitn(2, ' ');
     let head = parts.next().unwrap_or("");
     let arg = parts.next().unwrap_or("").trim();
@@ -105,6 +161,15 @@ fn meta(session: &mut Session, cmd: &str) -> bool {
                                   JSON; .jsonl suffix selects JSON-lines)\n\
                  .trace clear     discard recorded spans\n\
                  .trace           recorder status\n\
+                 .faults          armed failpoints and hit/fired counts\n\
+                 .faults sites    failpoint sites compiled into the pipeline\n\
+                 .faults seed N   seed the fault RNG streams\n\
+                 .faults arm SITE SCHED ACTION\n\
+                                  SCHED: nth:N | from:N | p:0.5\n\
+                                  ACTION: error | panic | delay:MS\n\
+                 .faults disarm SITE | .faults clear\n\
+                 .budget          current per-statement budget\n\
+                 .budget ms N | steps N | rows N | depth N | off\n\
                  .quit            exit\n\
                  \n\
                  Anything else is a statement (end with `;`):\n\
@@ -224,6 +289,94 @@ fn meta(session: &mut Session, cmd: &str) -> bool {
                 other => eprintln!("unknown `.trace {other}` (try on, off, dump FILE, clear)"),
             }
         }
+        ".faults" => {
+            let mut parts = arg.split_whitespace();
+            match parts.next().unwrap_or("") {
+                "" => {
+                    let status = faults::status();
+                    if status.is_empty() {
+                        println!("-- no failpoints armed");
+                    } else {
+                        for (site, hits, fired) in status {
+                            println!("{site}: {hits} hits, {fired} fired");
+                        }
+                    }
+                }
+                "sites" => {
+                    for site in FAULT_SITES {
+                        println!("{site}");
+                    }
+                }
+                "seed" => match parts.next().and_then(|s| s.parse::<u64>().ok()) {
+                    Some(seed) => {
+                        faults::set_seed(seed);
+                        println!("-- fault seed set to {seed} (affects sites armed from now on)");
+                    }
+                    None => eprintln!("usage: .faults seed N"),
+                },
+                "arm" => {
+                    let site = parts.next().unwrap_or("");
+                    let sched = parts.next().unwrap_or("");
+                    let action = parts.next().unwrap_or("");
+                    match parse_arm(site, sched, action) {
+                        Ok((site, schedule, action)) => {
+                            faults::arm(site, schedule, action);
+                            println!("-- armed {site}");
+                        }
+                        Err(msg) => eprintln!("error: {msg}"),
+                    }
+                }
+                "disarm" => match parts.next() {
+                    Some(site) => {
+                        faults::disarm(site);
+                        println!("-- disarmed {site}");
+                    }
+                    None => eprintln!("usage: .faults disarm SITE"),
+                },
+                "clear" => {
+                    faults::clear();
+                    println!("-- all failpoints disarmed");
+                }
+                other => {
+                    eprintln!("unknown `.faults {other}` (try sites, seed, arm, disarm, clear)")
+                }
+            }
+        }
+        ".budget" => {
+            let mut parts = arg.split_whitespace();
+            match (parts.next().unwrap_or(""), parts.next()) {
+                ("", None) => {
+                    if budget.is_off() {
+                        println!("-- no budget (statements run unbounded)");
+                    } else {
+                        println!(
+                            "-- per-statement budget: deadline={} steps={} rows={} depth={}",
+                            budget.deadline_ms.map_or("-".into(), |v| format!("{v}ms")),
+                            budget.max_steps.map_or("-".into(), |v| v.to_string()),
+                            budget.max_rows.map_or("-".into(), |v| v.to_string()),
+                            budget.max_depth.map_or("-".into(), |v| v.to_string()),
+                        );
+                    }
+                }
+                ("off", None) => {
+                    *budget = BudgetSpec::default();
+                    println!("-- budget off");
+                }
+                (knob @ ("ms" | "steps" | "rows" | "depth"), Some(v)) => match v.parse::<u64>() {
+                    Ok(n) => {
+                        match knob {
+                            "ms" => budget.deadline_ms = Some(n),
+                            "steps" => budget.max_steps = Some(n),
+                            "rows" => budget.max_rows = Some(n),
+                            _ => budget.max_depth = Some(n as usize),
+                        }
+                        println!("-- budget {knob} = {n} (fresh per statement)");
+                    }
+                    Err(_) => eprintln!("error: `{v}` is not a number"),
+                },
+                _ => eprintln!("usage: .budget [ms N | steps N | rows N | depth N | off]"),
+            }
+        }
         ".save" => {
             if arg.is_empty() {
                 print!("{}", session.save());
@@ -245,8 +398,55 @@ fn meta(session: &mut Session, cmd: &str) -> bool {
     true
 }
 
-fn run(session: &mut Session, src: &str) {
-    match session.execute(src) {
+/// Validates a `.faults arm SITE SCHED ACTION` triple against the compiled
+/// site list (the registry wants `&'static str` names, which conveniently
+/// forces validation).
+fn parse_arm(
+    site: &str,
+    sched: &str,
+    action: &str,
+) -> Result<(&'static str, faults::FaultSchedule, faults::FaultAction), String> {
+    let site = FAULT_SITES
+        .iter()
+        .find(|s| **s == site)
+        .copied()
+        .ok_or_else(|| format!("unknown site `{site}` (see `.faults sites`)"))?;
+    let schedule = if let Some(n) = sched.strip_prefix("nth:") {
+        faults::FaultSchedule::Nth(n.parse().map_err(|_| format!("bad nth `{n}`"))?)
+    } else if let Some(n) = sched.strip_prefix("from:") {
+        faults::FaultSchedule::From(n.parse().map_err(|_| format!("bad from `{n}`"))?)
+    } else if let Some(p) = sched.strip_prefix("p:") {
+        let p: f64 = p.parse().map_err(|_| format!("bad probability `{p}`"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("probability {p} out of [0,1]"));
+        }
+        faults::FaultSchedule::Probability(p)
+    } else {
+        return Err(format!("bad schedule `{sched}` (nth:N, from:N, p:0.5)"));
+    };
+    let action = match action {
+        "error" => faults::FaultAction::Error,
+        "panic" => faults::FaultAction::Panic,
+        _ => {
+            let ms = action
+                .strip_prefix("delay:")
+                .and_then(|m| m.parse::<u64>().ok())
+                .ok_or_else(|| format!("bad action `{action}` (error, panic, delay:MS)"))?;
+            faults::FaultAction::Delay(std::time::Duration::from_millis(ms))
+        }
+    };
+    Ok((site, schedule, action))
+}
+
+fn run(session: &mut Session, budget: &BudgetSpec, src: &str) {
+    // Each statement gets a fresh budget so limits measure one statement,
+    // not the whole session.
+    let result = if budget.is_off() {
+        session.execute(src)
+    } else {
+        objects_and_views::query::budget::with(Arc::new(budget.build()), || session.execute(src))
+    };
+    match result {
         Ok(outcomes) => {
             for o in outcomes {
                 match o {

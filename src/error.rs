@@ -89,4 +89,83 @@ mod tests {
         let e: Error = QueryError::eval("boom").into();
         assert!(e.to_string().starts_with("query: "));
     }
+
+    #[test]
+    fn resource_exhausted_chains_to_the_breach() {
+        let budget = crate::query::Budget::new().with_max_steps(0);
+        let q = budget.step(0).expect_err("zero-step budget must breach");
+        assert!(matches!(q, QueryError::ResourceExhausted(_)));
+        let unified: Error = q.into();
+        let s1 = unified.source().expect("layer error");
+        let s2 = s1.source().expect("breach");
+        assert!(s2.downcast_ref::<crate::query::BudgetBreach>().is_some());
+        assert!(s2.to_string().contains("steps"));
+    }
+
+    #[test]
+    fn cancelled_chains_to_the_breach() {
+        let budget = crate::query::Budget::new().with_deadline_ms(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let q = budget
+            .check_deadline()
+            .expect_err("expired deadline must cancel");
+        assert!(matches!(q, QueryError::Cancelled(_)));
+        assert!(!q.is_transient(), "budget breaches are not retryable");
+        let unified: Error = q.into();
+        let s1 = unified.source().expect("layer error");
+        let s2 = s1.source().expect("breach");
+        assert!(s2.downcast_ref::<crate::query::BudgetBreach>().is_some());
+    }
+
+    #[test]
+    fn injected_fault_chains_through_every_layer() {
+        let fault = crate::oodb::InjectedFault {
+            site: "store.update",
+            hit: 1,
+        };
+        let v: ViewError = OodbError::Fault(fault).into();
+        assert!(v.is_transient());
+        let unified: Error = v.into();
+        // Error -> ViewError -> OodbError -> InjectedFault.
+        let s1 = unified.source().expect("view error");
+        let s2 = s1.source().expect("oodb error");
+        let s3 = s2.source().expect("injected fault");
+        assert!(s3.downcast_ref::<crate::oodb::InjectedFault>().is_some());
+        assert!(s3.to_string().contains("store.update"));
+    }
+
+    #[test]
+    fn degraded_chains_to_its_cause() {
+        let cause = ViewError::Oodb(OodbError::Fault(crate::oodb::InjectedFault {
+            site: "view.population_recompute",
+            hit: 3,
+        }));
+        let degraded = ViewError::Degraded {
+            class: crate::oodb::sym("Adult"),
+            attempts: 3,
+            cause: Box::new(cause),
+        };
+        assert!(degraded.is_transient(), "degraded keeps the cause's nature");
+        let unified: Error = degraded.into();
+        // Error -> Degraded -> cause ViewError -> OodbError -> InjectedFault.
+        let mut chain = Vec::new();
+        let mut cur: &dyn std::error::Error = &unified;
+        while let Some(next) = cur.source() {
+            chain.push(next.to_string());
+            cur = next;
+        }
+        assert_eq!(chain.len(), 4, "chain: {chain:?}");
+        assert!(unified.to_string().contains("`Adult`"));
+        assert!(chain.last().unwrap().contains("view.population_recompute"));
+    }
+
+    #[test]
+    fn worker_panic_is_a_typed_error() {
+        let q = QueryError::Panicked {
+            site: "query.scan_chunk",
+            msg: "boom".into(),
+        };
+        let unified: Error = q.into();
+        assert!(unified.to_string().contains("query.scan_chunk"));
+    }
 }
