@@ -25,7 +25,7 @@
 //!   `--baseline`; a cell regresses when `new/old > X` and the absolute
 //!   delta clears a small noise floor.
 //!
-//! Each section corresponds to an experiment id (E1–E13) in EXPERIMENTS.md,
+//! Each section corresponds to an experiment id (E1–E14) in EXPERIMENTS.md,
 //! which maps them back to the paper's sections. Timings are coarse
 //! wall-clock means (use the Criterion benches for statistically careful
 //! numbers); the semantic rows are exact.
@@ -75,6 +75,7 @@ fn main() {
     e11_churn();
     e12_relational();
     e13_indexes();
+    e14_compiled_engine();
     write_metrics_and_trace(&args);
     if let Some(path) = &args.save_baseline {
         let json = baseline::to_json(&baseline::snapshot());
@@ -1235,6 +1236,61 @@ fn e13_indexes() {
         }
         results.push(size.to_string());
         row(&n.to_string(), &results);
+    }
+}
+
+fn e14_compiled_engine() {
+    header(
+        "E14",
+        "compiled predicate engine vs tree-walking interpreter (extension)",
+    );
+    row(
+        "n",
+        &[
+            "compiled".into(),
+            "interp".into(),
+            "speedup".into(),
+            "result size".into(),
+        ],
+    );
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let sys = people(n);
+        let view = ViewDef::from_script(
+            r#"
+            create view V;
+            import all classes from database Staff;
+            class Comfortable includes
+                (select P from Person where P.Income >= 100000 and P.Age >= 30);
+            "#,
+        )
+        .unwrap()
+        .bind_with(
+            &sys,
+            ViewOptions::builder()
+                .materialization(Materialization::AlwaysRecompute)
+                .build(),
+        )
+        .unwrap();
+        let mut times = Vec::new();
+        let mut sizes = Vec::new();
+        for mode in [ov_query::EngineMode::Compiled, ov_query::EngineMode::Interp] {
+            ov_query::set_engine_mode(mode);
+            sizes.push(view.extent_of(sym("Comfortable")).unwrap().len());
+            times.push(time_ns(5, || {
+                std::hint::black_box(view.extent_of(sym("Comfortable")).unwrap());
+            }));
+        }
+        ov_query::set_engine_mode(ov_query::EngineMode::Auto);
+        assert_eq!(sizes[0], sizes[1], "engines must agree on the population");
+        row(
+            &n.to_string(),
+            &[
+                tcell(&n.to_string(), "compiled", times[0]),
+                tcell(&n.to_string(), "interp", times[1]),
+                format!("{:.2}x", times[1] / times[0]),
+                sizes[0].to_string(),
+            ],
+        );
     }
 }
 

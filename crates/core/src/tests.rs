@@ -1656,7 +1656,13 @@ fn explain_population_reports_all_three_paths() {
     let PopPath::FullRecompute { scans } = &cold.path else {
         panic!("cold population should recompute, got {cold}");
     };
-    assert_eq!(scans.as_slice(), &[ScanKind::Sequential], "{cold}");
+    assert_eq!(
+        scans.as_slice(),
+        &[ScanKind::Sequential {
+            engine: ov_query::Engine::Compiled
+        }],
+        "{cold}"
+    );
     assert_eq!(cold.rows, 5);
     assert!(cold.nanos > 0, "timings must be recorded");
 
@@ -1717,7 +1723,8 @@ fn explain_population_reports_index_pushdown() {
     assert_eq!(
         scans.as_slice(),
         &[ScanKind::IndexPushdown {
-            index: "Person.City".into()
+            index: "Person.City".into(),
+            engine: ov_query::Engine::Compiled
         }],
         "{trace}"
     );

@@ -212,6 +212,11 @@ struct VirtualInfo {
     includes: Vec<BoundInclude>,
     /// One plan per include (parallel to `includes`).
     plans: Vec<IncPlan>,
+    /// Compiled membership predicate per include (parallel to `plans`):
+    /// `Some` when the plan is a [`IncPlan::Filter`] whose predicate the
+    /// bytecode compiler covers. Compiled once at bind time and shared by
+    /// full recomputes and per-object delta retests.
+    compiled: Vec<Option<Arc<ov_query::Program>>>,
 }
 
 /// A parameterized class template (`class Adult(A) includes …`).
@@ -1141,11 +1146,25 @@ impl View {
                 None => ClassKind::Virtual,
             },
         );
+        // Compile each maintainable membership predicate once, here at bind
+        // time; population scans and delta retests reuse the programs.
+        let compiled: Vec<Option<Arc<ov_query::Program>>> = plans
+            .iter()
+            .map(|p| match p {
+                IncPlan::Filter {
+                    var,
+                    filter: Some(f),
+                    ..
+                } => ov_query::compile_predicate(f, &[*var]).map(Arc::new),
+                _ => None,
+            })
+            .collect();
         self.virt.write().insert(
             class_id,
             VirtualInfo {
                 includes: bound,
                 plans,
+                compiled,
             },
         );
         Ok(class_id)
@@ -1501,7 +1520,7 @@ impl View {
         if !DataSource::object_exists(self, oid) {
             return Ok(false);
         }
-        for plan in &info.plans {
+        for (idx, plan) in info.plans.iter().enumerate() {
             match plan {
                 IncPlan::Class(ci) => {
                     if DataSource::is_member(self, oid, *ci)? {
@@ -1512,6 +1531,19 @@ impl View {
                     if DataSource::is_member(self, oid, *class)? {
                         match filter {
                             None => return Ok(true),
+                            // Retest with the bind-time compiled predicate
+                            // when one exists (same steps and errors as the
+                            // interpreter, minus the tree walk).
+                            Some(_)
+                                if ov_query::compiled_enabled() && info.compiled[idx].is_some() =>
+                            {
+                                let prog = info.compiled[idx].as_deref().expect("checked");
+                                let mut scan = ov_query::Scan::new(prog, self);
+                                scan.bind(0, Value::Oid(oid));
+                                if ov_query::truthy(&scan.run(0)?) {
+                                    return Ok(true);
+                                }
+                            }
                             Some(f) => {
                                 let mut env = ov_query::Env::new();
                                 env.bind(*var, Value::Oid(oid));
@@ -1539,12 +1571,18 @@ impl View {
         extent: &[Oid],
         var: Symbol,
         filter: Option<&Expr>,
+        compiled: Option<&ov_query::Program>,
     ) -> ov_query::Result<BTreeSet<Oid>> {
         let (populating, depth) = self.with_eval(|s| (s.populating.clone(), s.body_depth));
         let workers = self.parallel.workers_for(extent.len());
         let chunk_len = extent.len().div_ceil(workers);
         plan::record_scan(plan::ScanKind::Parallel {
             chunks: extent.len().div_ceil(chunk_len),
+            engine: if compiled.is_some() {
+                plan::Engine::Compiled
+            } else {
+                plan::Engine::Interpreted
+            },
         });
         let results: Vec<ov_query::Result<BTreeSet<Oid>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = extent
@@ -1563,8 +1601,21 @@ impl View {
                                 ov_oodb::faults::hit("view.scan_chunk")
                                     .map_err(OodbError::Fault)?;
                             }
-                            let ev = ov_query::Evaluator::new(self);
                             let mut keep = BTreeSet::new();
+                            // Each chunk builds its own executor: the
+                            // register file, value stack, and resolution
+                            // caches are per-thread state.
+                            if let Some(prog) = compiled {
+                                let mut scan = ov_query::Scan::new(prog, self);
+                                for &oid in chunk {
+                                    scan.bind(0, Value::Oid(oid));
+                                    if ov_query::truthy(&scan.run(0)?) {
+                                        keep.insert(oid);
+                                    }
+                                }
+                                return Ok(keep);
+                            }
+                            let ev = ov_query::Evaluator::new(self);
                             for &oid in chunk {
                                 let ok = match filter {
                                     None => true,
@@ -1620,20 +1671,44 @@ impl View {
             .cloned()
             .expect("population requested for non-virtual class");
         let mut out = BTreeSet::new();
-        for inc in &info.includes {
+        for (idx, inc) in info.includes.iter().enumerate() {
             match inc {
                 BoundInclude::Class(ci) => {
                     out.extend(DataSource::extent(self, *ci)?);
                 }
                 BoundInclude::Query(q) => {
+                    // The bind-time compiled membership predicate, unless
+                    // `.engine interp` turned the bytecode engine off.
+                    let compiled = if ov_query::compiled_enabled() {
+                        info.compiled[idx].as_deref()
+                    } else {
+                        None
+                    };
                     // Index pushdown: a specialization query with an
                     // equality conjunct on an indexed stored attribute is
                     // answered from the index instead of scanning the
                     // extent.
                     if let Some((candidates, index)) = self.index_candidates(q) {
                         self.bump_stat(Stat::IndexPushdown);
-                        plan::record_scan(plan::ScanKind::IndexPushdown { index });
+                        plan::record_scan(plan::ScanKind::IndexPushdown {
+                            index,
+                            engine: if compiled.is_some() {
+                                plan::Engine::Compiled
+                            } else {
+                                plan::Engine::Interpreted
+                            },
+                        });
                         let var = q.bindings[0].0;
+                        if let Some(prog) = compiled {
+                            let mut scan = ov_query::Scan::new(prog, self);
+                            for oid in candidates {
+                                scan.bind(0, Value::Oid(oid));
+                                if ov_query::truthy(&scan.run(0)?) {
+                                    out.insert(oid);
+                                }
+                            }
+                            continue;
+                        }
                         for oid in candidates {
                             let mut env = ov_query::Env::new();
                             env.bind(var, Value::Oid(oid));
@@ -1667,7 +1742,8 @@ impl View {
                                     < PARALLEL_STRIKE_LIMIT
                             {
                                 self.bump_stat(Stat::ParallelScan);
-                                match self.parallel_filter(&extent, var, filter.as_ref()) {
+                                match self.parallel_filter(&extent, var, filter.as_ref(), compiled)
+                                {
                                     Ok(set) => {
                                         self.parallel_strikes.store(0, Ordering::Relaxed);
                                         out.extend(set);
@@ -1695,9 +1771,40 @@ impl View {
                                     Err(e) => return Err(e),
                                 }
                             }
+                            // Compiled sequential scan: same rows, budget
+                            // steps, and errors as the `eval_select` below,
+                            // minus the per-row tree walk and Env clones.
+                            if let Some(prog) = compiled {
+                                plan::record_scan(plan::ScanKind::Sequential {
+                                    engine: plan::Engine::Compiled,
+                                });
+                                let budget = ov_query::budget::current();
+                                let mut scan = ov_query::Scan::new(prog, self);
+                                // One node entry for the collection name,
+                                // then per row the filter and (on keep) the
+                                // projection node — the tree walker's exact
+                                // accounting.
+                                scan.step(1)?;
+                                let mut kept = BTreeSet::new();
+                                for &oid in &extent {
+                                    scan.bind(0, Value::Oid(oid));
+                                    if ov_query::truthy(&scan.run(1)?) {
+                                        scan.step(1)?;
+                                        if kept.insert(oid) {
+                                            if let Some(b) = &budget {
+                                                b.note_rows(1)?;
+                                            }
+                                        }
+                                    }
+                                }
+                                out.extend(kept);
+                                continue;
+                            }
                         }
                     }
-                    plan::record_scan(plan::ScanKind::Sequential);
+                    plan::record_scan(plan::ScanKind::Sequential {
+                        engine: plan::Engine::Interpreted,
+                    });
                     let v = eval_select(self, q)?;
                     let Value::Set(items) = v else {
                         unreachable!("select returns a set")
@@ -2389,6 +2496,77 @@ impl DataSource for View {
             }
         }
         Err(QueryError::from(OodbError::UnknownObject(oid)))
+    }
+
+    fn resolution_class(&self, oid: Oid) -> Option<ClassId> {
+        // The *raw* presented class, not `class_of`: hidden classes map to
+        // visible ancestors only at body depth 0, so two oids of one hidden
+        // class must not share a cache key with oids of the ancestor.
+        self.view_class_of(oid).ok()
+    }
+
+    fn resolution_class_and_field(&self, oid: Oid, name: Symbol) -> Option<(ClassId, Value)> {
+        // Fused `resolution_class` + `stored_field`: one imaginary-table
+        // probe and one source-store probe instead of two of each, which
+        // matters at a lock acquisition and a hash lookup per scanned row.
+        if let Some(im) = self.imaginary.read().get(&oid) {
+            return Some((im.class, im.core.get(name).cloned().unwrap_or(Value::Null)));
+        }
+        for (idx, handle) in self.sources.iter().enumerate() {
+            let db = handle.read();
+            if let Some(obj) = db.store.get(oid) {
+                let class = self.import_maps[idx].get(&obj.class).copied()?;
+                return Some((class, obj.value.get(name).cloned().unwrap_or(Value::Null)));
+            }
+        }
+        None
+    }
+
+    fn resolution_is_class_pure(&self, class: ClassId, name: Symbol) -> bool {
+        // Parameterized templates can mint new virtual classes mid-scan
+        // (through `apply` in a filter); give up on caching entirely.
+        if !self.templates.is_empty() {
+            return false;
+        }
+        // Mirrors `membership_roots`: resolving `name` is a pure function
+        // of the class only when no virtual class could contribute a
+        // *relevant* definition — otherwise membership in that class's
+        // population makes resolution per-object, and the per-class cache
+        // would conflate members with non-members.
+        let populating = self.with_eval(|s| s.populating.clone());
+        let schema = self.schema.read();
+        let roots: Vec<ClassId> = if self.is_hidden_class(class) && self.body_depth() == 0 {
+            let mut visible: Vec<ClassId> = schema
+                .ancestors(class)
+                .into_iter()
+                .filter(|&a| !self.is_hidden_class(a))
+                .collect();
+            let all = visible.clone();
+            visible.retain(|&a| !all.iter().any(|&b| b != a && schema.is_subclass(b, a)));
+            if visible.is_empty() {
+                // `resolve` errors for every such object; don't cache that.
+                return false;
+            }
+            visible
+        } else {
+            vec![class]
+        };
+        let base_defs: HashSet<ClassId> = roots
+            .iter()
+            .flat_map(|&r| ClassGraph::ancestors(&*schema, r))
+            .collect();
+        let virt = self.virt.read();
+        !virt.keys().copied().any(|v| {
+            !populating.contains(&v)
+                && !roots.contains(&v)
+                && ClassGraph::ancestors(&*schema, v).iter().any(|&a| {
+                    !base_defs.contains(&a)
+                        && schema
+                            .class(a)
+                            .own_attr(name)
+                            .is_some_and(|d| !d.is_abstract())
+                })
+        })
     }
 
     fn named_object(&self, name: Symbol) -> Option<Oid> {

@@ -1,0 +1,821 @@
+//! The compiled predicate engine.
+//!
+//! The tree-walking evaluator pays per row for work that is invariant
+//! across a scan: expression-tree dispatch, environment pushes/pops and
+//! reverse-scan variable lookups, and — dominating everything on view
+//! scans — re-running attribute *resolution* (`DataSource::resolve`) for
+//! every object even though objects of one class resolve identically.
+//! This module lowers an expression once, before the scan, into a flat
+//! instruction stream over a small value stack:
+//!
+//! * scan variables become **registers** (`Reg`), written once per row;
+//! * `And`/`Or`/`if` short-circuiting becomes **jump threading**, decided
+//!   at compile time instead of re-discovered per row;
+//! * attribute accesses become **slots** carrying a per-scan inline cache
+//!   of `resolve` results keyed by the object's presentation class, used
+//!   only where the source vouches (via
+//!   [`DataSource::resolution_is_class_pure`]) that resolution depends on
+//!   the class alone.
+//!
+//! The contract is **bit-identical observable behavior** with the
+//! interpreter: same values, same error variants and messages, same
+//! [`crate::Budget`] step/row accounting (a `Step` instruction is
+//! emitted exactly where `eval_depth` would charge a step, at the same
+//! depth), same depth-limit behavior, and computed attributes delegate to
+//! the interpreter (`Evaluator::run_computed`) so nested bodies — budget,
+//! faults, tracing, view body-privilege brackets — are literally the same
+//! code. Expressions outside the covered subset (`Lit`, scan variables,
+//! `Attr`, `Unary`, `Binary`, `If`) simply fail to compile and the caller
+//! falls back to the interpreter, recording the scan as interpreted in
+//! EXPLAIN output ([`crate::plan::Engine`]).
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use ov_oodb::{BinOp, ClassId, Expr, Oid, SelectExpr, Symbol, UnOp, Value};
+
+use crate::budget::{self, Budget};
+use crate::error::{QueryError, Result};
+use crate::eval::{self, truthy, Evaluator};
+use crate::source::{DataSource, ResolvedAttr};
+
+// --- engine selection -----------------------------------------------------
+
+/// Which engine scan paths should use. Process-wide, like the fault and
+/// trace switches — scans are driven from worker threads and sessions that
+/// share no state, and the mode is a diagnostic/benchmark toggle, not a
+/// per-query parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Compile where the expression is covered, fall back otherwise
+    /// (the default).
+    Auto,
+    /// Same behavior as [`EngineMode::Auto`] today (compile when covered,
+    /// interpret otherwise); kept distinct so tooling can express intent
+    /// explicitly.
+    Compiled,
+    /// Never compile; every scan runs the tree-walking interpreter.
+    Interp,
+}
+
+impl EngineMode {
+    /// The ovq-facing spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineMode::Auto => "auto",
+            EngineMode::Compiled => "compiled",
+            EngineMode::Interp => "interp",
+        }
+    }
+
+    /// Parses the ovq-facing spelling.
+    pub fn parse(s: &str) -> Option<EngineMode> {
+        match s {
+            "auto" => Some(EngineMode::Auto),
+            "compiled" => Some(EngineMode::Compiled),
+            "interp" => Some(EngineMode::Interp),
+            _ => None,
+        }
+    }
+}
+
+static ENGINE_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide engine mode.
+pub fn set_engine_mode(mode: EngineMode) {
+    let v = match mode {
+        EngineMode::Auto => 0,
+        EngineMode::Compiled => 1,
+        EngineMode::Interp => 2,
+    };
+    ENGINE_MODE.store(v, Ordering::Relaxed);
+}
+
+/// The process-wide engine mode.
+pub fn engine_mode() -> EngineMode {
+    match ENGINE_MODE.load(Ordering::Relaxed) {
+        1 => EngineMode::Compiled,
+        2 => EngineMode::Interp,
+        _ => EngineMode::Auto,
+    }
+}
+
+/// Should scan paths attempt compiled execution at all?
+pub fn compiled_enabled() -> bool {
+    engine_mode() != EngineMode::Interp
+}
+
+// --- programs -------------------------------------------------------------
+
+/// One instruction. The stream is laid out in evaluation order: every
+/// instruction that corresponds to an expression node is preceded by the
+/// node's [`Inst::Step`], so the sequence of budget charges (and the depth
+/// each is charged at) is exactly the interpreter's.
+#[derive(Clone, Copy, Debug)]
+enum Inst {
+    /// Expression-node entry: recursion-depth check plus one budget step at
+    /// `base + rel` (mirrors `eval_depth`'s prologue).
+    Step { rel: usize },
+    /// Push a constant (from the program's pool).
+    Const(usize),
+    /// Push a scan variable's current value.
+    Reg(usize),
+    /// Pop `nargs` arguments and a receiver; perform attribute access via
+    /// resolution slot `slot` (mirrors `Evaluator::access`/`attr_of`,
+    /// including the second depth-check + step for object receivers).
+    Attr {
+        slot: usize,
+        nargs: usize,
+        rel: usize,
+    },
+    /// Pop one operand, apply a unary operator.
+    Unary(UnOp),
+    /// Pop two operands, apply a non-short-circuit binary operator.
+    Binary(BinOp),
+    /// `And` threading: pop the lhs; if falsy, push `false` and jump to
+    /// `to` (past the rhs). Otherwise fall through into the rhs.
+    AndShort { to: usize },
+    /// `Or` threading: pop the lhs; if truthy, push `true` and jump.
+    OrShort { to: usize },
+    /// Pop a value, push its truthiness (normalizes an `And`/`Or` rhs).
+    Booleanize,
+    /// Pop the `if` condition; jump to `to` (the else arm) when falsy.
+    BranchFalsy { to: usize },
+    /// Unconditional jump (end of an `if` then-arm).
+    Jump { to: usize },
+}
+
+/// A compiled expression: flat instructions, a constant pool, and one
+/// resolution slot per attribute-access site. Compile once per scan (or
+/// once per view bind), execute per row via [`Scan`].
+#[derive(Clone, Debug)]
+pub struct Program {
+    insts: Vec<Inst>,
+    consts: Vec<Value>,
+    /// Attribute name per resolution slot, in slot order.
+    slots: Vec<Symbol>,
+    n_regs: usize,
+}
+
+impl Program {
+    /// Number of scan-variable registers (the length of the `vars` slice
+    /// the program was compiled with).
+    pub fn n_regs(&self) -> usize {
+        self.n_regs
+    }
+}
+
+/// Lowers `expr` to a [`Program`] with the scan variables `vars` mapped to
+/// registers `0..vars.len()` (innermost binding wins, like `Env::lookup`).
+/// Returns `None` when `expr` uses any construct outside the covered subset
+/// — the caller falls back to the interpreter.
+pub fn compile_predicate(expr: &Expr, vars: &[Symbol]) -> Option<Program> {
+    let mut c = Compiler {
+        insts: Vec::new(),
+        consts: Vec::new(),
+        slots: Vec::new(),
+        vars,
+    };
+    c.emit(expr, 0)?;
+    Some(Program {
+        insts: c.insts,
+        consts: c.consts,
+        slots: c.slots,
+        n_regs: vars.len(),
+    })
+}
+
+struct Compiler<'a> {
+    insts: Vec<Inst>,
+    consts: Vec<Value>,
+    slots: Vec<Symbol>,
+    vars: &'a [Symbol],
+}
+
+impl Compiler<'_> {
+    /// Emits code for `e` at depth `rel` relative to the program root.
+    /// Every covered node nets exactly one value on the stack.
+    fn emit(&mut self, e: &Expr, rel: usize) -> Option<()> {
+        self.insts.push(Inst::Step { rel });
+        match e {
+            Expr::Lit(v) => {
+                let idx = self.consts.len();
+                self.consts.push(v.clone());
+                self.insts.push(Inst::Const(idx));
+            }
+            Expr::Name(n) => {
+                // Only scan variables compile; free names (named objects,
+                // class extents) can be rebound or repopulated mid-scan, so
+                // freezing them at compile time would diverge from the
+                // interpreter. Innermost binding wins, like `Env::lookup`.
+                let reg = self.vars.iter().rposition(|v| v == n)?;
+                self.insts.push(Inst::Reg(reg));
+            }
+            Expr::Attr { recv, name, args } => {
+                self.emit(recv, rel + 1)?;
+                for a in args {
+                    self.emit(a, rel + 1)?;
+                }
+                let slot = self.slots.len();
+                self.slots.push(*name);
+                self.insts.push(Inst::Attr {
+                    slot,
+                    nargs: args.len(),
+                    rel,
+                });
+            }
+            Expr::Unary { op, expr } => {
+                self.emit(expr, rel + 1)?;
+                self.insts.push(Inst::Unary(*op));
+            }
+            Expr::Binary {
+                op: op @ (BinOp::And | BinOp::Or),
+                lhs,
+                rhs,
+            } => {
+                self.emit(lhs, rel + 1)?;
+                let patch = self.insts.len();
+                self.insts.push(match op {
+                    BinOp::And => Inst::AndShort { to: 0 },
+                    _ => Inst::OrShort { to: 0 },
+                });
+                self.emit(rhs, rel + 1)?;
+                self.insts.push(Inst::Booleanize);
+                let end = self.insts.len();
+                self.insts[patch] = match op {
+                    BinOp::And => Inst::AndShort { to: end },
+                    _ => Inst::OrShort { to: end },
+                };
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                self.emit(lhs, rel + 1)?;
+                self.emit(rhs, rel + 1)?;
+                self.insts.push(Inst::Binary(*op));
+            }
+            Expr::If { cond, then, els } => {
+                self.emit(cond, rel + 1)?;
+                let branch = self.insts.len();
+                self.insts.push(Inst::BranchFalsy { to: 0 });
+                self.emit(then, rel + 1)?;
+                let jump = self.insts.len();
+                self.insts.push(Inst::Jump { to: 0 });
+                let else_start = self.insts.len();
+                self.insts[branch] = Inst::BranchFalsy { to: else_start };
+                self.emit(els, rel + 1)?;
+                let end = self.insts.len();
+                self.insts[jump] = Inst::Jump { to: end };
+            }
+            // Everything else — selects, aggregates, constructors, `self`,
+            // free names, `isa`, `Apply` — is interpreter territory.
+            _ => return None,
+        }
+        Some(())
+    }
+}
+
+// --- execution ------------------------------------------------------------
+
+/// Per-class verdict for one resolution slot, decided lazily on the first
+/// object of each class the scan meets.
+#[derive(Debug)]
+enum SlotEntry {
+    /// Resolution is class-pure here: reuse this result for every object
+    /// of the class for the rest of the scan.
+    Pure(Arc<ResolvedAttr>),
+    /// The source couldn't vouch for purity: re-resolve every row.
+    Impure,
+}
+
+/// A per-scan executor for one [`Program`]: the reusable value stack, the
+/// register file, the captured [`Budget`], and the per-slot resolution
+/// caches. Create one per scan (or per parallel chunk — caches are not
+/// shared across threads), then `bind` + `run` per row.
+pub struct Scan<'a> {
+    prog: &'a Program,
+    src: &'a dyn DataSource,
+    /// Delegate for computed-attribute bodies (captures the same budget).
+    ev: Evaluator<'a>,
+    budget: Option<Arc<Budget>>,
+    regs: Vec<Value>,
+    stack: Vec<Value>,
+    caches: Vec<HashMap<ClassId, SlotEntry>>,
+}
+
+impl<'a> Scan<'a> {
+    /// An executor for `prog` over `src`, governed by the thread's current
+    /// budget (captured once, like `Evaluator::new`).
+    pub fn new(prog: &'a Program, src: &'a dyn DataSource) -> Scan<'a> {
+        Scan {
+            prog,
+            src,
+            ev: Evaluator::new(src),
+            budget: budget::current(),
+            regs: vec![Value::Null; prog.n_regs],
+            stack: Vec::with_capacity(8),
+            caches: prog.slots.iter().map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    /// Writes the scan variable in register `reg` for the next `run`.
+    pub fn bind(&mut self, reg: usize, v: Value) {
+        self.regs[reg] = v;
+    }
+
+    /// One interpreter-equivalent expression-node entry *outside* the
+    /// program: the depth-limit check plus one budget step at `depth`.
+    /// Scan drivers use this to account for the surrounding nodes they
+    /// execute themselves (the `select` node, the collection name) exactly
+    /// as the tree walker would.
+    pub fn step(&self, depth: usize) -> Result<()> {
+        if depth > eval::MAX_DEPTH {
+            return Err(eval::depth_error());
+        }
+        if let Some(b) = &self.budget {
+            b.step(depth)?;
+        }
+        Ok(())
+    }
+
+    /// Executes the program with the expression root at depth `base`
+    /// (matching the depth the interpreter would evaluate the same
+    /// expression at in this position).
+    pub fn run(&mut self, base: usize) -> Result<Value> {
+        let prog = self.prog;
+        self.stack.clear();
+        let mut pc = 0;
+        while pc < prog.insts.len() {
+            match prog.insts[pc] {
+                Inst::Step { rel } => self.step(base + rel)?,
+                Inst::Const(i) => self.stack.push(prog.consts[i].clone()),
+                Inst::Reg(i) => self.stack.push(self.regs[i].clone()),
+                Inst::Attr { slot, nargs, rel } => {
+                    let args = self.stack.split_off(self.stack.len() - nargs);
+                    let recv = self.stack.pop().expect("receiver on stack");
+                    let v = self.attr(recv, slot, args, base + rel)?;
+                    self.stack.push(v);
+                }
+                Inst::Unary(op) => {
+                    let v = self.stack.pop().expect("operand on stack");
+                    self.stack.push(eval::apply_unary(op, v)?);
+                }
+                Inst::Binary(op) => {
+                    let r = self.stack.pop().expect("rhs on stack");
+                    let l = self.stack.pop().expect("lhs on stack");
+                    self.stack.push(eval::apply_binary(op, &l, &r)?);
+                }
+                Inst::AndShort { to } => {
+                    let l = self.stack.pop().expect("lhs on stack");
+                    if !truthy(&l) {
+                        self.stack.push(Value::Bool(false));
+                        pc = to;
+                        continue;
+                    }
+                }
+                Inst::OrShort { to } => {
+                    let l = self.stack.pop().expect("lhs on stack");
+                    if truthy(&l) {
+                        self.stack.push(Value::Bool(true));
+                        pc = to;
+                        continue;
+                    }
+                }
+                Inst::Booleanize => {
+                    let v = self.stack.pop().expect("operand on stack");
+                    self.stack.push(Value::Bool(truthy(&v)));
+                }
+                Inst::BranchFalsy { to } => {
+                    let c = self.stack.pop().expect("condition on stack");
+                    if !truthy(&c) {
+                        pc = to;
+                        continue;
+                    }
+                }
+                Inst::Jump { to } => {
+                    pc = to;
+                    continue;
+                }
+            }
+            pc += 1;
+        }
+        Ok(self.stack.pop().expect("program nets exactly one value"))
+    }
+
+    /// Attribute access, mirroring `Evaluator::access`/`attr_of` byte for
+    /// byte — with the resolve call routed through the slot cache.
+    fn attr(&mut self, recv: Value, slot: usize, args: Vec<Value>, depth: usize) -> Result<Value> {
+        let name = self.prog.slots[slot];
+        match recv {
+            Value::Null => Ok(Value::Null),
+            Value::Oid(oid) => {
+                // attr_of charges a second step at the access node's depth.
+                if depth > eval::MAX_DEPTH {
+                    return Err(eval::depth_error());
+                }
+                if let Some(b) = &self.budget {
+                    b.step(depth)?;
+                }
+                // One fused object lookup yields the cache key *and* the raw
+                // stored field; the field half is used only when resolution
+                // says the attribute is stored (it never depends on
+                // membership, so the early read is safe).
+                let (resolved, raw) = match self.src.resolution_class_and_field(oid, name) {
+                    Some((class, raw)) => (self.resolve_cached(oid, class, slot, name)?, Some(raw)),
+                    // No cache key (unknown object, unimportable class):
+                    // uncached resolve reproduces the interpreter's error.
+                    None => (Arc::new(self.src.resolve(oid, name)?), None),
+                };
+                match &*resolved {
+                    ResolvedAttr::Stored => {
+                        if !args.is_empty() {
+                            return Err(QueryError::eval(format!(
+                                "stored attribute `{name}` takes no arguments"
+                            )));
+                        }
+                        match raw {
+                            Some(v) => Ok(v),
+                            None => self.src.stored_field(oid, name),
+                        }
+                    }
+                    ResolvedAttr::Computed { params, body } => {
+                        self.ev.run_computed(oid, name, params, body, args, depth)
+                    }
+                }
+            }
+            Value::Tuple(t) => {
+                if !args.is_empty() {
+                    return Err(QueryError::eval(format!(
+                        "tuple field `{name}` takes no arguments"
+                    )));
+                }
+                t.get(name)
+                    .cloned()
+                    .ok_or_else(|| QueryError::eval(format!("tuple {t} has no field `{name}`")))
+            }
+            other => Err(QueryError::eval(format!(
+                "cannot access attribute `{name}` of a {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// `DataSource::resolve` through the slot's inline cache, keyed by the
+    /// already-fetched resolution `class`. The purity verdict is asked once
+    /// per (slot, class) per scan; errors are never cached (the first error
+    /// aborts the scan anyway).
+    fn resolve_cached(
+        &mut self,
+        oid: Oid,
+        class: ClassId,
+        slot: usize,
+        name: Symbol,
+    ) -> Result<Arc<ResolvedAttr>> {
+        match self.caches[slot].get(&class) {
+            Some(SlotEntry::Pure(r)) => Ok(r.clone()),
+            Some(SlotEntry::Impure) => self.src.resolve(oid, name).map(Arc::new),
+            None => {
+                let r = Arc::new(self.src.resolve(oid, name)?);
+                let entry = if self.src.resolution_is_class_pure(class, name) {
+                    SlotEntry::Pure(r.clone())
+                } else {
+                    SlotEntry::Impure
+                };
+                self.caches[slot].insert(class, entry);
+                Ok(r)
+            }
+        }
+    }
+}
+
+// --- whole-query driver ---------------------------------------------------
+
+/// The compiled pieces of a canonical single-binding class scan
+/// (`select [the] proj from V in Class [where filter]`).
+pub struct SelectScan {
+    class: ClassId,
+    filter: Option<Program>,
+    proj: Program,
+}
+
+/// Compiles the scan pieces of `q` when it has the canonical shape: one
+/// binding, collection is a plain class name (not shadowed by a named
+/// object), and the filter and projection both compile.
+pub fn compile_select_scan(src: &dyn DataSource, q: &SelectExpr) -> Option<SelectScan> {
+    if q.bindings.len() != 1 {
+        return None;
+    }
+    let (var, coll) = &q.bindings[0];
+    let Expr::Name(coll_name) = coll else {
+        return None;
+    };
+    // resolve_name order is variable → named object → class extent; a
+    // named object shadowing the class would change the collection.
+    if src.named_object(*coll_name).is_some() {
+        return None;
+    }
+    let class = src.class_by_name(*coll_name)?;
+    let vars = [*var];
+    let filter = match q.filter.as_deref() {
+        Some(f) => Some(compile_predicate(f, &vars)?),
+        None => None,
+    };
+    let proj = compile_predicate(&q.proj, &vars)?;
+    Some(SelectScan {
+        class,
+        filter,
+        proj,
+    })
+}
+
+/// Attempts compiled execution of a whole top-level expression. `None`
+/// means the engine is off or the shape is not covered — the caller falls
+/// back to the interpreter. `Some(result)` is bit-identical to what
+/// `eval_expr` would have produced (values, errors, budget accounting).
+pub(crate) fn try_run_compiled(src: &dyn DataSource, expr: &Expr) -> Option<Result<Value>> {
+    if !compiled_enabled() {
+        return None;
+    }
+    let Expr::Select(q) = expr else {
+        return None;
+    };
+    let scan = compile_select_scan(src, q)?;
+    Some(run_select_scan(src, q, &scan))
+}
+
+/// Runs a compiled canonical scan, charging the budget exactly as the
+/// interpreter's `eval_expr` → `select_depth` → `iterate_bindings` chain
+/// would: one step for the `select` node (depth 0), one for the collection
+/// name (depth 1), the filter and projection at depth 1 per row, and one
+/// `note_rows` per newly inserted result.
+fn run_select_scan(src: &dyn DataSource, q: &SelectExpr, scan: &SelectScan) -> Result<Value> {
+    let _span = ov_oodb::span!("query.compiled_scan");
+    let budget = budget::current();
+    let mut filter = scan.filter.as_ref().map(|p| Scan::new(p, src));
+    let mut proj = Scan::new(&scan.proj, src);
+    proj.step(0)?; // the `select` node itself
+    proj.step(1)?; // the collection name
+    let extent = src.extent(scan.class)?;
+    let mut out = BTreeSet::new();
+    for oid in extent {
+        if let Some(f) = &mut filter {
+            f.bind(0, Value::Oid(oid));
+            if !truthy(&f.run(1)?) {
+                continue;
+            }
+        }
+        proj.bind(0, Value::Oid(oid));
+        let v = proj.run(1)?;
+        if out.insert(v) {
+            if let Some(b) = &budget {
+                b.note_rows(1)?;
+            }
+        }
+    }
+    if q.the {
+        if out.len() == 1 {
+            Ok(out.into_iter().next().expect("len checked"))
+        } else {
+            Err(QueryError::TheCardinality { got: out.len() })
+        }
+    } else {
+        Ok(Value::Set(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Env;
+    use crate::parser::parse_expr;
+    use ov_oodb::{sym, AttrDef, Database, Type};
+
+    fn staff() -> Database {
+        let mut db = Database::new(sym("Staff"));
+        let person = db
+            .create_class(
+                sym("Person"),
+                &[],
+                vec![
+                    AttrDef::stored(sym("Name"), Type::Str),
+                    AttrDef::stored(sym("Age"), Type::Int),
+                ],
+            )
+            .unwrap();
+        db.schema
+            .add_attr(
+                person,
+                AttrDef::computed(
+                    sym("Doubled"),
+                    Type::Int,
+                    parse_expr("self.Age + self.Age").unwrap(),
+                ),
+            )
+            .unwrap();
+        for (name, age) in [("Maggy", 65), ("Denis", 70), ("Tony", 30)] {
+            db.create_object(
+                person,
+                Value::tuple([("Name", Value::str(name)), ("Age", Value::Int(age))]),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    /// Runs `src` both ways against every Person and asserts agreement.
+    fn assert_differential(db: &Database, src: &str) {
+        let expr = parse_expr(src).unwrap();
+        let p = sym("P");
+        let prog =
+            compile_predicate(&expr, &[p]).unwrap_or_else(|| panic!("`{src}` should compile"));
+        let mut scan = Scan::new(&prog, db);
+        let ev = Evaluator::new(db);
+        let person = db.schema.class_by_name(sym("Person")).unwrap();
+        for oid in db.deep_extent(person) {
+            let mut env = Env::new();
+            env.bind(p, Value::Oid(oid));
+            let interpreted = ev.eval(&expr, &mut env);
+            scan.bind(0, Value::Oid(oid));
+            let compiled = scan.run(0);
+            assert_eq!(compiled, interpreted, "divergence on `{src}`");
+        }
+    }
+
+    #[test]
+    fn covered_expressions_agree_with_interpreter() {
+        let db = staff();
+        for src in [
+            "P.Age >= 65",
+            r#"P.Name = "Maggy""#,
+            "P.Age + 1 * 2 - 3",
+            "P.Age >= 30 and P.Age < 70",
+            r#"P.Name = "Tony" or P.Age > 65"#,
+            "not (P.Age = 30)",
+            "if P.Age > 50 then P.Name else P.Age",
+            "P.Doubled = 140",
+            "-P.Age < 0",
+            "P.Age / 2 >= 15",
+        ] {
+            assert_differential(&db, src);
+        }
+    }
+
+    #[test]
+    fn errors_agree_with_interpreter() {
+        let db = staff();
+        for src in [
+            "P.Age / 0",            // division by zero
+            "P.Age % 0",            // modulo by zero
+            r#"P.Name < 1"#,        // unordered kinds
+            "-P.Name",              // cannot negate
+            "P.Ghost = 1",          // unknown attribute
+            r#"P.Name ++ 1 = "x""#, // concat kind error
+        ] {
+            assert_differential(&db, src);
+        }
+    }
+
+    #[test]
+    fn uncovered_shapes_do_not_compile() {
+        for src in [
+            "count((select Q from Q in Person))",
+            "exists(select Q from Q in Person)",
+            "{1, 2}",
+            "[A: 1, B: 2]",
+            "P in Person", // free name `Person`
+            "self.Age",    // `self` is not a scan variable
+            "maggy.Age",   // free name
+        ] {
+            let expr = parse_expr(src).unwrap();
+            assert!(
+                compile_predicate(&expr, &[sym("P")]).is_none(),
+                "`{src}` should not compile"
+            );
+        }
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs_like_the_interpreter() {
+        let db = staff();
+        // The rhs errors (division by zero) but the lhs decides: `and`
+        // with falsy lhs and `or` with truthy lhs must not touch it.
+        assert_differential(&db, "P.Age < 0 and 1 / 0 = 1");
+        assert_differential(&db, "P.Age > 0 or 1 / 0 = 1");
+    }
+
+    #[test]
+    fn budget_steps_match_the_interpreter_exactly() {
+        let db = staff();
+        let expr = parse_expr("P.Age >= 30 and P.Doubled < 200").unwrap();
+        let p = sym("P");
+        let prog = compile_predicate(&expr, &[p]).unwrap();
+        let person = db.schema.class_by_name(sym("Person")).unwrap();
+        let oids = db.deep_extent(person);
+
+        let count_steps = |compiled: bool| -> u64 {
+            let b = Arc::new(Budget::new());
+            budget::with(b.clone(), || {
+                if compiled {
+                    let mut scan = Scan::new(&prog, &db);
+                    for &oid in &oids {
+                        scan.bind(0, Value::Oid(oid));
+                        scan.run(0).unwrap();
+                    }
+                } else {
+                    let ev = Evaluator::new(&db);
+                    for &oid in &oids {
+                        let mut env = Env::new();
+                        env.bind(p, Value::Oid(oid));
+                        ev.eval(&expr, &mut env).unwrap();
+                    }
+                }
+            });
+            b.steps_used()
+        };
+        assert_eq!(count_steps(true), count_steps(false));
+    }
+
+    #[test]
+    fn budget_breach_trips_at_the_same_step() {
+        let db = staff();
+        let expr = parse_expr("P.Doubled > 100").unwrap();
+        let p = sym("P");
+        let prog = compile_predicate(&expr, &[p]).unwrap();
+        let person = db.schema.class_by_name(sym("Person")).unwrap();
+        let oid = db.deep_extent(person)[0];
+
+        for max in 0..12 {
+            let run_with = |compiled: bool| {
+                let b = Arc::new(Budget::new().with_max_steps(max));
+                let r = budget::with(b.clone(), || {
+                    if compiled {
+                        let mut scan = Scan::new(&prog, &db);
+                        scan.bind(0, Value::Oid(oid));
+                        scan.run(0)
+                    } else {
+                        let ev = Evaluator::new(&db);
+                        let mut env = Env::new();
+                        env.bind(p, Value::Oid(oid));
+                        ev.eval(&expr, &mut env)
+                    }
+                });
+                (r, b.steps_used())
+            };
+            assert_eq!(run_with(true), run_with(false), "max_steps = {max}");
+        }
+    }
+
+    #[test]
+    fn resolution_cache_reuses_pure_resolutions() {
+        let db = staff();
+        let expr = parse_expr("P.Age >= 65").unwrap();
+        let prog = compile_predicate(&expr, &[sym("P")]).unwrap();
+        let mut scan = Scan::new(&prog, &db);
+        let person = db.schema.class_by_name(sym("Person")).unwrap();
+        for oid in db.deep_extent(person) {
+            scan.bind(0, Value::Oid(oid));
+            scan.run(0).unwrap();
+        }
+        // One slot (P.Age), one class, decided Pure after the first row.
+        assert_eq!(scan.caches.len(), 1);
+        assert!(matches!(
+            scan.caches[0].get(&person),
+            Some(SlotEntry::Pure(_))
+        ));
+    }
+
+    #[test]
+    fn top_level_select_agrees_with_interpreter() {
+        let db = staff();
+        for src in [
+            "select P.Name from P in Person where P.Age >= 65",
+            "select P from P in Person",
+            "select the P from P in Person where P.Age = 30",
+            "select the P from P in Person",     // cardinality error
+            "select P.Age / 0 from P in Person", // projection error
+        ] {
+            let expr = parse_expr(src).unwrap();
+            let compiled =
+                try_run_compiled(&db, &expr).unwrap_or_else(|| panic!("`{src}` should compile"));
+            let interpreted = crate::eval::eval_expr(&db, &expr);
+            assert_eq!(compiled, interpreted, "divergence on `{src}`");
+        }
+    }
+
+    #[test]
+    fn interp_mode_disables_compilation() {
+        let db = staff();
+        let expr = parse_expr("select P from P in Person").unwrap();
+        set_engine_mode(EngineMode::Interp);
+        assert!(try_run_compiled(&db, &expr).is_none());
+        set_engine_mode(EngineMode::Auto);
+        assert!(try_run_compiled(&db, &expr).is_some());
+    }
+
+    #[test]
+    fn engine_mode_round_trips_its_spelling() {
+        for mode in [EngineMode::Auto, EngineMode::Compiled, EngineMode::Interp] {
+            assert_eq!(EngineMode::parse(mode.as_str()), Some(mode));
+        }
+        assert_eq!(EngineMode::parse("jit"), None);
+    }
+}

@@ -25,7 +25,15 @@ use crate::source::{extent_value, DataSource, ResolvedAttr};
 
 /// Maximum depth of nested computed-attribute evaluation, guarding against
 /// recursive virtual attributes (`attribute A … has value self.A`).
-const MAX_DEPTH: usize = 128;
+/// Shared with the compiled engine ([`crate::compile`]), which enforces the
+/// same limit at the same points.
+pub(crate) const MAX_DEPTH: usize = 128;
+
+/// The error produced when [`MAX_DEPTH`] is exceeded (one constructor so
+/// the interpreter and the compiled engine agree byte-for-byte).
+pub(crate) fn depth_error() -> QueryError {
+    QueryError::eval("evaluation depth limit exceeded (recursive computed attribute?)")
+}
 
 /// A variable environment: lexically scoped bindings plus the `self`
 /// receiver.
@@ -33,6 +41,12 @@ const MAX_DEPTH: usize = 128;
 pub struct Env {
     vars: Vec<(Symbol, Value)>,
     self_val: Option<Value>,
+    /// Memo of the innermost binding index of the last name bound or looked
+    /// up. Deep computed-attribute chains (the E5 shape) resolve the same
+    /// parameter symbols over and over; the memo turns those repeat lookups
+    /// into one index compare instead of a reverse scan. `Cell` keeps
+    /// `lookup` callable through `&self`.
+    hot: std::cell::Cell<Option<(Symbol, usize)>>,
 }
 
 impl Env {
@@ -46,24 +60,40 @@ impl Env {
         Env {
             vars: Vec::new(),
             self_val: Some(v),
+            hot: std::cell::Cell::new(None),
         }
     }
 
     /// Binds a variable (innermost scope wins on lookup).
     pub fn bind(&mut self, name: Symbol, v: Value) {
         self.vars.push((name, v));
+        // The new binding is the innermost one for `name` by construction,
+        // so it may (and must, if `name` shadows the memoized entry)
+        // replace the memo.
+        self.hot.set(Some((name, self.vars.len() - 1)));
     }
 
     fn lookup(&self, name: Symbol) -> Option<&Value> {
-        self.vars
-            .iter()
-            .rev()
-            .find(|(n, _)| *n == name)
-            .map(|(_, v)| v)
+        if let Some((n, i)) = self.hot.get() {
+            if n == name {
+                return Some(&self.vars[i].1);
+            }
+        }
+        let i = self.vars.iter().rposition(|(n, _)| *n == name)?;
+        self.hot.set(Some((name, i)));
+        Some(&self.vars[i].1)
     }
 
     fn pop(&mut self, n: usize) {
         self.vars.truncate(self.vars.len() - n);
+        // Drop the memo if it points past the truncation; survivors still
+        // satisfy the innermost-binding invariant (anything that shadowed
+        // them was bound later, i.e. at a higher — now removed — index).
+        if let Some((_, i)) = self.hot.get() {
+            if i >= self.vars.len() {
+                self.hot.set(None);
+            }
+        }
     }
 }
 
@@ -85,7 +115,7 @@ pub fn eval_select(src: &dyn DataSource, query: &SelectExpr) -> Result<Value> {
 /// regardless of storage (§2).
 pub fn eval_attr(src: &dyn DataSource, oid: Oid, name: Symbol, args: &[Value]) -> Result<Value> {
     let _span = ov_oodb::span!("query.eval_attr", attr = name);
-    Evaluator::new(src).attr_of(oid, name, args, 0)
+    Evaluator::new(src).attr_of(oid, name, args.to_vec(), 0)
 }
 
 /// The evaluator; cheap to construct per query.
@@ -113,9 +143,7 @@ impl<'a> Evaluator<'a> {
 
     fn eval_depth(&self, expr: &Expr, env: &mut Env, depth: usize) -> Result<Value> {
         if depth > MAX_DEPTH {
-            return Err(QueryError::eval(
-                "evaluation depth limit exceeded (recursive computed attribute?)",
-            ));
+            return Err(depth_error());
         }
         if let Some(b) = &self.budget {
             b.step(depth)?;
@@ -133,7 +161,7 @@ impl<'a> Evaluator<'a> {
                 for a in args {
                     arg_vals.push(self.eval_depth(a, env, depth + 1)?);
                 }
-                self.access(&recv_val, *name, &arg_vals, depth)
+                self.access(&recv_val, *name, arg_vals, depth)
             }
             Expr::TupleCons(fields) => {
                 let mut t = ov_oodb::Tuple::new();
@@ -158,17 +186,7 @@ impl<'a> Evaluator<'a> {
             }
             Expr::Unary { op, expr } => {
                 let v = self.eval_depth(expr, env, depth + 1)?;
-                match op {
-                    UnOp::Not => Ok(Value::Bool(!truthy(&v))),
-                    UnOp::Neg => match v {
-                        Value::Int(i) => Ok(Value::Int(-i)),
-                        Value::Float(f) => Ok(Value::Float(-f)),
-                        other => Err(QueryError::eval(format!(
-                            "cannot negate a {}",
-                            other.kind()
-                        ))),
-                    },
-                }
+                apply_unary(*op, v)
             }
             Expr::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs, env, depth),
             Expr::If { cond, then, els } => {
@@ -234,8 +252,11 @@ impl<'a> Evaluator<'a> {
     }
 
     /// `recv.name(args)` — "The dot notation here combines both
-    /// dereferencing … and field selection" (§2).
-    fn access(&self, recv: &Value, name: Symbol, args: &[Value], depth: usize) -> Result<Value> {
+    /// dereferencing … and field selection" (§2). Arguments are taken by
+    /// value: they were just evaluated and are consumed exactly once (as
+    /// computed-attribute parameter bindings), so ownership avoids a
+    /// per-call clone of each argument.
+    fn access(&self, recv: &Value, name: Symbol, args: Vec<Value>, depth: usize) -> Result<Value> {
         match recv {
             Value::Null => Ok(Value::Null),
             Value::Oid(oid) => self.attr_of(*oid, name, args, depth),
@@ -257,11 +278,9 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Attribute access on an object: resolve, then read or compute.
-    fn attr_of(&self, oid: Oid, name: Symbol, args: &[Value], depth: usize) -> Result<Value> {
+    fn attr_of(&self, oid: Oid, name: Symbol, args: Vec<Value>, depth: usize) -> Result<Value> {
         if depth > MAX_DEPTH {
-            return Err(QueryError::eval(
-                "evaluation depth limit exceeded (recursive computed attribute?)",
-            ));
+            return Err(depth_error());
         }
         if let Some(b) = &self.budget {
             b.step(depth)?;
@@ -276,23 +295,40 @@ impl<'a> Evaluator<'a> {
                 self.src.stored_field(oid, name)
             }
             ResolvedAttr::Computed { params, body } => {
-                if params.len() != args.len() {
-                    return Err(QueryError::eval(format!(
-                        "attribute `{name}` expects {} argument(s), got {}",
-                        params.len(),
-                        args.len()
-                    )));
-                }
-                let mut env = Env::with_self(Value::Oid(oid));
-                for (p, v) in params.iter().zip(args) {
-                    env.bind(*p, v.clone());
-                }
-                self.src.enter_body();
-                let result = self.eval_depth(&body, &mut env, depth + 1);
-                self.src.exit_body();
-                result
+                self.run_computed(oid, name, &params, &body, args, depth)
             }
         }
+    }
+
+    /// Evaluates a computed-attribute body with `self` bound to `oid` and
+    /// the parameters bound (by move) to `args`. Shared with the compiled
+    /// engine, which delegates computed attributes here so nested bodies
+    /// keep exact interpreter semantics (budget steps, depth, body
+    /// bracketing).
+    pub(crate) fn run_computed(
+        &self,
+        oid: Oid,
+        name: Symbol,
+        params: &[Symbol],
+        body: &Expr,
+        args: Vec<Value>,
+        depth: usize,
+    ) -> Result<Value> {
+        if params.len() != args.len() {
+            return Err(QueryError::eval(format!(
+                "attribute `{name}` expects {} argument(s), got {}",
+                params.len(),
+                args.len()
+            )));
+        }
+        let mut env = Env::with_self(Value::Oid(oid));
+        for (p, v) in params.iter().zip(args) {
+            env.bind(*p, v);
+        }
+        self.src.enter_body();
+        let result = self.eval_depth(body, &mut env, depth + 1);
+        self.src.exit_body();
+        result
     }
 
     fn binary(
@@ -325,73 +361,7 @@ impl<'a> Evaluator<'a> {
         }
         let l = self.eval_depth(lhs, env, depth + 1)?;
         let r = self.eval_depth(rhs, env, depth + 1)?;
-        match op {
-            BinOp::And | BinOp::Or => unreachable!("handled above"),
-            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-                arithmetic(op, &l, &r)
-            }
-            BinOp::Concat => match (&l, &r) {
-                (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}").into())),
-                (Value::List(a), Value::List(b)) => {
-                    let mut out = a.clone();
-                    out.extend(b.iter().cloned());
-                    Ok(Value::List(out))
-                }
-                _ => Err(QueryError::eval(format!(
-                    "`++` concatenates strings or lists, not {} and {}",
-                    l.kind(),
-                    r.kind()
-                ))),
-            },
-            BinOp::Eq => Ok(Value::Bool(value_eq(&l, &r))),
-            BinOp::Ne => Ok(Value::Bool(!value_eq(&l, &r))),
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                // DECISION: ordering against null is false, not an error —
-                // filters over partially-populated objects (the paper's
-                // `P.Age >= 21` where some ages are unset) keep nothing for
-                // the unset ones, like SQL's three-valued logic collapsed to
-                // false.
-                if l.is_null() || r.is_null() {
-                    return Ok(Value::Bool(false));
-                }
-                let ord = value_cmp(&l, &r)?;
-                Ok(Value::Bool(match op {
-                    BinOp::Lt => ord.is_lt(),
-                    BinOp::Gt => ord.is_gt(),
-                    BinOp::Le => ord.is_le(),
-                    BinOp::Ge => ord.is_ge(),
-                    _ => unreachable!(),
-                }))
-            }
-            BinOp::In => match &r {
-                Value::Set(s) => Ok(Value::Bool(
-                    s.contains(&l) || s.iter().any(|v| value_eq(v, &l)),
-                )),
-                Value::List(items) => Ok(Value::Bool(items.iter().any(|v| value_eq(v, &l)))),
-                Value::Null => Ok(Value::Bool(false)),
-                other => Err(QueryError::eval(format!(
-                    "`in` needs a set or list on the right, found {}",
-                    other.kind()
-                ))),
-            },
-            BinOp::Union | BinOp::Intersect | BinOp::Except => {
-                let (Value::Set(a), Value::Set(b)) = (&l, &r) else {
-                    return Err(QueryError::eval(format!(
-                        "`{}` needs sets, found {} and {}",
-                        op.token(),
-                        l.kind(),
-                        r.kind()
-                    )));
-                };
-                let out: BTreeSet<Value> = match op {
-                    BinOp::Union => a.union(b).cloned().collect(),
-                    BinOp::Intersect => a.intersection(b).cloned().collect(),
-                    BinOp::Except => a.difference(b).cloned().collect(),
-                    _ => unreachable!(),
-                };
-                Ok(Value::Set(out))
-            }
-        }
+        apply_binary(op, &l, &r)
     }
 
     /// Evaluates a select in `env`.
@@ -507,6 +477,94 @@ pub fn value_eq(a: &Value, b: &Value) -> bool {
     match (a, b) {
         (Value::Int(i), Value::Float(f)) | (Value::Float(f), Value::Int(i)) => *i as f64 == *f,
         _ => a == b,
+    }
+}
+
+/// Applies a unary operator to an already-evaluated operand. Shared by the
+/// interpreter and the compiled engine so the two cannot drift.
+pub(crate) fn apply_unary(op: UnOp, v: Value) -> Result<Value> {
+    match op {
+        UnOp::Not => Ok(Value::Bool(!truthy(&v))),
+        UnOp::Neg => match v {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(QueryError::eval(format!(
+                "cannot negate a {}",
+                other.kind()
+            ))),
+        },
+    }
+}
+
+/// Applies a non-short-circuit binary operator to already-evaluated
+/// operands (`And`/`Or` never reach here — both engines thread their
+/// short-circuit control flow before operand evaluation). Shared by the
+/// interpreter and the compiled engine so the two cannot drift.
+pub(crate) fn apply_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    match op {
+        BinOp::And | BinOp::Or => unreachable!("short-circuit ops handled by the caller"),
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => arithmetic(op, l, r),
+        BinOp::Concat => match (l, r) {
+            (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}").into())),
+            (Value::List(a), Value::List(b)) => {
+                let mut out = a.clone();
+                out.extend(b.iter().cloned());
+                Ok(Value::List(out))
+            }
+            _ => Err(QueryError::eval(format!(
+                "`++` concatenates strings or lists, not {} and {}",
+                l.kind(),
+                r.kind()
+            ))),
+        },
+        BinOp::Eq => Ok(Value::Bool(value_eq(l, r))),
+        BinOp::Ne => Ok(Value::Bool(!value_eq(l, r))),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            // DECISION: ordering against null is false, not an error —
+            // filters over partially-populated objects (the paper's
+            // `P.Age >= 21` where some ages are unset) keep nothing for
+            // the unset ones, like SQL's three-valued logic collapsed to
+            // false.
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Bool(false));
+            }
+            let ord = value_cmp(l, r)?;
+            Ok(Value::Bool(match op {
+                BinOp::Lt => ord.is_lt(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::Le => ord.is_le(),
+                BinOp::Ge => ord.is_ge(),
+                _ => unreachable!(),
+            }))
+        }
+        BinOp::In => match r {
+            Value::Set(s) => Ok(Value::Bool(
+                s.contains(l) || s.iter().any(|v| value_eq(v, l)),
+            )),
+            Value::List(items) => Ok(Value::Bool(items.iter().any(|v| value_eq(v, l)))),
+            Value::Null => Ok(Value::Bool(false)),
+            other => Err(QueryError::eval(format!(
+                "`in` needs a set or list on the right, found {}",
+                other.kind()
+            ))),
+        },
+        BinOp::Union | BinOp::Intersect | BinOp::Except => {
+            let (Value::Set(a), Value::Set(b)) = (l, r) else {
+                return Err(QueryError::eval(format!(
+                    "`{}` needs sets, found {} and {}",
+                    op.token(),
+                    l.kind(),
+                    r.kind()
+                )));
+            };
+            let out: BTreeSet<Value> = match op {
+                BinOp::Union => a.union(b).cloned().collect(),
+                BinOp::Intersect => a.intersection(b).cloned().collect(),
+                BinOp::Except => a.difference(b).cloned().collect(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Set(out))
+        }
     }
 }
 

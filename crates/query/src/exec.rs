@@ -418,6 +418,10 @@ pub fn rewrite_expr(e: &Expr, f: &mut dyn FnMut(&Expr) -> Option<Expr>) -> Expr 
 }
 
 /// Runs a single query string against any data source (database or view).
+/// Canonical class scans run the compiled predicate engine (unless disabled
+/// via [`set_engine_mode`](crate::set_engine_mode)); everything else — and
+/// every expression outside the compiler's coverage — takes the
+/// tree-walking interpreter, with identical observable behavior.
 pub fn run_query(src: &dyn crate::source::DataSource, query: &str) -> Result<Value> {
     let _span = ov_oodb::span!("query.run");
     let e = {
@@ -425,7 +429,10 @@ pub fn run_query(src: &dyn crate::source::DataSource, query: &str) -> Result<Val
         crate::parser::parse_expr(query)?
     };
     let _exec = ov_oodb::span!("query.execute");
-    eval_expr(src, &e)
+    match crate::compile::try_run_compiled(src, &e) {
+        Some(r) => r,
+        None => eval_expr(src, &e),
+    }
 }
 
 /// Runs a query governed by a cooperative [`Budget`](crate::Budget): the

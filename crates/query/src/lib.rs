@@ -27,6 +27,7 @@
 
 pub mod ast;
 pub mod budget;
+pub mod compile;
 pub mod error;
 pub mod eval;
 pub mod exec;
@@ -40,6 +41,10 @@ pub mod typecheck;
 
 pub use ast::{ImportWhat, IncludeSpec, Stmt, TypeExpr};
 pub use budget::{Budget, BudgetBreach};
+pub use compile::{
+    compile_predicate, compile_select_scan, compiled_enabled, engine_mode, set_engine_mode,
+    EngineMode, Program, Scan, SelectScan,
+};
 pub use error::{Pos, QueryError, Result};
 pub use eval::{eval_attr, eval_expr, eval_select, truthy, value_eq, Env, Evaluator};
 pub use exec::{
@@ -50,7 +55,7 @@ pub use optimize::{optimize_expr, optimize_select};
 pub use parallel::{eval_select_parallel, panic_message, run_query_parallel, ParallelConfig};
 pub use parser::{parse_expr, parse_program, parse_select, parse_type};
 pub use plan::{
-    run_query_traced, PopOutcome, PopPath, PopulationTrace, QueryTrace, ScanKind, Stage,
+    run_query_traced, Engine, PopOutcome, PopPath, PopulationTrace, QueryTrace, ScanKind, Stage,
 };
 pub use source::{require_class, DataSource, ResolvedAttr, SourceGraph};
 pub use typecheck::{infer, infer_expr, infer_select, infer_select_in, type_of_value, TypeEnv};

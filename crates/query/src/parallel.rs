@@ -97,17 +97,54 @@ pub fn eval_select_parallel(
     if !cfg.should_split(items.len()) {
         return Evaluator::new(src).select(q, &mut Env::new());
     }
-    let out = filter_map_chunked(src, cfg, &items, |ev, item, keep| {
-        let mut env = Env::new();
-        env.bind(*var, item.clone());
-        if let Some(f) = q.filter.as_deref() {
-            if !truthy(&ev.eval(f, &mut env)?) {
-                return Ok(());
-            }
+    // Compile the filter and projection once on the coordinator; every
+    // chunk then builds its own executor (register file, value stack, and
+    // resolution caches are per-thread state). Any uncovered expression —
+    // or `.engine interp` — drops the whole scan to the interpreter.
+    let compiled = if crate::compile::compiled_enabled() {
+        let vars = [*var];
+        let filter = match q.filter.as_deref() {
+            Some(f) => crate::compile::compile_predicate(f, &vars).map(Some),
+            None => Some(None),
+        };
+        match (filter, crate::compile::compile_predicate(&q.proj, &vars)) {
+            (Some(f), Some(p)) => Some((f, p)),
+            _ => None,
         }
-        keep.insert(ev.eval(&q.proj, &mut env)?);
-        Ok(())
-    })?;
+    } else {
+        None
+    };
+    let out = match &compiled {
+        Some((filter, proj)) => filter_map_chunked(cfg, &items, |chunk, keep| {
+            let mut fscan = filter.as_ref().map(|p| crate::compile::Scan::new(p, src));
+            let mut pscan = crate::compile::Scan::new(proj, src);
+            for item in chunk {
+                if let Some(f) = &mut fscan {
+                    f.bind(0, item.clone());
+                    if !truthy(&f.run(0)?) {
+                        continue;
+                    }
+                }
+                pscan.bind(0, item.clone());
+                keep.insert(pscan.run(0)?);
+            }
+            Ok(())
+        })?,
+        None => filter_map_chunked(cfg, &items, |chunk, keep| {
+            let ev = Evaluator::new(src);
+            for item in chunk {
+                let mut env = Env::new();
+                env.bind(*var, item.clone());
+                if let Some(f) = q.filter.as_deref() {
+                    if !truthy(&ev.eval(f, &mut env)?) {
+                        continue;
+                    }
+                }
+                keep.insert(ev.eval(&q.proj, &mut env)?);
+            }
+            Ok(())
+        })?,
+    };
     if q.the {
         if out.len() == 1 {
             Ok(out.into_iter().next().expect("len checked"))
@@ -133,18 +170,17 @@ pub fn run_query_parallel(
     }
 }
 
-/// Splits `items` into one chunk per worker and runs `per_item` on each
-/// element on a scoped thread pool, merging the per-chunk result sets.
+/// Splits `items` into one chunk per worker and runs `per_chunk` on each
+/// chunk on a scoped thread pool, merging the per-chunk result sets.
 /// The first error (in chunk order) wins.
 fn filter_map_chunked<T, F>(
-    src: &(dyn DataSource + Sync),
     cfg: &ParallelConfig,
     items: &[T],
-    per_item: F,
+    per_chunk: F,
 ) -> Result<BTreeSet<Value>>
 where
     T: Sync,
-    F: Fn(&Evaluator<'_>, &T, &mut BTreeSet<Value>) -> Result<()> + Sync,
+    F: Fn(&[T], &mut BTreeSet<Value>) -> Result<()> + Sync,
 {
     let workers = cfg.workers_for(items.len());
     let chunk_len = items.len().div_ceil(workers);
@@ -161,7 +197,7 @@ where
             .chunks(chunk_len)
             .enumerate()
             .map(|(i, chunk)| {
-                let per_item = &per_item;
+                let per_chunk = &per_chunk;
                 let budget = budget.clone();
                 scope.spawn(move || {
                     // Emitted on the worker, so the flight recorder sees
@@ -174,11 +210,8 @@ where
                         if let Some(b) = &budget {
                             b.check_deadline()?;
                         }
-                        let ev = Evaluator::new(src);
                         let mut keep = BTreeSet::new();
-                        for item in chunk {
-                            per_item(&ev, item, &mut keep)?;
-                        }
+                        per_chunk(chunk, &mut keep)?;
                         if let Some(b) = &budget {
                             b.note_rows(keep.len() as u64)?;
                         }

@@ -28,29 +28,63 @@ use ov_oodb::Symbol;
 use crate::error::Result;
 use crate::source::DataSource;
 
+/// Which evaluation engine ran a scan's per-row predicate work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// The scan ran the compiled predicate engine ([`crate::compile`]).
+    Compiled,
+    /// The scan ran the tree-walking interpreter (either by choice — see
+    /// [`crate::EngineMode`] — or because the expression fell outside the
+    /// compiler's covered subset).
+    Interpreted,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Engine::Compiled => write!(f, "compiled"),
+            Engine::Interpreted => write!(f, "interp"),
+        }
+    }
+}
+
 /// How one include-term scan inside a full recompute was executed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ScanKind {
     /// Plain single-threaded evaluation over the source extent.
-    Sequential,
+    Sequential {
+        /// Which engine evaluated the predicate per row.
+        engine: Engine,
+    },
     /// The extent was split across worker threads.
     Parallel {
         /// Number of chunks the extent was split into.
         chunks: usize,
+        /// Which engine evaluated the predicate per row.
+        engine: Engine,
     },
     /// An equality conjunct was answered from a secondary index.
     IndexPushdown {
         /// The index used, as `Class.Attr`.
         index: String,
+        /// Which engine re-checked the full filter per candidate.
+        engine: Engine,
     },
 }
 
 impl fmt::Display for ScanKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ScanKind::Sequential => write!(f, "[seq]"),
-            ScanKind::Parallel { chunks } => write!(f, "[parallel ×{chunks}]"),
-            ScanKind::IndexPushdown { index } => write!(f, "[index {index}]"),
+        // Interpreted scans keep the pre-engine rendering ("[seq]" …) so
+        // existing EXPLAIN consumers are unaffected; compiled scans append
+        // the marker.
+        let (body, engine) = match self {
+            ScanKind::Sequential { engine } => ("seq".to_owned(), engine),
+            ScanKind::Parallel { chunks, engine } => (format!("parallel ×{chunks}"), engine),
+            ScanKind::IndexPushdown { index, engine } => (format!("index {index}"), engine),
+        };
+        match engine {
+            Engine::Interpreted => write!(f, "[{body}]"),
+            Engine::Compiled => write!(f, "[{body} compiled]"),
         }
     }
 }
@@ -348,14 +382,17 @@ pub fn run_query_traced(src: &dyn DataSource, query: &str) -> Result<(ov_oodb::V
     });
 
     let t0 = Instant::now();
-    let (value, populations) = {
+    let ((value, engine), populations) = {
         let _s = ov_oodb::span!("query.execute");
-        collect(|| crate::eval::eval_expr(src, &optimized))
+        collect(|| match crate::compile::try_run_compiled(src, &optimized) {
+            Some(r) => (r, Engine::Compiled),
+            None => (crate::eval::eval_expr(src, &optimized), Engine::Interpreted),
+        })
     };
     trace.stages.push(Stage {
         name: "execute",
         nanos: t0.elapsed().as_nanos() as u64,
-        detail: String::new(),
+        detail: format!("engine={engine}"),
     });
     trace.populations = populations;
     let value = value?;
@@ -372,11 +409,18 @@ mod tests {
     use super::*;
     use ov_oodb::sym;
 
+    /// A sequential interpreted scan, the common test fixture.
+    fn seq() -> ScanKind {
+        ScanKind::Sequential {
+            engine: Engine::Interpreted,
+        }
+    }
+
     #[test]
     fn hooks_are_noops_without_a_collector() {
         assert!(!tracing_active());
         begin_population();
-        record_scan(ScanKind::Sequential);
+        record_scan(seq());
         end_population(sym("X"), PopOutcome::FullRecompute, 0, 1);
         abort_population();
         // Nothing to observe: the point is simply that none of it panics.
@@ -387,8 +431,11 @@ mod tests {
         let ((), events) = collect(|| {
             assert!(tracing_active());
             begin_population();
-            record_scan(ScanKind::Parallel { chunks: 4 });
-            record_scan(ScanKind::Sequential);
+            record_scan(ScanKind::Parallel {
+                chunks: 4,
+                engine: Engine::Compiled,
+            });
+            record_scan(seq());
             end_population(sym("Adult"), PopOutcome::FullRecompute, 12, 5_000);
         });
         assert_eq!(events.len(), 1);
@@ -397,7 +444,13 @@ mod tests {
         assert_eq!(
             events[0].path,
             PopPath::FullRecompute {
-                scans: vec![ScanKind::Parallel { chunks: 4 }, ScanKind::Sequential]
+                scans: vec![
+                    ScanKind::Parallel {
+                        chunks: 4,
+                        engine: Engine::Compiled
+                    },
+                    seq()
+                ]
             }
         );
         assert!(!tracing_active());
@@ -407,10 +460,11 @@ mod tests {
     fn nested_frames_attach_scans_to_the_right_population() {
         let ((), events) = collect(|| {
             begin_population(); // outer
-            record_scan(ScanKind::Sequential);
+            record_scan(seq());
             begin_population(); // inner
             record_scan(ScanKind::IndexPushdown {
                 index: "Person.City".into(),
+                engine: Engine::Interpreted,
             });
             end_population(sym("Inner"), PopOutcome::FullRecompute, 1, 10);
             end_population(sym("Outer"), PopOutcome::FullRecompute, 2, 20);
@@ -421,15 +475,14 @@ mod tests {
             events[0].path,
             PopPath::FullRecompute {
                 scans: vec![ScanKind::IndexPushdown {
-                    index: "Person.City".into()
+                    index: "Person.City".into(),
+                    engine: Engine::Interpreted,
                 }]
             }
         );
         assert_eq!(
             events[1].path,
-            PopPath::FullRecompute {
-                scans: vec![ScanKind::Sequential]
-            }
+            PopPath::FullRecompute { scans: vec![seq()] }
         );
     }
 
@@ -437,7 +490,7 @@ mod tests {
     fn abort_closes_a_frame_without_an_event() {
         let ((), events) = collect(|| {
             begin_population();
-            record_scan(ScanKind::Sequential);
+            record_scan(seq());
             abort_population();
         });
         assert!(events.is_empty());
@@ -477,8 +530,12 @@ mod tests {
             scans: vec![
                 ScanKind::IndexPushdown {
                     index: "Person.City".into(),
+                    engine: Engine::Interpreted,
                 },
-                ScanKind::Parallel { chunks: 8 },
+                ScanKind::Parallel {
+                    chunks: 8,
+                    engine: Engine::Interpreted,
+                },
             ],
         };
         assert_eq!(
@@ -487,5 +544,33 @@ mod tests {
         );
         assert_eq!(fmt_ns(870), "870ns");
         assert_eq!(fmt_ns(3_100_000), "3.1ms");
+    }
+
+    #[test]
+    fn compiled_scans_carry_the_engine_marker() {
+        assert_eq!(seq().to_string(), "[seq]");
+        assert_eq!(
+            ScanKind::Sequential {
+                engine: Engine::Compiled
+            }
+            .to_string(),
+            "[seq compiled]"
+        );
+        assert_eq!(
+            ScanKind::Parallel {
+                chunks: 4,
+                engine: Engine::Compiled
+            }
+            .to_string(),
+            "[parallel ×4 compiled]"
+        );
+        assert_eq!(
+            ScanKind::IndexPushdown {
+                index: "Person.City".into(),
+                engine: Engine::Compiled
+            }
+            .to_string(),
+            "[index Person.City compiled]"
+        );
     }
 }

@@ -1,0 +1,266 @@
+//! Property tests: the compiled predicate engine is observationally
+//! identical to the tree-walking interpreter. For random predicates over a
+//! scan variable, both engines produce the same value or the *same* error
+//! (`QueryError` is `PartialEq`, so error variants and messages are
+//! compared exactly), charge the same number of budget steps, breach
+//! budgets at the same point, and surface injected faults identically.
+
+use std::sync::Arc;
+
+use ov_oodb::{sym, AttrDef, BinOp, Database, Expr, Type, UnOp, Value};
+use ov_query::{compile_predicate, Budget, Env, Evaluator, QueryError, Scan};
+use proptest::prelude::*;
+
+/// A small database with stored and computed attributes, so random
+/// predicates exercise the slot-resolution cache on both kinds.
+fn db() -> Database {
+    let mut db = Database::new(sym("CompDb"));
+    let person = db
+        .create_class(
+            sym("Person"),
+            &[],
+            vec![
+                AttrDef::stored(sym("Name"), Type::Str),
+                AttrDef::stored(sym("Age"), Type::Int),
+                AttrDef::computed(
+                    sym("Senior"),
+                    Type::Bool,
+                    Expr::bin(BinOp::Ge, Expr::self_attr("Age"), Expr::lit(Value::Int(65))),
+                ),
+            ],
+        )
+        .unwrap();
+    for (n, a) in [("a", 10), ("b", 30), ("c", 70)] {
+        db.create_object(
+            person,
+            Value::tuple([("Name", Value::str(n)), ("Age", Value::Int(a))]),
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// The oids of the three Person rows.
+fn rows(db: &Database) -> Vec<Value> {
+    let person = db.schema.class_by_name(sym("Person")).unwrap();
+    db.store.extent(person).map(Value::Oid).collect()
+}
+
+fn arb_lit() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::Lit(Value::Null)),
+        any::<bool>().prop_map(|b| Expr::Lit(Value::Bool(b))),
+        (-100i64..100).prop_map(|i| Expr::Lit(Value::Int(i))),
+        (-10.0f64..10.0).prop_map(|f| Expr::Lit(Value::Float(f))),
+        "[a-c]{0,3}".prop_map(|s| Expr::Lit(Value::str(&s))),
+    ]
+}
+
+/// Random predicates over scan variable `V`: mostly shapes the compiler
+/// covers (literals, the variable, attribute access, operators, `if`), plus
+/// a low-weight tail of uncovered shapes (set/list constructors) to check
+/// the fallback never panics or diverges.
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_lit(),
+        Just(Expr::name("V")),
+        Just(Expr::attr(Expr::name("V"), "Age")),
+        Just(Expr::attr(Expr::name("V"), "Name")),
+        Just(Expr::attr(Expr::name("V"), "Senior")),
+        Just(Expr::attr(Expr::name("V"), "NoSuchAttr")),
+        Just(Expr::attr(Expr::lit(Value::Int(3)), "Age")),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Mod),
+                    Just(BinOp::Concat),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::bin(op, l, r)),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e),
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::If {
+                cond: Box::new(c),
+                then: Box::new(t),
+                els: Box::new(e),
+            }),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::SetCons),
+        ]
+    })
+}
+
+/// The interpreter's verdict for `e` with `V` bound to `row`, under an
+/// optional budget.
+fn interp(
+    db: &Database,
+    e: &Expr,
+    row: &Value,
+    budget: Option<Arc<Budget>>,
+) -> Result<Value, QueryError> {
+    let run = || {
+        let mut env = Env::new();
+        env.bind(sym("V"), row.clone());
+        Evaluator::new(db).eval(e, &mut env)
+    };
+    match budget {
+        Some(b) => ov_query::budget::with(b, run),
+        None => run(),
+    }
+}
+
+/// The compiled engine's verdict, or `None` when the shape is uncovered.
+fn compiled(
+    db: &Database,
+    e: &Expr,
+    row: &Value,
+    budget: Option<Arc<Budget>>,
+) -> Option<Result<Value, QueryError>> {
+    let prog = compile_predicate(e, &[sym("V")])?;
+    let run = || {
+        let mut scan = Scan::new(&prog, db);
+        scan.bind(0, row.clone());
+        scan.run(0)
+    };
+    Some(match budget {
+        Some(b) => ov_query::budget::with(b, run),
+        None => run(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Same value, or the same error (variant *and* payload), on every row.
+    #[test]
+    fn compiled_matches_interpreter(e in arb_pred()) {
+        let db = db();
+        for row in rows(&db) {
+            let want = interp(&db, &e, &row, None);
+            if let Some(got) = compiled(&db, &e, &row, None) {
+                prop_assert_eq!(&got, &want, "expr: {}", e);
+            }
+        }
+    }
+
+    /// Under a step budget, both engines charge identical step counts and
+    /// breach at exactly the same point with exactly the same error —
+    /// including breaches that land mid-expression.
+    #[test]
+    fn budget_accounting_is_bit_identical(e in arb_pred(), max_steps in 0u64..48) {
+        let db = db();
+        for row in rows(&db) {
+            let bi = Arc::new(Budget::new().with_max_steps(max_steps));
+            let want = interp(&db, &e, &row, Some(bi.clone()));
+            let bc = Arc::new(Budget::new().with_max_steps(max_steps));
+            let Some(got) = compiled(&db, &e, &row, Some(bc.clone())) else {
+                continue;
+            };
+            prop_assert_eq!(&got, &want, "expr: {} (max_steps={})", e, max_steps);
+            prop_assert_eq!(
+                bc.steps_used(),
+                bi.steps_used(),
+                "step divergence on {} (max_steps={})",
+                e,
+                max_steps
+            );
+        }
+    }
+
+    /// With no budget cap, an uncapped run still meters the same steps —
+    /// the accounting itself (not just the breach behaviour) is identical.
+    #[test]
+    fn uncapped_step_counts_match(e in arb_pred()) {
+        let db = db();
+        for row in rows(&db) {
+            let bi = Arc::new(Budget::new());
+            let want = interp(&db, &e, &row, Some(bi.clone()));
+            let bc = Arc::new(Budget::new());
+            let Some(got) = compiled(&db, &e, &row, Some(bc.clone())) else {
+                continue;
+            };
+            prop_assert_eq!(&got, &want, "expr: {}", e);
+            prop_assert_eq!(bc.steps_used(), bi.steps_used(), "expr: {}", e);
+        }
+    }
+}
+
+/// An injected fault mid-scan surfaces identically through both engines:
+/// the parallel scan's per-chunk failpoint fires before any predicate runs,
+/// so the resulting error is engine-independent — and with faults cleared,
+/// both engines agree on the result.
+#[test]
+fn injected_faults_surface_identically() {
+    use ov_oodb::faults::{arm, clear, FaultAction, FaultSchedule};
+    use ov_query::{run_query_parallel, EngineMode, ParallelConfig};
+
+    let mut db = Database::new(sym("FaultDb"));
+    let person = db
+        .create_class(
+            sym("Person"),
+            &[],
+            vec![AttrDef::stored(sym("Age"), Type::Int)],
+        )
+        .unwrap();
+    for i in 0..64 {
+        db.create_object(person, Value::tuple([("Age", Value::Int(i))]))
+            .unwrap();
+    }
+    let cfg = ParallelConfig {
+        threads: 4,
+        threshold: 1,
+    };
+    let q = "select P from P in Person where P.Age >= 21";
+
+    let run_with = |mode: EngineMode| {
+        ov_query::set_engine_mode(mode);
+        let r = run_query_parallel(&db, &cfg, q);
+        ov_query::set_engine_mode(EngineMode::Auto);
+        r
+    };
+
+    // Fault on the 2nd chunk: both engines die with the same typed error.
+    arm(
+        "query.scan_chunk",
+        FaultSchedule::Nth(2),
+        FaultAction::Error,
+    );
+    let compiled_err = run_with(EngineMode::Compiled);
+    clear();
+    arm(
+        "query.scan_chunk",
+        FaultSchedule::Nth(2),
+        FaultAction::Error,
+    );
+    let interp_err = run_with(EngineMode::Interp);
+    clear();
+    assert!(compiled_err.is_err(), "fault must surface");
+    assert_eq!(compiled_err, interp_err);
+
+    // Faults cleared: both engines agree on the value.
+    let compiled_ok = run_with(EngineMode::Compiled);
+    let interp_ok = run_with(EngineMode::Interp);
+    assert!(compiled_ok.is_ok());
+    assert_eq!(compiled_ok, interp_ok);
+}

@@ -21,6 +21,7 @@
 //! | `.trace on\|off\|dump FILE` | flight recorder control + Chrome-trace export |
 //! | `.faults …` | fault-injection control (see `.help`) |
 //! | `.budget …` | per-statement execution budget (see `.help`) |
+//! | `.engine …` | predicate engine for scans (see `.help`) |
 //! | `.quit` | exit |
 
 use std::io::{BufRead, Write};
@@ -28,7 +29,44 @@ use std::sync::Arc;
 
 use objects_and_views::oodb::faults;
 use objects_and_views::prelude::*;
-use objects_and_views::query::Budget;
+use objects_and_views::query::{Budget, EngineMode};
+
+/// The `.help` table, as a const so tests can assert every meta command
+/// documents itself.
+const HELP: &str = "\
+.help            this help\n\
+.schema          databases, classes and views\n\
+.use NAME        focus a database or view\n\
+.load FILE       execute a script file\n\
+.dump DB         print a database as DDL\n\
+.views           print every view definition as DDL\n\
+.save [FILE]     serialize the whole session as a script\n\
+.explain T Q     plan + trace of query Q against T\n\
+.plan V C        population plan of virtual class C of view V\n\
+.metrics [FILE]  process-wide metrics snapshot as JSON\n\
+.trace on|off    enable/disable the span flight recorder\n\
+.trace dump FILE write recorded spans to FILE (Chrome trace\n\
+                 JSON; .jsonl suffix selects JSON-lines)\n\
+.trace clear     discard recorded spans\n\
+.trace           recorder status\n\
+.faults          armed failpoints and hit/fired counts\n\
+.faults sites    failpoint sites compiled into the pipeline\n\
+.faults seed N   seed the fault RNG streams\n\
+.faults arm SITE SCHED ACTION\n\
+                 SCHED: nth:N | from:N | p:0.5\n\
+                 ACTION: error | panic | delay:MS\n\
+.faults disarm SITE | .faults clear\n\
+.budget          current per-statement budget\n\
+.budget ms N | steps N | rows N | depth N | off\n\
+.engine          current predicate engine (scans show it in .plan/.explain)\n\
+.engine compiled | interp | auto\n\
+.quit            exit\n\
+\n\
+Anything else is a statement (end with `;`):\n\
+database D;  class C type [X: integer];  create view V;\n\
+import all classes from database D;\n\
+class Adult includes (select P from Person where P.Age >= 21);\n\
+select A.Name from A in Adult;";
 
 /// The failpoint sites compiled into the pipeline, for `.faults arm` name
 /// validation (the registry needs `&'static str` names anyway).
@@ -144,41 +182,7 @@ fn meta(session: &mut Session, budget: &mut BudgetSpec, cmd: &str) -> bool {
     let arg = parts.next().unwrap_or("").trim();
     match head {
         ".quit" | ".exit" => return false,
-        ".help" => {
-            println!(
-                ".help            this help\n\
-                 .schema          databases, classes and views\n\
-                 .use NAME        focus a database or view\n\
-                 .load FILE       execute a script file\n\
-                 .dump DB         print a database as DDL\n\
-                 .views           print every view definition as DDL\n\
-                 .save [FILE]     serialize the whole session as a script\n\
-                 .explain T Q     plan + trace of query Q against T\n\
-                 .plan V C        population plan of virtual class C of view V\n\
-                 .metrics [FILE]  process-wide metrics snapshot as JSON\n\
-                 .trace on|off    enable/disable the span flight recorder\n\
-                 .trace dump FILE write recorded spans to FILE (Chrome trace\n\
-                                  JSON; .jsonl suffix selects JSON-lines)\n\
-                 .trace clear     discard recorded spans\n\
-                 .trace           recorder status\n\
-                 .faults          armed failpoints and hit/fired counts\n\
-                 .faults sites    failpoint sites compiled into the pipeline\n\
-                 .faults seed N   seed the fault RNG streams\n\
-                 .faults arm SITE SCHED ACTION\n\
-                                  SCHED: nth:N | from:N | p:0.5\n\
-                                  ACTION: error | panic | delay:MS\n\
-                 .faults disarm SITE | .faults clear\n\
-                 .budget          current per-statement budget\n\
-                 .budget ms N | steps N | rows N | depth N | off\n\
-                 .quit            exit\n\
-                 \n\
-                 Anything else is a statement (end with `;`):\n\
-                 database D;  class C type [X: integer];  create view V;\n\
-                 import all classes from database D;\n\
-                 class Adult includes (select P from Person where P.Age >= 21);\n\
-                 select A.Name from A in Adult;"
-            );
-        }
+        ".help" => println!("{HELP}"),
         ".schema" => print!("{}", session.describe()),
         ".views" => {
             for name in session.view_names() {
@@ -393,6 +397,22 @@ fn meta(session: &mut Session, budget: &mut BudgetSpec, cmd: &str) -> bool {
                 Err(e) => eprintln!("error: {e}"),
             };
         }
+        ".engine" => {
+            if arg.is_empty() {
+                println!(
+                    "-- engine: {} (scans report Compiled/Interpreted in .plan and .explain)",
+                    engine_mode_name(objects_and_views::query::engine_mode())
+                );
+            } else {
+                match parse_engine_mode(arg) {
+                    Some(mode) => {
+                        objects_and_views::query::set_engine_mode(mode);
+                        println!("-- engine: {}", engine_mode_name(mode));
+                    }
+                    None => eprintln!("usage: .engine [compiled | interp | auto]"),
+                }
+            }
+        }
         other => eprintln!("unknown meta command `{other}` (try `.help`)"),
     }
     true
@@ -470,4 +490,63 @@ fn load_file(session: &mut Session, path: &str) -> Result<(), Box<dyn std::error
         }
     }
     Ok(())
+}
+
+/// `.engine` argument → mode; `None` means "print the usage line".
+fn parse_engine_mode(arg: &str) -> Option<EngineMode> {
+    match arg {
+        "compiled" => Some(EngineMode::Compiled),
+        "interp" => Some(EngineMode::Interp),
+        "auto" => Some(EngineMode::Auto),
+        _ => None,
+    }
+}
+
+fn engine_mode_name(mode: EngineMode) -> &'static str {
+    match mode {
+        EngineMode::Auto => "auto",
+        EngineMode::Compiled => "compiled",
+        EngineMode::Interp => "interp",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every meta command the shell dispatches documents itself in `.help`.
+    #[test]
+    fn help_documents_every_meta_command() {
+        for cmd in [
+            ".help", ".schema", ".use", ".load", ".dump", ".views", ".save", ".explain", ".plan",
+            ".metrics", ".trace", ".faults", ".budget", ".engine", ".quit",
+        ] {
+            assert!(HELP.contains(cmd), "`.help` must document `{cmd}`");
+        }
+        // The usage line shown for a bad `.engine` argument matches the
+        // modes the parser actually accepts.
+        assert!(HELP.contains(".engine compiled | interp | auto"));
+    }
+
+    #[test]
+    fn engine_mode_arguments_parse_and_round_trip() {
+        for (arg, mode) in [
+            ("compiled", EngineMode::Compiled),
+            ("interp", EngineMode::Interp),
+            ("auto", EngineMode::Auto),
+        ] {
+            assert_eq!(parse_engine_mode(arg), Some(mode));
+            assert_eq!(engine_mode_name(mode), arg);
+        }
+        assert_eq!(parse_engine_mode("bytecode"), None);
+        assert_eq!(parse_engine_mode(""), None);
+    }
+
+    #[test]
+    fn fault_arm_arguments_validate() {
+        assert!(parse_arm("query.scan_chunk", "nth:2", "error").is_ok());
+        assert!(parse_arm("no.such.site", "nth:2", "error").is_err());
+        assert!(parse_arm("query.scan_chunk", "always", "error").is_err());
+        assert!(parse_arm("query.scan_chunk", "nth:2", "explode").is_err());
+    }
 }
