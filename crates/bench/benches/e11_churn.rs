@@ -35,7 +35,11 @@ fn bench(c: &mut Criterion) {
         {
             let n = 1_000usize;
             let sys = insurance(n);
-            let view = ViewDef::from_script(script).unwrap().bind(&sys).unwrap();
+            let view = ViewDef::from_script(script)
+                .unwrap()
+                .binder(&sys)
+                .bind()
+                .unwrap();
             let db = sys.database(sym("Insurance")).unwrap();
             let policies = {
                 let d = db.read();

@@ -33,12 +33,13 @@ fn bench(c: &mut Criterion) {
                 "#,
             )
             .unwrap()
-            .bind_with(
-                &sys,
+            .binder(&sys)
+            .options(
                 ViewOptions::builder()
                     .materialization(Materialization::AlwaysRecompute)
                     .build(),
             )
+            .bind()
             .unwrap();
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
                 b.iter(|| std::hint::black_box(view.extent_of(sym("Londoner")).unwrap()))

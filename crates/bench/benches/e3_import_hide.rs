@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("bind_schema_classes", classes),
             &classes,
-            |b, _| b.iter(|| std::hint::black_box(def.bind(&sys).unwrap())),
+            |b, _| b.iter(|| std::hint::black_box(def.binder(&sys).bind().unwrap())),
         );
     }
     // Data size sweep with constant schema: binding must not scale with it.
@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("bind_data_objects", objs),
             &objs,
-            |b, _| b.iter(|| std::hint::black_box(def.bind(&sys).unwrap())),
+            |b, _| b.iter(|| std::hint::black_box(def.binder(&sys).bind().unwrap())),
         );
     }
     group.finish();

@@ -29,14 +29,15 @@ fn bench(c: &mut Criterion) {
         "#,
     )
     .unwrap();
-    let creation = def.bind(&sys).unwrap();
+    let creation = def.binder(&sys).bind().unwrap();
     let priority = def
-        .bind_with(
-            &sys,
+        .binder(&sys)
+        .options(
             ViewOptions::builder()
                 .policy(ConflictPolicy::Priority(vec![sym("Senior"), sym("Rich")]))
                 .build(),
         )
+        .bind()
         .unwrap();
 
     // Resolution that never needs virtual memberships (Plain is defined on

@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("generalization_bind", classes),
             &classes,
-            |b, _| b.iter(|| std::hint::black_box(gen_def.bind(&sys).unwrap())),
+            |b, _| b.iter(|| std::hint::black_box(gen_def.binder(&sys).bind().unwrap())),
         );
         // Behavioral generalization: conformance test against every class.
         let like_def = ViewDef::from_script(
@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("behavioral_bind", classes),
             &classes,
-            |b, _| b.iter(|| std::hint::black_box(like_def.bind(&sys).unwrap())),
+            |b, _| b.iter(|| std::hint::black_box(like_def.binder(&sys).bind().unwrap())),
         );
     }
     group.finish();

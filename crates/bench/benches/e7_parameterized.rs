@@ -25,19 +25,19 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("first_instantiation", n), &n, |b, _| {
             // A fresh view per iteration so the instance cache is cold.
             b.iter_with_setup(
-                || def.bind(&sys).unwrap(),
+                || def.binder(&sys).bind().unwrap(),
                 |view| {
                     std::hint::black_box(view.query(r#"count(Resident("London"))"#).unwrap());
                 },
             )
         });
-        let view = def.bind(&sys).unwrap();
+        let view = def.binder(&sys).bind().unwrap();
         view.query(r#"count(Resident("London"))"#).unwrap();
         group.bench_with_input(BenchmarkId::new("cached_instance", n), &n, |b, _| {
             b.iter(|| std::hint::black_box(view.query(r#"count(Resident("London"))"#).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("partition_4_cities", n), &n, |b, _| {
-            let view = def.bind(&sys).unwrap();
+            let view = def.binder(&sys).bind().unwrap();
             b.iter(|| {
                 for city in CITIES {
                     std::hint::black_box(

@@ -76,6 +76,7 @@ fn main() {
     e12_relational();
     e13_indexes();
     e14_compiled_engine();
+    e15_stacked_views();
     write_metrics_and_trace(&args);
     if let Some(path) = &args.save_baseline {
         let json = baseline::to_json(&baseline::snapshot());
@@ -328,13 +329,14 @@ fn chaos_run(seed: u64, budget_ms: Option<u64>) -> Result<(), String> {
         "#,
     )
     .unwrap()
-    .bind_with(
-        &sys,
+    .binder(&sys)
+    .options(
         ViewOptions::builder()
             .materialization(Materialization::Incremental)
             .parallel(ParallelConfig::with_threads(4))
             .build(),
     )
+    .bind()
     .map_err(|e| e.to_string())?;
     // A staged relational database rides along: `restage` rewrites whole
     // objects, which is the only path through the `store.update` site.
@@ -613,7 +615,8 @@ fn e2_overloading() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     for class in ["Person", "Employee", "Manager"] {
         let v = view
@@ -634,7 +637,7 @@ fn e3_import_hide() {
         )
         .unwrap();
         let t = time_ns(10, || {
-            std::hint::black_box(def.bind(&sys).unwrap());
+            std::hint::black_box(def.binder(&sys).bind().unwrap());
         });
         row(
             &classes.to_string(),
@@ -647,7 +650,7 @@ fn e3_import_hide() {
         let def = ViewDef::from_script("create view V; import all classes from database Market;")
             .unwrap();
         let t = time_ns(10, || {
-            std::hint::black_box(def.bind(&sys).unwrap());
+            std::hint::black_box(def.binder(&sys).bind().unwrap());
         });
         row(
             &(objs * 20).to_string(),
@@ -813,7 +816,7 @@ fn e5_resolution() {
         "#,
     )
     .unwrap();
-    let view = def.bind(&sys).unwrap();
+    let view = def.binder(&sys).bind().unwrap();
     let t_plain = time_ns(50, || {
         for &o in &oids {
             std::hint::black_box(eval_attr(&view, o, sym("Plain"), &[]).unwrap());
@@ -884,7 +887,8 @@ fn e5_concurrent(threads: usize) {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let t_one = time_ns(50, || {
         for &o in &oids {
@@ -941,10 +945,10 @@ fn e6_inference() {
         )
         .unwrap();
         let t_gen = time_ns(5, || {
-            std::hint::black_box(gen_def.bind(&sys).unwrap());
+            std::hint::black_box(gen_def.binder(&sys).bind().unwrap());
         });
         let t_like = time_ns(5, || {
-            std::hint::black_box(like_def.bind(&sys).unwrap());
+            std::hint::black_box(like_def.binder(&sys).bind().unwrap());
         });
         let label = classes.to_string();
         row(
@@ -968,10 +972,10 @@ fn e7_parameterized() {
         )
         .unwrap();
         let t_first = time_ns(5, || {
-            let view = def.bind(&sys).unwrap();
+            let view = def.binder(&sys).bind().unwrap();
             std::hint::black_box(view.query(r#"count(Resident("London"))"#).unwrap());
         });
-        let view = def.bind(&sys).unwrap();
+        let view = def.binder(&sys).bind().unwrap();
         view.query(r#"count(Resident("London"))"#).unwrap();
         let t_cached = time_ns(50, || {
             std::hint::black_box(view.query(r#"count(Resident("London"))"#).unwrap());
@@ -1006,10 +1010,9 @@ fn e8_upward_and_schizophrenia() {
     .unwrap();
     // A person who is both rich and senior: find one.
     let strict = def
-        .bind_with(
-            &sys,
-            ViewOptions::builder().policy(ConflictPolicy::Error).build(),
-        )
+        .binder(&sys)
+        .options(ViewOptions::builder().policy(ConflictPolicy::Error).build())
+        .bind()
         .unwrap();
     let overlap = strict
         .query("count((select P from P in Rich where P in Senior))")
@@ -1024,18 +1027,19 @@ fn e8_upward_and_schizophrenia() {
             "policy=Error            → {:?}",
             e.err().map(|x| x.to_string())
         );
-        let creation = def.bind(&sys).unwrap();
+        let creation = def.binder(&sys).bind().unwrap();
         println!(
             "policy=CreationOrder    → {}",
             eval_attr(&creation, o, sym("Print"), &[]).unwrap()
         );
         let pri = def
-            .bind_with(
-                &sys,
+            .binder(&sys)
+            .options(
                 ViewOptions::builder()
                     .policy(ConflictPolicy::Priority(vec![sym("Senior")]))
                     .build(),
             )
+            .bind()
             .unwrap();
         println!(
             "policy=Priority(Senior) → {}",
@@ -1113,7 +1117,8 @@ fn e10_value_to_object() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let people_count = view.query("count(Person)").unwrap();
     let addr_count = view.query("count(Address)").unwrap();
@@ -1157,7 +1162,11 @@ fn e11_churn() {
     );
     for (label, script) in [("poor", POOR), ("fixed", FIXED)] {
         let sys = insurance(1_000);
-        let view = ViewDef::from_script(script).unwrap().bind(&sys).unwrap();
+        let view = ViewDef::from_script(script)
+            .unwrap()
+            .binder(&sys)
+            .bind()
+            .unwrap();
         view.extent_of(sym("Client")).unwrap();
         let baseline = view.identity_table_len(sym("Client"));
         let db = sys.database(sym("Insurance")).unwrap();
@@ -1217,12 +1226,13 @@ fn e13_indexes() {
                 "#,
             )
             .unwrap()
-            .bind_with(
-                &sys,
+            .binder(&sys)
+            .options(
                 ViewOptions::builder()
                     .materialization(Materialization::AlwaysRecompute)
                     .build(),
             )
+            .bind()
             .unwrap();
             size = view.extent_of(sym("Londoner")).unwrap().len();
             let t = time_ns(5, || {
@@ -1264,12 +1274,13 @@ fn e14_compiled_engine() {
             "#,
         )
         .unwrap()
-        .bind_with(
-            &sys,
+        .binder(&sys)
+        .options(
             ViewOptions::builder()
                 .materialization(Materialization::AlwaysRecompute)
                 .build(),
         )
+        .bind()
         .unwrap();
         let mut times = Vec::new();
         let mut sizes = Vec::new();
@@ -1289,6 +1300,104 @@ fn e14_compiled_engine() {
                 tcell(&n.to_string(), "interp", times[1]),
                 format!("{:.2}x", times[1] / times[0]),
                 sizes[0].to_string(),
+            ],
+        );
+    }
+}
+
+fn e15_stacked_views() {
+    header(
+        "E15",
+        "views over views: delta propagation through a 3-deep stack (extension)",
+    );
+    row(
+        "n",
+        &[
+            "delta".into(),
+            "full".into(),
+            "speedup".into(),
+            "result size".into(),
+        ],
+    );
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mut times = Vec::new();
+        let mut size = 0usize;
+        for incremental in [true, false] {
+            let sys = people(n);
+            // Staff -> Adults(Adult) -> Earners(Rich) -> Top(Elite): the
+            // bound Top view carries all three levels, so one base write
+            // must cross three population definitions to reach Elite.
+            let adults = ViewDef::from_script(
+                r#"
+                create view Adults;
+                import all classes from database Staff;
+                class Adult includes (select P from Person where P.Age >= 21);
+                "#,
+            )
+            .unwrap();
+            let earners = ViewDef::from_script(
+                r#"
+                create view Earners;
+                import all classes from view Adults;
+                class Rich includes (select A from Adult where A.Income >= 100000);
+                "#,
+            )
+            .unwrap();
+            let top = ViewDef::from_script(
+                r#"
+                create view Top;
+                import all classes from view Earners;
+                class Elite includes (select R from Rich where R.Age >= 60);
+                "#,
+            )
+            .unwrap();
+            let view = top
+                .binder(&sys)
+                .over_all([&adults, &earners])
+                .options(
+                    ViewOptions::builder()
+                        .materialization(if incremental {
+                            Materialization::Incremental
+                        } else {
+                            Materialization::AlwaysRecompute
+                        })
+                        .build(),
+                )
+                .bind()
+                .unwrap();
+            // Warm every level, then refresh after a single base write.
+            size = view.extent_of(sym("Elite")).unwrap().len();
+            let db = sys.database(sym("Staff")).unwrap();
+            let person = db.read().schema.class_by_name(sym("Person")).unwrap();
+            let victim = db.read().deep_extent(person)[0];
+            let recomputes_before = view.stats().recomputations;
+            let mut flip = 0i64;
+            let t = time_ns(5, || {
+                flip += 1;
+                db.write()
+                    .set_attr(victim, sym("Age"), Value::Int(61 + (flip % 2)))
+                    .unwrap();
+                std::hint::black_box(view.extent_of(sym("Elite")).unwrap());
+            });
+            if incremental {
+                // The write must propagate level by level as delta
+                // retests of the one changed oid; a full recomputation
+                // anywhere in the stack is a regression.
+                assert_eq!(
+                    view.stats().recomputations,
+                    recomputes_before,
+                    "E15: stacked delta refresh fell back to FullRecompute"
+                );
+            }
+            times.push(t);
+        }
+        row(
+            &n.to_string(),
+            &[
+                tcell(&n.to_string(), "delta", times[0]),
+                tcell(&n.to_string(), "full", times[1]),
+                format!("{:.2}x", times[1] / times[0]),
+                size.to_string(),
             ],
         );
     }

@@ -250,7 +250,9 @@ pub fn staff_view(sys: &System, options: ViewOptions) -> View {
         "#,
     )
     .unwrap()
-    .bind_with(sys, options)
+    .binder(sys)
+    .options(options)
+    .bind()
     .unwrap()
 }
 

@@ -88,6 +88,25 @@ pub enum ViewError {
     },
     /// The object is not visible in this view (its class was not imported).
     NotVisible(ov_oodb::Oid),
+    /// The definition would close a cycle in the view dependency graph
+    /// (view A imports view B, which — transitively — imports A).
+    CyclicViewDependency {
+        /// The view whose definition closes the cycle.
+        view: Symbol,
+        /// The offending path, `view → … → view`.
+        path: Vec<Symbol>,
+    },
+    /// A redefinition was rolled back because rebinding one of its
+    /// transitive dependents failed: the catalog revalidates dependents
+    /// atomically, so nothing was changed.
+    RevalidationFailed {
+        /// The view (or database) whose change triggered revalidation.
+        changed: Symbol,
+        /// The dependent view that failed to rebind.
+        dependent: Symbol,
+        /// Why it failed.
+        cause: Box<ViewError>,
+    },
     /// Misc definition error with context.
     Definition(String),
     /// Graceful degradation failed: a population recompute kept faulting
@@ -116,6 +135,7 @@ impl ViewError {
             ViewError::Query(e) => e.is_transient(),
             ViewError::Oodb(e) => e.is_transient(),
             ViewError::Degraded { cause, .. } => cause.is_transient(),
+            ViewError::RevalidationFailed { cause, .. } => cause.is_transient(),
             _ => false,
         }
     }
@@ -175,6 +195,25 @@ impl fmt::Display for ViewError {
             ViewError::NotVisible(oid) => {
                 write!(f, "object {oid} is not visible in this view")
             }
+            ViewError::CyclicViewDependency { view, path } => {
+                write!(f, "view `{view}` would depend on itself: ")?;
+                for (i, v) in path.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+            ViewError::RevalidationFailed {
+                changed,
+                dependent,
+                cause,
+            } => write!(
+                f,
+                "redefinition of `{changed}` rolled back: dependent view `{dependent}` \
+                 failed to revalidate: {cause}"
+            ),
             ViewError::Definition(msg) => write!(f, "view definition error: {msg}"),
             ViewError::Degraded {
                 class,
@@ -195,6 +234,7 @@ impl std::error::Error for ViewError {
             ViewError::Query(e) => Some(e),
             ViewError::Oodb(e) => Some(e),
             ViewError::Degraded { cause, .. } => Some(&**cause),
+            ViewError::RevalidationFailed { cause, .. } => Some(&**cause),
             _ => None,
         }
     }

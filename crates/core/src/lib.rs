@@ -39,7 +39,7 @@
 //!     create view Grown_Ups;
 //!     import all classes from database People;
 //!     class Adult includes (select P from Person where P.Age >= 21);
-//! "#).unwrap().bind(&sys).unwrap();
+//! "#).unwrap().binder(&sys).bind().unwrap();
 //!
 //! let names = view.query("select A.Name from A in Adult").unwrap();
 //! assert_eq!(names, Value::set([Value::str("Maggy")]));
@@ -47,19 +47,26 @@
 
 #![warn(missing_docs)]
 
+#[deny(missing_docs)]
+pub mod catalog;
 pub mod def;
 pub mod error;
+#[deny(missing_docs)]
+pub mod graph;
 pub mod infer;
 pub mod materialize;
 pub mod session;
 pub mod view;
 
+pub use catalog::{CatalogTxn, DdlOutcome};
 pub use def::{AttrDecl, Hide, Import, ViewDef, ViewElement, VirtualClassDef};
 pub use error::{Result, ViewError};
+pub use graph::{DepEdge, DepTarget, DependencyGraph};
 pub use ov_query::ParallelConfig;
 pub use session::{Outcome, Session};
 pub use view::{
-    IdentityMode, Materialization, Population, View, ViewOptions, ViewOptionsBuilder, ViewStats,
+    Binder, IdentityMode, Materialization, Population, View, ViewHealth, ViewOptions,
+    ViewOptionsBuilder, ViewStats,
 };
 
 #[cfg(test)]

@@ -16,7 +16,8 @@ use ov_query::{execute_stmts_with_map, parse_program, Stmt};
 
 use crate::def::{AttrDecl, Hide, Import, ViewDef, ViewElement, VirtualClassDef};
 use crate::error::{Result, ViewError};
-use crate::view::{View, ViewOptions};
+use crate::graph::{DepTarget, DependencyGraph};
+use crate::view::{Materialization, View, ViewOptions};
 
 /// What the prompt currently points at.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -39,10 +40,13 @@ pub enum Outcome {
 
 /// An interactive session over a system of databases and named views.
 pub struct Session {
-    system: System,
-    views: HashMap<Symbol, (ViewDef, View)>,
+    pub(crate) system: System,
+    pub(crate) views: HashMap<Symbol, (ViewDef, View)>,
     options: ViewOptions,
     focus: Focus,
+    /// Which databases and views each view's definition reads; kept in
+    /// lockstep with `views` so DDL can propagate changes topologically.
+    pub(crate) graph: DependencyGraph,
     /// Session-persistent `#n` literal → oid bindings, so interactive
     /// statements can refer to objects declared earlier.
     oid_map: HashMap<u64, Oid>,
@@ -62,6 +66,7 @@ impl Session {
             views: HashMap::new(),
             options: ViewOptions::default(),
             focus: Focus::Nothing,
+            graph: DependencyGraph::new(),
             oid_map: HashMap::new(),
         }
     }
@@ -74,8 +79,24 @@ impl Session {
         }
     }
 
+    /// The typed DDL API over this session's catalog: define and drop
+    /// databases, classes, and views with dependency-aware outcomes
+    /// (RESTRICT on drops, atomic revalidation on redefinitions). See
+    /// [`crate::catalog::CatalogTxn`].
+    pub fn catalog(&mut self) -> crate::catalog::CatalogTxn<'_> {
+        crate::catalog::CatalogTxn::new(self)
+    }
+
+    /// The session's view dependency graph: which databases and which
+    /// other views each view's definition reads.
+    pub fn dependency_graph(&self) -> &DependencyGraph {
+        &self.graph
+    }
+
     /// The underlying system (e.g. to register programmatically-built
     /// databases).
+    #[deprecated(note = "use `session.catalog()` — raw system mutations bypass \
+                         dependency tracking and view revalidation")]
     pub fn system_mut(&mut self) -> &mut System {
         &mut self.system
     }
@@ -148,8 +169,8 @@ impl Session {
                     )));
                 }
                 let def = ViewDef::new(name);
-                let view = def.bind_with(&self.system, self.options.clone())?;
-                self.views.insert(name, (def, view));
+                let view = self.bind_def(&def)?;
+                self.install_view(def, view);
                 self.focus = Focus::View(name);
                 Ok(Outcome::Notice(format!("view {name}")))
             }
@@ -224,34 +245,168 @@ impl Session {
             ));
         };
         // Unreachable expect: `focus` is only ever set to a key of
-        // `views`, and entries are never removed.
+        // `views`, and entries are never removed through this path.
         let (def, _) = self.views.get(&name).expect("focused view exists");
         let mut candidate = def.clone();
         patch(&mut candidate);
         let _span = ov_oodb::span!("session.rebind_view", view = name);
-        let rebound = candidate.bind_with(&self.system, self.options.clone())?;
-        self.views.insert(name, (candidate, rebound));
+        self.replace_view_def(candidate)?;
         Ok(Outcome::Done)
+    }
+
+    /// Binds `def` against the session's system with every *other*
+    /// session view available as an upstream (so `import all classes from
+    /// V` resolves and views can stack).
+    pub(crate) fn bind_def(&self, def: &ViewDef) -> Result<View> {
+        let mut binder = def.binder(&self.system).options(self.options.clone());
+        for (n, (d, _)) in &self.views {
+            if *n != def.name {
+                binder = binder.over(d);
+            }
+        }
+        binder.bind()
+    }
+
+    /// Registers a freshly bound view and its dependency edges.
+    pub(crate) fn install_view(&mut self, def: ViewDef, view: View) {
+        let name = def.name;
+        self.graph.set(name, view.dependencies().to_vec());
+        self.views.insert(name, (def, view));
+    }
+
+    /// Removes `name` from the session (views map, dependency graph, and
+    /// focus if it was focused). Callers enforce RESTRICT first.
+    pub(crate) fn remove_view(&mut self, name: Symbol) {
+        self.views.remove(&name);
+        self.graph.remove(name);
+        if self.focus == Focus::View(name) {
+            self.focus = Focus::Nothing;
+        }
+    }
+
+    /// Replaces (or introduces) a view definition, then atomically
+    /// revalidates every transitive dependent: either the new definition
+    /// *and* all rebound dependents are committed, or the session is left
+    /// exactly as it was. Returns the number of dependents revalidated.
+    pub(crate) fn replace_view_def(&mut self, candidate: ViewDef) -> Result<usize> {
+        let name = candidate.name;
+        let view = self.bind_def(&candidate)?;
+        let old = self.views.insert(name, (candidate, view));
+        let old_edges = self.graph.deps_of(name).map(<[_]>::to_vec);
+        let new_edges = self.views[&name].1.dependencies().to_vec();
+        self.graph.set(name, new_edges);
+        match self.rebind_dependents(DepTarget::View(name), name) {
+            Ok(n) => Ok(n),
+            Err(e) => {
+                // Roll back: restore the previous entry and edges.
+                match old {
+                    Some(entry) => {
+                        self.views.insert(name, entry);
+                    }
+                    None => {
+                        self.views.remove(&name);
+                    }
+                }
+                match old_edges {
+                    Some(edges) => self.graph.set(name, edges),
+                    None => self.graph.remove(name),
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Rebinds every transitive dependent of `target`, in topological
+    /// order. All rebinds are staged before any is committed, so a failure
+    /// leaves every dependent untouched; the error names the dependent
+    /// that failed and the change (`changed`) that triggered revalidation.
+    pub(crate) fn rebind_dependents(
+        &mut self,
+        target: DepTarget,
+        changed: Symbol,
+    ) -> Result<usize> {
+        let order = self.graph.transitive_dependents(target);
+        if order.is_empty() {
+            return Ok(0);
+        }
+        let _span = ov_oodb::span!("session.rebind_dependents");
+        let mut staged: Vec<(Symbol, View)> = Vec::new();
+        for &name in &order {
+            let (def, _) = self.views.get(&name).expect("graph tracks session views");
+            let def = def.clone();
+            let view = self
+                .bind_def(&def)
+                .map_err(|e| ViewError::RevalidationFailed {
+                    changed,
+                    dependent: name,
+                    cause: Box::new(e),
+                })?;
+            staged.push((name, view));
+        }
+        let n = staged.len();
+        for (name, view) in staged {
+            self.graph.set(name, view.dependencies().to_vec());
+            if let Some(entry) = self.views.get_mut(&name) {
+                entry.1 = view;
+            }
+        }
+        Ok(n)
     }
 
     fn run_on_database(&mut self, db: Symbol, stmt: Stmt) -> Result<Outcome> {
         // Reuse the script executor with an explicit database context; the
         // session-persistent oid map keeps `#n` bindings across statements.
         let stmts = vec![Stmt::Database(db), stmt];
-        let results = execute_stmts_with_map(&mut self.system, &stmts, &mut self.oid_map)
-            .map_err(ViewError::from)?;
-        // Rebind every view after a base mutation is unnecessary —
-        // populations are version-keyed — but *schema* changes require it.
-        if matches!(
+        let schema_change = matches!(
             stmts[1],
             Stmt::ClassDecl { .. } | Stmt::AttributeDecl { .. }
-        ) {
-            self.rebind_all()?;
+        );
+        let results = execute_stmts_with_map(&mut self.system, &stmts, &mut self.oid_map)
+            .map_err(ViewError::from)?;
+        if schema_change {
+            // Schema changes revalidate — but only the transitive
+            // dependents of the changed database, in dependency order.
+            // Unrelated views keep their bound state and warm caches.
+            self.rebind_dependents(DepTarget::Database(db), db)?;
+        } else if self.options.materialization == Materialization::Incremental {
+            // Data writes under incremental materialization are pushed
+            // eagerly through the stack so reads find warm populations.
+            self.propagate(db);
         }
         Ok(match results.into_iter().next() {
             Some(v) => Outcome::Value(v),
             None => Outcome::Done,
         })
+    }
+
+    /// Runs pre-validated DDL statements against database `db` (catalog
+    /// path; callers revalidate dependents afterwards).
+    pub(crate) fn apply_ddl(&mut self, db: Symbol, stmts: Vec<Stmt>) -> Result<()> {
+        let mut program = Vec::with_capacity(stmts.len() + 1);
+        program.push(Stmt::Database(db));
+        program.extend(stmts);
+        execute_stmts_with_map(&mut self.system, &program, &mut self.oid_map)
+            .map_err(ViewError::from)?;
+        Ok(())
+    }
+
+    /// Pushes a base write through the dependency graph: refreshes the
+    /// populations of every transitive dependent of database `db`, in
+    /// topological order (upstream views before the views stacked on
+    /// them). Under [`Materialization::Incremental`] each refresh is a
+    /// delta retest of the journal's changed oids. Failures are skipped —
+    /// the lazy read path (with its degradation ladder) recovers on next
+    /// access. Returns the number of views refreshed.
+    pub fn propagate(&self, db: Symbol) -> usize {
+        let mut refreshed = 0;
+        for name in self.graph.transitive_dependents(DepTarget::Database(db)) {
+            if let Some((_, view)) = self.views.get(&name) {
+                if view.refresh().is_ok() {
+                    refreshed += 1;
+                }
+            }
+        }
+        refreshed
     }
 
     fn run_on_view(&mut self, vname: Symbol, stmt: Stmt) -> Result<Outcome> {
@@ -300,20 +455,11 @@ impl Session {
         }
     }
 
-    fn rebind_all(&mut self) -> Result<()> {
-        let names: Vec<Symbol> = self.views.keys().copied().collect();
-        for name in names {
-            let (def, _) = self.views.get(&name).expect("listed");
-            let def = def.clone();
-            let rebound = def.bind_with(&self.system, self.options.clone())?;
-            self.views.insert(name, (def, rebound));
-        }
-        Ok(())
-    }
-
     /// Serializes the whole session — every database (schema + data) and
     /// every view definition — as one script that [`Session::execute`] (or
-    /// the `ovq` shell) replays into an equivalent session. Imaginary
+    /// the `ovq` shell) replays into an equivalent session. View
+    /// definitions are emitted in dependency order, so a view stacked on
+    /// another view restores after the views it imports. Imaginary
     /// identity tables are *not* part of the saved state: they repopulate
     /// deterministically on first use in the restored session.
     pub fn save(&self) -> String {
@@ -325,7 +471,7 @@ impl Session {
             out.push_str(&ov_oodb::dump_database_with_offset(&db, offset));
             offset += db.store.len() as u64;
         }
-        for vname in self.view_names() {
+        for vname in self.graph.topo_order(self.view_names()) {
             let (def, _) = &self.views[&vname];
             out.push_str(&def.to_script());
         }
@@ -333,7 +479,8 @@ impl Session {
     }
 
     /// A short description of what's in the session (for the REPL's
-    /// `.schema`).
+    /// `.schema`): databases with their classes, then views with their
+    /// classes, dependency edges, and health.
     pub fn describe(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -358,6 +505,15 @@ impl Session {
         for vname in self.view_names() {
             let (_, view) = &self.views[&vname];
             let _ = writeln!(out, "view {vname}: classes {:?}", view.class_names());
+            for edge in view.dependencies() {
+                if edge.classes.is_empty() {
+                    let _ = writeln!(out, "  depends on {}", edge.on);
+                } else {
+                    let reads: Vec<String> = edge.classes.iter().map(|c| c.to_string()).collect();
+                    let _ = writeln!(out, "  depends on {} (reads {})", edge.on, reads.join(", "));
+                }
+            }
+            let _ = writeln!(out, "  health: {}", view.health());
         }
         out
     }
@@ -410,6 +566,17 @@ impl Session {
             let _ = writeln!(out, "optimized: {optimized}");
         } else {
             let _ = writeln!(out, "optimized: (unchanged)");
+        }
+        // For a view target, surface its place in the dependency graph.
+        if let Some((_, view)) = self.views.get(&target) {
+            if !view.dependencies().is_empty() {
+                let deps: Vec<String> = view
+                    .dependencies()
+                    .iter()
+                    .map(|e| e.on.to_string())
+                    .collect();
+                let _ = writeln!(out, "depends:   {}", deps.join("; "));
+            }
         }
         // Execute with tracing: per-stage timings plus, for every
         // population request, which path resolved it (cache hit / delta /

@@ -82,7 +82,8 @@ fn example1_merging_attributes_into_address() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let v = view.query("maggy.Address").unwrap();
     assert_eq!(
@@ -108,7 +109,8 @@ fn virtual_attribute_type_is_inferred() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let person = DataSource::class_by_name(&view, sym("Person")).unwrap();
     let sig = DataSource::attr_sig(&view, person, sym("Address")).unwrap();
@@ -142,7 +144,8 @@ fn stored_computed_overloading_across_classes() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert_eq!(view.query("e.Address").unwrap(), Value::str("Home St"));
     assert_eq!(view.query("m.Address").unwrap(), Value::str("HQ Plaza"));
@@ -162,7 +165,8 @@ fn hide_attribute_hides_in_subclasses_too() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let err = view.query("tony.Salary").unwrap_err();
     assert!(matches!(
@@ -187,7 +191,8 @@ fn hidden_attrs_cannot_be_assigned_through_the_view() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let tony = DataSource::named_object(&view, sym("tony")).unwrap();
     let err = view
@@ -217,7 +222,8 @@ fn hide_class_removes_name_but_objects_present_upward() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert!(view.query("select M from M in Manager").is_err());
     // The manager object is still visible as an Employee.
@@ -250,7 +256,8 @@ fn import_conflict_requires_alias() {
         "#,
     )
     .unwrap()
-    .bind(&sys);
+    .binder(&sys)
+    .bind();
     assert!(matches!(bad, Err(ViewError::ImportConflict { .. })));
     let good = ViewDef::from_script(
         r#"
@@ -260,7 +267,8 @@ fn import_conflict_requires_alias() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert!(good.class_names().contains(&sym("Ford_Person")));
 }
@@ -276,7 +284,8 @@ fn partial_import_flattens_inherited_attributes() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     // Person is not visible…
     assert!(DataSource::class_by_name(&view, sym("Person")).is_none());
@@ -300,7 +309,8 @@ fn specialization_adult() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert_eq!(
         view.query("count((select A from A in Adult))").unwrap(),
@@ -327,7 +337,8 @@ fn populations_track_base_updates() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert_eq!(view.extent_of(sym("Adult")).unwrap().len(), 5);
     // Mark turns 21.
@@ -369,7 +380,8 @@ fn example3_top_down_hierarchy() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert_eq!(view.parents_of(sym("Senior")).unwrap(), vec![sym("Adult")]);
     assert_eq!(
@@ -410,7 +422,8 @@ fn example4_bottom_up_navy_and_ship_variation() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     // R1: Ship is a superclass of the virtual classes.
     assert_eq!(
@@ -454,7 +467,8 @@ fn example4_bottom_up_navy_and_ship_variation() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert_eq!(
         view2.query("count((select B from B in Boat))").unwrap(),
@@ -482,7 +496,8 @@ fn example2_government_supported_mixed_population() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     // Seniors: Maggy, Denis, Julia. Students: Mark. Low-income adults:
     // Denis (4000), Julia (3000) — union: 4 people.
@@ -534,7 +549,8 @@ fn behavioral_generalization_on_sale() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     // Cars and houses conform; rocks lack Discount.
     assert_eq!(
@@ -571,7 +587,8 @@ fn rich_and_beautiful_multiple_inheritance() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let mut parents = view.parents_of(sym("Rich&Beautiful")).unwrap();
     parents.sort();
@@ -598,7 +615,8 @@ fn parameterized_resident_classes() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert_eq!(
         view.query(r#"count(Resident("London"))"#).unwrap(),
@@ -658,10 +676,9 @@ fn schizophrenia_policies() {
     // Maggy is in both Rich and Senior.
     // Policy Error: schizophrenia is reported.
     let strict = def
-        .bind_with(
-            &sys,
-            ViewOptions::builder().policy(ConflictPolicy::Error).build(),
-        )
+        .binder(&sys)
+        .options(ViewOptions::builder().policy(ConflictPolicy::Error).build())
+        .bind()
         .unwrap();
     let err = strict.query("maggy.Print").unwrap_err();
     assert!(
@@ -674,19 +691,20 @@ fn schizophrenia_policies() {
         Value::str("senior Denis")
     );
     // Default policy (creation order): Rich was defined first.
-    let default = def.bind(&sys).unwrap();
+    let default = def.binder(&sys).bind().unwrap();
     assert_eq!(
         default.query("maggy.Print").unwrap(),
         Value::str("rich Maggy")
     );
     // Priority policy: Senior wins.
     let senior_first = def
-        .bind_with(
-            &sys,
+        .binder(&sys)
+        .options(
             ViewOptions::builder()
                 .policy(ConflictPolicy::Priority(vec![sym("Senior")]))
                 .build(),
         )
+        .bind()
         .unwrap();
     assert_eq!(
         senior_first.query("maggy.Print").unwrap(),
@@ -713,10 +731,9 @@ fn redefining_in_an_overlap_class_resolves_conflict() {
         "#,
     )
     .unwrap()
-    .bind_with(
-        &sys,
-        ViewOptions::builder().policy(ConflictPolicy::Error).build(),
-    )
+    .binder(&sys)
+    .options(ViewOptions::builder().policy(ConflictPolicy::Error).build())
+    .bind()
     .unwrap();
     // Maggy is in Rich, Senior and Rich&Senior: the overlap class's own
     // definition is the unique most-specific one.
@@ -737,7 +754,8 @@ fn no_direct_insertion_into_virtual_classes() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let err = view
         .insert(sym("Merchant_Vessel"), Value::empty_tuple())
@@ -773,7 +791,7 @@ fn cyclic_virtual_classes_error() {
     .unwrap();
     // Binding succeeds or fails depending on when the name resolves; the
     // population must error with a cycle either way.
-    match def.bind(&sys) {
+    match def.binder(&sys).bind() {
         Err(e) => assert!(
             matches!(e, ViewError::CyclicVirtualClass(_) | ViewError::Query(_)),
             "got {e:?}"
@@ -804,7 +822,8 @@ fn family_imaginary_objects() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     // One married male with a spouse: Denis.
     let families = view.extent_of(sym("Family")).unwrap();
@@ -865,7 +884,11 @@ fn the_two_seemingly_equivalent_queries() {
     let nested = "select F from F in Family where F.Size > 5 \
                   and F in (select G from G in Family where G.Father.Age < 25)";
     // Paper semantics: both return the young large family.
-    let stable = ViewDef::from_script(script).unwrap().bind(&sys).unwrap();
+    let stable = ViewDef::from_script(script)
+        .unwrap()
+        .binder(&sys)
+        .bind()
+        .unwrap();
     let a = stable.query(flat).unwrap();
     let b = stable.query(nested).unwrap();
     assert_eq!(a, b);
@@ -874,13 +897,14 @@ fn the_two_seemingly_equivalent_queries() {
     // oids, so the membership test fails — "we may obtain an empty set".
     let fresh = ViewDef::from_script(script)
         .unwrap()
-        .bind_with(
-            &sys,
+        .binder(&sys)
+        .options(
             ViewOptions::builder()
                 .identity_mode(IdentityMode::Fresh)
                 .materialization(Materialization::AlwaysRecompute)
                 .build(),
         )
+        .bind()
         .unwrap();
     let c = fresh.query(nested).unwrap();
     assert_eq!(c.as_set().unwrap().len(), 0, "fresh oids diverge");
@@ -899,7 +923,8 @@ fn imaginary_identity_survives_unrelated_updates() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let before = view.extent_of(sym("Family")).unwrap();
     // An unrelated update invalidates population caches…
@@ -929,7 +954,8 @@ fn example5_value_to_object_addresses() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     // Maggy, Denis and Mark share one address object; Tony and Boss share
     // another; Julia has her own: 3 address objects.
@@ -996,7 +1022,8 @@ fn example6_poorly_designed_view_churns_identity() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let before = poor.extent_of(sym("Client")).unwrap();
     // Maggy's address is updated…
@@ -1024,7 +1051,8 @@ fn example6_poorly_designed_view_churns_identity() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let before = good.extent_of(sym("Client")).unwrap();
     good.update_attr(policy, sym("PAddress"), Value::str("Elsewhere"))
@@ -1049,7 +1077,8 @@ fn identity_gc_drops_dead_entries_and_keeps_live_oids() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let before = view.extent_of(sym("Address")).unwrap();
     assert_eq!(view.identity_table_len(sym("Address")), 3); // London/Paris/Roma
@@ -1095,7 +1124,8 @@ fn imaginary_core_attributes_are_immutable_through_the_view() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let fam = view.extent_of(sym("Family")).unwrap()[0];
     let err = view
@@ -1122,7 +1152,8 @@ fn same_tuple_different_class_different_oid() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let a = view.extent_of(sym("CityA")).unwrap();
     let b = view.extent_of(sym("CityB")).unwrap();
@@ -1146,7 +1177,8 @@ fn materialize_snapshots_the_view() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let db = view.materialize(sym("Snapshot")).unwrap();
     // Classes: Person, Employee, Manager, Adult, Family (hidden attr gone).
@@ -1188,7 +1220,8 @@ fn materialize_snapshots_the_view() {
         "#,
     )
     .unwrap()
-    .bind(&sys2)
+    .binder(&sys2)
+    .bind()
     .unwrap();
     assert_eq!(
         stacked.query("count((select E from E in Elder))").unwrap(),
@@ -1207,14 +1240,15 @@ fn population_caching_matches_recompute() {
         "#,
     )
     .unwrap();
-    let cached = def.bind(&sys).unwrap();
+    let cached = def.binder(&sys).bind().unwrap();
     let recompute = def
-        .bind_with(
-            &sys,
+        .binder(&sys)
+        .options(
             ViewOptions::builder()
                 .materialization(Materialization::AlwaysRecompute)
                 .build(),
         )
+        .bind()
         .unwrap();
     for _ in 0..3 {
         assert_eq!(
@@ -1237,20 +1271,22 @@ fn incremental_materialization_tracks_updates() {
     )
     .unwrap();
     let incremental = def
-        .bind_with(
-            &sys,
+        .binder(&sys)
+        .options(
             ViewOptions::builder()
                 .materialization(Materialization::Incremental)
                 .build(),
         )
+        .bind()
         .unwrap();
     let recompute = def
-        .bind_with(
-            &sys,
+        .binder(&sys)
+        .options(
             ViewOptions::builder()
                 .materialization(Materialization::AlwaysRecompute)
                 .build(),
         )
+        .bind()
         .unwrap();
     // Warm the cache.
     assert_eq!(
@@ -1324,12 +1360,13 @@ fn incremental_falls_back_on_journal_gap() {
         "#,
     )
     .unwrap()
-    .bind_with(
-        &sys,
+    .binder(&sys)
+    .options(
         ViewOptions::builder()
             .materialization(Materialization::Incremental)
             .build(),
     )
+    .bind()
     .unwrap();
     let before = view.extent_of(sym("Adult")).unwrap().len();
     let db = sys.database(sym("Staff")).unwrap();
@@ -1363,12 +1400,13 @@ fn incremental_with_imaginary_class_recomputes() {
         "#,
     )
     .unwrap()
-    .bind_with(
-        &sys,
+    .binder(&sys)
+    .options(
         ViewOptions::builder()
             .materialization(Materialization::Incremental)
             .build(),
     )
+    .bind()
     .unwrap();
     let before = view.extent_of(sym("Family")).unwrap();
     let db = sys.database(sym("Staff")).unwrap();
@@ -1399,7 +1437,7 @@ fn index_pushdown_agrees_with_scan() {
         "#,
     )
     .unwrap();
-    let view = def.bind(&sys).unwrap();
+    let view = def.binder(&sys).bind().unwrap();
     // Pushdown answers equal the scan-based query — and the counters prove
     // the index path actually ran.
     let indexed = view.extent_of(sym("Londoner")).unwrap();
@@ -1442,7 +1480,8 @@ fn queries_through_views_typecheck() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let q = ov_query::parse_select("select A.Name from A in Adult").unwrap();
     let ty = ov_query::infer_select(&view, &q).unwrap();
@@ -1456,7 +1495,8 @@ fn queries_through_views_typecheck() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let q = ov_query::parse_select("select E.Salary from E in Employee").unwrap();
     assert!(ov_query::infer_select(&view2, &q).is_err());
@@ -1468,13 +1508,15 @@ fn unknown_import_targets_error() {
     assert!(matches!(
         ViewDef::from_script("create view V; import all classes from database Nope;")
             .unwrap()
-            .bind(&sys),
+            .binder(&sys)
+            .bind(),
         Err(ViewError::Oodb(OodbError::UnknownDatabase(_)))
     ));
     assert!(matches!(
         ViewDef::from_script("create view V; import class Ghost from database Staff;")
             .unwrap()
-            .bind(&sys),
+            .binder(&sys)
+            .bind(),
         Err(ViewError::Oodb(OodbError::UnknownClass(_)))
     ));
     assert!(matches!(
@@ -1483,7 +1525,8 @@ fn unknown_import_targets_error() {
              hide attribute Wings in class Person;"
         )
         .unwrap()
-        .bind(&sys),
+        .binder(&sys)
+        .bind(),
         Err(ViewError::Oodb(OodbError::UnknownAttr { .. }))
     ));
 }
@@ -1499,7 +1542,8 @@ fn non_object_population_rejected() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap_err();
     assert!(matches!(err, ViewError::NonObjectPopulation { .. }));
     let err = ViewDef::from_script(
@@ -1510,7 +1554,8 @@ fn non_object_population_rejected() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap_err();
     assert!(matches!(err, ViewError::NonTuplePopulation { .. }));
     let err = ViewDef::from_script(
@@ -1521,7 +1566,8 @@ fn non_object_population_rejected() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap_err();
     assert!(matches!(err, ViewError::MixedImaginary(_)));
 }
@@ -1537,7 +1583,8 @@ fn methods_with_arguments_work_through_views() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert_eq!(
         view.query("maggy.OlderThan(60)").unwrap(),
@@ -1563,7 +1610,8 @@ fn bodiless_attribute_decl_requires_existing_stored() {
          attribute Salary in class Employee;"
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .is_ok());
     // Declaring a brand-new stored attribute is not: views store nothing.
     let err = ViewDef::from_script(
@@ -1571,7 +1619,8 @@ fn bodiless_attribute_decl_requires_existing_stored() {
          attribute Wings of type integer in class Person;",
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap_err();
     assert!(matches!(err, ViewError::Definition(_)));
 }
@@ -1590,7 +1639,8 @@ fn isa_conjuncts_contribute_superclasses() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let mut parents = view.parents_of(sym("RichEmployee")).unwrap();
     parents.sort();
@@ -1615,7 +1665,8 @@ fn parameterized_imaginary_classes() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert_eq!(
         view.query(r#"count(StreetsOf("London"))"#).unwrap(),
@@ -1651,7 +1702,7 @@ fn explain_population_reports_all_three_paths() {
 
     // Cold cached view: the first request is a full recompute, and its one
     // include-term scan ran sequentially (the extent is tiny).
-    let cached = def.bind(&sys).unwrap();
+    let cached = def.binder(&sys).bind().unwrap();
     let cold = cached.explain_population(sym("Adult")).unwrap();
     let PopPath::FullRecompute { scans } = &cold.path else {
         panic!("cold population should recompute, got {cold}");
@@ -1675,12 +1726,13 @@ fn explain_population_reports_all_three_paths() {
     // Incremental view, warmed, after exactly one base write: the delta
     // path re-tests exactly the one changed oid.
     let inc = def
-        .bind_with(
-            &sys,
+        .binder(&sys)
+        .options(
             ViewOptions::builder()
                 .materialization(Materialization::Incremental)
                 .build(),
         )
+        .bind()
         .unwrap();
     inc.extent_of(sym("Adult")).unwrap();
     let db = sys.database(sym("Staff")).unwrap();
@@ -1714,7 +1766,8 @@ fn explain_population_reports_index_pushdown() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let trace = view.explain_population(sym("Londoner")).unwrap();
     let PopPath::FullRecompute { scans } = &trace.path else {
@@ -1742,7 +1795,8 @@ fn explain_query_traces_stages_and_populations() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let (value, trace) = view.explain("select A.Name from A in Adult").unwrap();
     assert_eq!(value.as_set().unwrap().len(), 5);
@@ -1780,7 +1834,8 @@ fn hidden_attr_write_blocked_even_when_absent_from_visible_attrs() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let maggy = DataSource::named_object(&view, sym("maggy")).unwrap();
     assert!(matches!(
@@ -1809,7 +1864,8 @@ fn computed_attr_write_rejected_not_silently_stored() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let tony = DataSource::named_object(&view, sym("tony")).unwrap();
     let err = view
@@ -1840,7 +1896,8 @@ fn delete_sweeps_identity_entries_referencing_the_dead_oid() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let couples = view.extent_of(sym("Couple")).unwrap();
     assert_eq!(couples.len(), 1);
@@ -1890,7 +1947,8 @@ fn adult_view(sys: &System) -> crate::View {
         "#,
     )
     .unwrap()
-    .bind(sys)
+    .binder(sys)
+    .bind()
     .unwrap()
 }
 
@@ -2014,8 +2072,8 @@ fn faulting_chunks_fall_back_to_sequential_then_trip_the_breaker() {
     )
     .unwrap();
     let view = def
-        .bind_with(
-            &sys,
+        .binder(&sys)
+        .options(
             ViewOptions::builder()
                 .parallel(ov_query::ParallelConfig {
                     threads: 2,
@@ -2023,6 +2081,7 @@ fn faulting_chunks_fall_back_to_sequential_then_trip_the_breaker() {
                 })
                 .build(),
         )
+        .bind()
         .unwrap();
     ov_oodb::faults::arm(
         "view.scan_chunk",
@@ -2058,8 +2117,8 @@ fn panicking_chunk_becomes_typed_fallback_not_a_crash() {
         "#,
     )
     .unwrap()
-    .bind_with(
-        &sys,
+    .binder(&sys)
+    .options(
         ViewOptions::builder()
             .parallel(ov_query::ParallelConfig {
                 threads: 2,
@@ -2067,6 +2126,7 @@ fn panicking_chunk_becomes_typed_fallback_not_a_crash() {
             })
             .build(),
     )
+    .bind()
     .unwrap();
     // The first chunk hit panics on its worker thread; the coordinator
     // converts it to a typed error and the sequential fallback answers.
@@ -2081,4 +2141,65 @@ fn panicking_chunk_becomes_typed_fallback_not_a_crash() {
     // Privileged visibility did not leak from the unwound population.
     assert_eq!(view.query("count(Adult)").unwrap(), Value::Int(5));
     ov_oodb::faults::clear();
+}
+
+#[test]
+fn binder_stacks_views_programmatically() {
+    let sys = people_system();
+    let base = ViewDef::from_script(
+        r#"
+        create view Adults;
+        import all classes from database Staff;
+        class Adult includes (select P from Person where P.Age >= 21);
+        "#,
+    )
+    .unwrap();
+    let upper = ViewDef::from_script(
+        r#"
+        create view Seniors;
+        import all classes from view Adults;
+        class Senior includes (select A from Adult where A.Age >= 65);
+        "#,
+    )
+    .unwrap();
+    let view = upper.binder(&sys).over(&base).bind().unwrap();
+    assert_eq!(view.query("count(Senior)").unwrap(), Value::Int(3));
+    // The stacked view's definition reads only the upstream view; its
+    // reach to database Staff is mediated by Adults (the dependency graph
+    // closes over view edges transitively).
+    let deps = view.dependencies();
+    assert!(deps
+        .iter()
+        .any(|e| e.on == crate::graph::DepTarget::View(sym("Adults"))
+            && e.classes.contains(&sym("Adult"))));
+    assert!(!deps
+        .iter()
+        .any(|e| e.on == crate::graph::DepTarget::Database(sym("Staff"))));
+    // A view import must take all classes; cherry-picking is base-only.
+    let bad = ViewDef::new(sym("Partial")).import_class(sym("Adults"), sym("Adult"));
+    assert!(bad.binder(&sys).over(&base).bind().is_err());
+    // Importing an unknown upstream still reads as an unknown database.
+    assert!(upper.binder(&sys).bind().is_err());
+}
+
+/// The deprecated `bind`/`bind_with` wrappers stay working until removal.
+#[test]
+#[allow(deprecated)]
+fn deprecated_bind_wrappers_still_bind() {
+    let sys = people_system();
+    let def = ViewDef::new(sym("V")).import_all(sym("Staff"));
+    assert_eq!(
+        def.bind(&sys).unwrap().query("count(Person)").unwrap(),
+        Value::Int(6)
+    );
+    let opts = ViewOptions::builder()
+        .materialization(Materialization::AlwaysRecompute)
+        .build();
+    assert_eq!(
+        def.bind_with(&sys, opts)
+            .unwrap()
+            .query("count(Person)")
+            .unwrap(),
+        Value::Int(6)
+    );
 }

@@ -55,6 +55,7 @@ use ov_query::{
 
 use crate::def::{AttrDecl, Hide, Import, ViewDef, ViewElement};
 use crate::error::{Result, ViewError};
+use crate::graph::DepEdge;
 use crate::infer::{conforms_to, infer_position, upward_attrs};
 
 /// Number of shards in the population cache. Sharding by class id lets
@@ -273,6 +274,9 @@ pub struct View {
     /// panics). At [`PARALLEL_STRIKE_LIMIT`] the view stops splitting scans
     /// and stays sequential — a tripped circuit breaker.
     parallel_strikes: AtomicU32,
+    /// Dependency edges recorded at bind time: which databases and which
+    /// upstream views this definition reads, with the class names read.
+    deps: Vec<DepEdge>,
 }
 
 impl Drop for View {
@@ -286,18 +290,163 @@ impl Drop for View {
 }
 
 impl ViewDef {
+    /// Starts a builder-style bind against `system` (mirrors
+    /// [`ViewOptions::builder`]): chain [`Binder::options`] and
+    /// [`Binder::over`], then call [`Binder::bind`].
+    pub fn binder<'a>(&'a self, system: &'a System) -> Binder<'a> {
+        Binder {
+            def: self,
+            system,
+            options: ViewOptions::default(),
+            upstream: HashMap::new(),
+        }
+    }
+
     /// Binds the definition against `system`, producing a queryable view
     /// with default settings.
+    #[deprecated(note = "use `def.binder(&system).bind()`")]
     pub fn bind(&self, system: &System) -> Result<View> {
-        self.bind_with(system, ViewOptions::default())
+        self.binder(system).bind()
     }
 
     /// Binds with explicit options.
+    #[deprecated(note = "use `def.binder(&system).options(options).bind()`")]
     pub fn bind_with(&self, system: &System, options: ViewOptions) -> Result<View> {
-        let _span = ov_oodb::span!("view.bind", view = self.name);
+        self.binder(system).options(options).bind()
+    }
+}
+
+/// The definition of a view, flattened for binding: upstream view imports
+/// expanded into their own (base) imports and elements, each element tagged
+/// with the view it came from (`None` = the definition being bound).
+struct ExpandedDef {
+    imports: Vec<Import>,
+    elements: Vec<(ViewElement, Option<Symbol>)>,
+    /// Direct dependency targets of the root definition, in import order.
+    direct: Vec<crate::graph::DepTarget>,
+}
+
+/// Builder-style binding of a [`ViewDef`] (the bind-side mirror of
+/// [`ViewOptions::builder`]):
+///
+/// ```ignore
+/// let view = def
+///     .binder(&system)
+///     .options(ViewOptions::builder().population(Population::Incremental).build())
+///     .over(&upstream_def) // resolve `import … from view Upstream`
+///     .bind()?;
+/// ```
+///
+/// `over` registers upstream view definitions so the bound view may import
+/// *views*, not just databases: an import whose name matches a registered
+/// definition is expanded in place — the upstream's own imports and
+/// elements are spliced in (deduplicated, depth first) ahead of this
+/// definition's elements, so its virtual classes are queryable, delta
+/// retests flow through them level by level, and a change to the shared
+/// base propagates through the whole stack. Cycles among definitions are
+/// rejected here, at bind time.
+pub struct Binder<'a> {
+    def: &'a ViewDef,
+    system: &'a System,
+    options: ViewOptions,
+    upstream: HashMap<Symbol, &'a ViewDef>,
+}
+
+impl<'a> Binder<'a> {
+    /// Sets the view options (default: [`ViewOptions::default`]).
+    pub fn options(mut self, options: ViewOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Registers one upstream view definition that imports may resolve to.
+    pub fn over(mut self, upstream: &'a ViewDef) -> Self {
+        self.upstream.insert(upstream.name, upstream);
+        self
+    }
+
+    /// Registers several upstream view definitions at once.
+    pub fn over_all(mut self, defs: impl IntoIterator<Item = &'a ViewDef>) -> Self {
+        for def in defs {
+            self.upstream.insert(def.name, def);
+        }
+        self
+    }
+
+    /// Expands view imports recursively. `stack` is the chain of views
+    /// being expanded (cycle guard), `spliced` the set already merged in
+    /// (diamond dedup).
+    fn expand_into(
+        def: &ViewDef,
+        upstream: &HashMap<Symbol, &'a ViewDef>,
+        stack: &mut Vec<Symbol>,
+        spliced: &mut BTreeSet<Symbol>,
+        out: &mut ExpandedDef,
+    ) -> Result<()> {
+        let root = stack.is_empty();
+        stack.push(def.name);
+        for import in &def.imports {
+            if stack.contains(&import.db) {
+                let mut path = stack.clone();
+                path.push(import.db);
+                return Err(ViewError::CyclicViewDependency {
+                    view: stack[0],
+                    path,
+                });
+            }
+            if let Some(updef) = upstream.get(&import.db) {
+                if !matches!(import.what, ov_query::ImportWhat::AllClasses) {
+                    return Err(ViewError::Definition(format!(
+                        "`{}` is a view; only `import all classes` is supported from a view",
+                        import.db
+                    )));
+                }
+                if root {
+                    out.direct.push(crate::graph::DepTarget::View(import.db));
+                }
+                if spliced.insert(import.db) {
+                    Self::expand_into(updef, upstream, stack, spliced, out)?;
+                }
+            } else {
+                if root {
+                    out.direct
+                        .push(crate::graph::DepTarget::Database(import.db));
+                }
+                if !out.imports.contains(import) {
+                    out.imports.push(import.clone());
+                }
+            }
+        }
+        let origin = if root { None } else { Some(def.name) };
+        for element in &def.elements {
+            out.elements.push((element.clone(), origin));
+        }
+        stack.pop();
+        Ok(())
+    }
+
+    /// Binds the definition, producing a queryable [`View`].
+    pub fn bind(self) -> Result<View> {
+        use crate::graph::{DepEdge, DepTarget};
+        let def = self.def;
+        let _span = ov_oodb::span!("view.bind", view = def.name);
+        ov_oodb::failpoint!("view.bind");
+        let mut expanded = ExpandedDef {
+            imports: Vec::new(),
+            elements: Vec::new(),
+            direct: Vec::new(),
+        };
+        Self::expand_into(
+            def,
+            &self.upstream,
+            &mut Vec::new(),
+            &mut BTreeSet::new(),
+            &mut expanded,
+        )?;
+        let options = self.options;
         let mut view = View {
             token: NEXT_VIEW_TOKEN.fetch_add(1, Ordering::Relaxed),
-            name: self.name,
+            name: def.name,
             schema: RwLock::new(Schema::new()),
             kinds: RwLock::new(HashMap::new()),
             virt: RwLock::new(HashMap::new()),
@@ -317,11 +466,38 @@ impl ViewDef {
             parallel: options.parallel,
             stats: StatCells::default(),
             parallel_strikes: AtomicU32::new(0),
+            deps: Vec::new(),
         };
-        for import in &self.imports {
-            view.do_import(system, import)?;
+        // Which dependency target defined each class name the view can
+        // read: imported classes map to their database, spliced virtual
+        // classes to the upstream view that declared them. The view's own
+        // declarations are deliberately absent — reading your own class is
+        // not a dependency.
+        let mut provenance: HashMap<Symbol, DepTarget> = HashMap::new();
+        // Class names read through each edge; seeded so every direct
+        // import target appears even when no class of it is referenced.
+        let mut dep_classes: BTreeMap<DepTarget, BTreeSet<Symbol>> = expanded
+            .direct
+            .iter()
+            .map(|t| (*t, BTreeSet::new()))
+            .collect();
+        for import in &expanded.imports {
+            let visible = view.do_import(self.system, import)?;
+            for name in visible {
+                provenance.insert(name, DepTarget::Database(import.db));
+            }
         }
-        for element in &self.elements {
+        for (element, origin) in &expanded.elements {
+            if origin.is_none() {
+                // Extract what this element reads *before* defining it, so
+                // self-references don't count and forward references fail
+                // in `define_*` exactly as they always did.
+                for name in element_reads(&view, element) {
+                    if let Some(&target) = provenance.get(&name) {
+                        dep_classes.entry(target).or_default().insert(name);
+                    }
+                }
+            }
             match element {
                 ViewElement::VirtualClass(vc) => {
                     if vc.params.is_empty() {
@@ -335,13 +511,62 @@ impl ViewDef {
                             },
                         );
                     }
+                    if let Some(up) = origin {
+                        provenance.insert(vc.name, DepTarget::View(*up));
+                    }
                 }
                 ViewElement::Attribute(decl) => view.define_attribute(decl)?,
                 ViewElement::Hide(h) => view.add_hide(h)?,
             }
         }
+        view.deps = dep_classes
+            .into_iter()
+            .map(|(on, classes)| DepEdge { on, classes })
+            .collect();
         Ok(view)
     }
+}
+
+/// The class names one view element reads, resolved with the same scoping
+/// as the typechecker (see [`ov_query::referenced_classes`]). Run against
+/// the partially-bound view, which at this point holds everything declared
+/// *before* the element — exactly the names it may legally read.
+fn element_reads(view: &View, element: &ViewElement) -> BTreeSet<Symbol> {
+    let mut out = BTreeSet::new();
+    match element {
+        ViewElement::VirtualClass(vc) => {
+            for inc in &vc.includes {
+                match inc {
+                    IncludeSpec::Class(n) | IncludeSpec::Like(n) => {
+                        out.insert(*n);
+                    }
+                    IncludeSpec::Query(q) | IncludeSpec::Imaginary(q) => {
+                        let mut env = TypeEnv::new();
+                        // Parameters of a parameterized class shadow
+                        // class names inside its includes.
+                        for p in &vc.params {
+                            env.bind(*p, Type::Any);
+                        }
+                        ov_query::referenced_classes_select(view, &mut env, q, &mut out);
+                    }
+                }
+            }
+        }
+        ViewElement::Attribute(decl) => {
+            out.insert(decl.class);
+            if let Some(body) = &decl.body {
+                let mut env = TypeEnv::new();
+                for (p, _) in &decl.params {
+                    env.bind(*p, Type::Any);
+                }
+                ov_query::referenced_classes(view, &mut env, body, &mut out);
+            }
+        }
+        ViewElement::Hide(Hide::Attrs { class, .. }) | ViewElement::Hide(Hide::Class(class)) => {
+            out.insert(*class);
+        }
+    }
+    out
 }
 
 /// Observability counters for a view's population machinery (monotonic;
@@ -513,10 +738,98 @@ impl ViewOptionsBuilder {
     }
 }
 
+/// A summary of a view's degradation state (PR 4's graceful-degradation
+/// ladder), for `Session::describe` and the `ovq` shell: how often the
+/// view served stale data, retried faults, fell back to sequential scans,
+/// and whether the parallel-scan circuit breaker is currently tripped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ViewHealth {
+    /// Populations served from a stale cached generation after recompute
+    /// failures.
+    pub stale_serves: u64,
+    /// Population recompute attempts retried after a transient fault.
+    pub fault_retries: u64,
+    /// Parallel scans that fell back to sequential execution.
+    pub seq_fallbacks: u64,
+    /// The parallel-scan circuit breaker is tripped: the view stopped
+    /// splitting scans for its lifetime.
+    pub parallel_disabled: bool,
+}
+
+impl ViewHealth {
+    /// True when nothing degraded: no stale serves, retries, fallbacks, or
+    /// tripped breaker.
+    pub fn is_clean(&self) -> bool {
+        *self == ViewHealth::default()
+    }
+}
+
+impl std::fmt::Display for ViewHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return write!(f, "healthy");
+        }
+        let mut parts: Vec<String> = Vec::new();
+        if self.stale_serves > 0 {
+            parts.push(format!("{} stale serve(s)", self.stale_serves));
+        }
+        if self.fault_retries > 0 {
+            parts.push(format!("{} fault retry(ies)", self.fault_retries));
+        }
+        if self.seq_fallbacks > 0 {
+            parts.push(format!("{} seq fallback(s)", self.seq_fallbacks));
+        }
+        if self.parallel_disabled {
+            parts.push("parallel scans disabled".into());
+        }
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
 impl View {
     /// The view's name.
     pub fn name(&self) -> Symbol {
         self.name
+    }
+
+    /// The dependency edges recorded at bind time: which databases and
+    /// which upstream views this definition reads, with the class names
+    /// read through each edge.
+    pub fn dependencies(&self) -> &[DepEdge] {
+        &self.deps
+    }
+
+    /// The view's current degradation state (see [`ViewHealth`]).
+    pub fn health(&self) -> ViewHealth {
+        let stats = self.stats();
+        ViewHealth {
+            stale_serves: stats.stale_serves,
+            fault_retries: stats.fault_retries,
+            seq_fallbacks: stats.seq_fallbacks,
+            parallel_disabled: self.parallel_strikes.load(Ordering::Relaxed)
+                >= PARALLEL_STRIKE_LIMIT,
+        }
+    }
+
+    /// Eagerly refreshes every virtual and imaginary population, in class
+    /// creation order (dependencies before dependents within this view),
+    /// and returns how many were refreshed. Under
+    /// [`Materialization::Incremental`] each refresh is a delta retest of
+    /// the journal-changed oids; the session uses this to propagate a base
+    /// write through a view stack in topological order.
+    pub fn refresh(&self) -> Result<usize> {
+        let mut ids: Vec<ClassId> = self
+            .kinds
+            .read()
+            .iter()
+            .filter(|(_, k)| matches!(k, ClassKind::Virtual | ClassKind::Imaginary { .. }))
+            .map(|(c, _)| *c)
+            .collect();
+        ids.sort();
+        for &c in &ids {
+            self.with_degradation(|| self.population(c))?;
+        }
+        Ok(ids.len())
     }
 
     /// A snapshot of the population-machinery counters, aggregated across
@@ -760,11 +1073,15 @@ impl View {
     // Binding internals
     // ------------------------------------------------------------------
 
-    fn do_import(&mut self, system: &System, import: &Import) -> Result<()> {
+    /// Imports one specification, returning the class names it made
+    /// visible (the binder records their provenance for the dependency
+    /// graph).
+    fn do_import(&mut self, system: &System, import: &Import) -> Result<Vec<Symbol>> {
         let handle = system.database(import.db)?;
         let source_idx = self.sources.len();
         let db = handle.read();
         let mut map: HashMap<ClassId, ClassId> = HashMap::new();
+        let mut visible: Vec<Symbol> = Vec::new();
         // Which source classes come in, in creation (= topological) order?
         let roots: Vec<(ClassId, Option<Symbol>)> = match &import.what {
             ov_query::ImportWhat::AllClasses => db.schema.classes().map(|c| (c.id, None)).collect(),
@@ -803,6 +1120,7 @@ impl View {
                     other => ViewError::Oodb(other),
                 })?;
             drop(schema);
+            visible.push(view_name);
             map.insert(*src_class, id);
             self.kinds.write().insert(
                 id,
@@ -833,7 +1151,7 @@ impl View {
         drop(db);
         self.sources.push(handle);
         self.import_maps.push(map);
-        Ok(())
+        Ok(visible)
     }
 
     /// Rewrites source class ids inside an attribute signature to view

@@ -56,14 +56,11 @@ proptest! {
              class Old includes (select X from Person where X.Age >= {threshold});"
         ))
         .unwrap();
-        let view = def.bind(&sys).unwrap();
+        let view = def.binder(&sys).bind().unwrap();
         let incremental = def
-            .bind_with(
-                &sys,
-                ViewOptions::builder()
+            .binder(&sys).options(ViewOptions::builder()
                     .materialization(Materialization::Incremental)
-                    .build(),
-            )
+                    .build()).bind()
             .unwrap();
         // Warm the incremental cache so deltas actually apply.
         incremental.extent_of(sym("Old")).unwrap();
@@ -108,7 +105,7 @@ proptest! {
              class AgeGroup includes imaginary (select [Age: X.Age] from X in Person);",
         )
         .unwrap()
-        .bind(&sys)
+        .binder(&sys).bind()
         .unwrap();
         // Record the oid of each distinct age currently present.
         let mut seen: std::collections::HashMap<i64, ov_oodb::Oid> =
@@ -156,7 +153,7 @@ proptest! {
              hide attribute Age in class Person;",
         )
         .unwrap()
-        .bind(&sys)
+        .binder(&sys).bind()
         .unwrap();
         // Unreachable through the base class and through the virtual
         // subclass alike.
@@ -218,7 +215,7 @@ proptest! {
             script.push_str(&format!("class {} includes {};\n", vname, picked.join(", ")));
             virtuals.push((vname, picked));
         }
-        let view = ViewDef::from_script(&script).unwrap().bind(&sys).unwrap();
+        let view = ViewDef::from_script(&script).unwrap().binder(&sys).bind().unwrap();
         for (vname, picked) in &virtuals {
             // R2: every included class is a subclass of the virtual class.
             for p in picked {

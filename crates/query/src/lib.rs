@@ -58,4 +58,7 @@ pub use plan::{
     run_query_traced, Engine, PopOutcome, PopPath, PopulationTrace, QueryTrace, ScanKind, Stage,
 };
 pub use source::{require_class, DataSource, ResolvedAttr, SourceGraph};
-pub use typecheck::{infer, infer_expr, infer_select, infer_select_in, type_of_value, TypeEnv};
+pub use typecheck::{
+    infer, infer_expr, infer_select, infer_select_in, referenced_classes,
+    referenced_classes_select, type_of_value, TypeEnv,
+};

@@ -413,7 +413,12 @@ impl Parser {
             None
         };
         self.expect_kw("from")?;
-        self.expect_kw("database")?;
+        // `from view V` is a cosmetic alias for `from database V`: the
+        // source name resolves at bind time (views before databases), and
+        // serialization always prints `database` so scripts round-trip.
+        if !self.eat_kw("view") {
+            self.expect_kw("database")?;
+        }
         let db = self.expect_ident()?;
         if alias.is_none() && self.eat_kw("as") {
             alias = Some(self.expect_ident()?);

@@ -244,6 +244,98 @@ pub fn infer_select_in(src: &dyn DataSource, env: &mut TypeEnv, q: &SelectExpr) 
     }
 }
 
+/// Collects the names of classes `expr` reads from `src`, into `out`.
+///
+/// This is the dependency-extraction half of the typechecker: it walks the
+/// expression with the same scoping rules as [`infer`] — a name is a class
+/// reference only when no query variable shadows it and the source resolves
+/// it as a class — but records names instead of types. The view layer runs
+/// it at bind time to build the view dependency graph (which base classes
+/// and which upstream virtual classes a definition reads).
+pub fn referenced_classes(
+    src: &dyn DataSource,
+    env: &mut TypeEnv,
+    expr: &Expr,
+    out: &mut std::collections::BTreeSet<Symbol>,
+) {
+    match expr {
+        Expr::Lit(_) | Expr::SelfRef => {}
+        Expr::Name(n) => {
+            if env.lookup(*n).is_none()
+                && src.named_object(*n).is_none()
+                && src.class_by_name(*n).is_some()
+            {
+                out.insert(*n);
+            }
+        }
+        Expr::Attr { recv, args, .. } => {
+            referenced_classes(src, env, recv, out);
+            for a in args {
+                referenced_classes(src, env, a, out);
+            }
+        }
+        Expr::TupleCons(fields) => {
+            for (_, e) in fields {
+                referenced_classes(src, env, e, out);
+            }
+        }
+        Expr::SetCons(items) | Expr::ListCons(items) => {
+            for e in items {
+                referenced_classes(src, env, e, out);
+            }
+        }
+        Expr::Unary { expr, .. } => referenced_classes(src, env, expr, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            referenced_classes(src, env, lhs, out);
+            referenced_classes(src, env, rhs, out);
+        }
+        Expr::If { cond, then, els } => {
+            referenced_classes(src, env, cond, out);
+            referenced_classes(src, env, then, out);
+            referenced_classes(src, env, els, out);
+        }
+        Expr::Select(q) | Expr::Exists(q) => referenced_classes_select(src, env, q, out),
+        Expr::Aggregate { arg, .. } => referenced_classes(src, env, arg, out),
+        Expr::IsA { expr, class } => {
+            referenced_classes(src, env, expr, out);
+            if src.class_by_name(*class).is_some() {
+                out.insert(*class);
+            }
+        }
+        Expr::Apply { name, args } => {
+            // A parameterized-class application reads the template; record
+            // the name so instantiations depend on wherever it came from.
+            out.insert(*name);
+            for a in args {
+                referenced_classes(src, env, a, out);
+            }
+        }
+    }
+}
+
+/// [`referenced_classes`] over a `select` block, honoring `from` scoping:
+/// bound variables shadow class names for the filter and projection, and
+/// later collections see earlier bindings.
+pub fn referenced_classes_select(
+    src: &dyn DataSource,
+    env: &mut TypeEnv,
+    q: &SelectExpr,
+    out: &mut std::collections::BTreeSet<Symbol>,
+) {
+    let mut bound = 0;
+    for (var, coll) in &q.bindings {
+        referenced_classes(src, env, coll, out);
+        // Only the scope matters here, not the element type.
+        env.bind(*var, Type::Any);
+        bound += 1;
+    }
+    if let Some(f) = &q.filter {
+        referenced_classes(src, env, f, out);
+    }
+    referenced_classes(src, env, &q.proj, out);
+    env.pop(bound);
+}
+
 /// The static type of a literal.
 pub fn type_of_value(v: &Value) -> Type {
     match v {
@@ -542,5 +634,28 @@ mod tests {
     fn if_branches_lub() {
         let db = staff();
         assert_eq!(ty(&db, "if true then 1 else 2.0"), Type::Float);
+    }
+
+    #[test]
+    fn collects_referenced_classes() {
+        let db = staff();
+        let q = parse_select(
+            "select P.Age from P in Person \
+             where exists(select E from E in Employee where E.Age = P.Age)",
+        )
+        .unwrap();
+        let mut out = std::collections::BTreeSet::new();
+        referenced_classes_select(&db, &mut TypeEnv::new(), &q, &mut out);
+        assert_eq!(out, [sym("Person"), sym("Employee")].into_iter().collect());
+    }
+
+    #[test]
+    fn bound_variables_shadow_class_references() {
+        let db = staff();
+        // `Person` is a bound variable here, not a class read.
+        let q = parse_select("select Person from Person in Employee").unwrap();
+        let mut out = std::collections::BTreeSet::new();
+        referenced_classes_select(&db, &mut TypeEnv::new(), &q, &mut out);
+        assert_eq!(out, [sym("Employee")].into_iter().collect());
     }
 }

@@ -167,7 +167,7 @@ pub fn view_script(rdb: &RelationalDb) -> Result<String, BridgeError> {
 pub fn object_view(rdb: &RelationalDb, system: &System) -> Result<View, BridgeError> {
     let script = view_script(rdb)?;
     let def = ViewDef::from_script(&script)?;
-    Ok(def.bind(system)?)
+    Ok(def.binder(system).bind()?)
 }
 
 /// The inverse direction: flattens an object database into relations

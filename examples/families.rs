@@ -48,7 +48,8 @@ fn main() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
 
     println!("== families as imaginary objects (§5) ==");
@@ -90,13 +91,14 @@ fn main() {
         "#,
     )
     .unwrap()
-    .bind_with(
-        &sys,
+    .binder(&sys)
+    .options(
         ViewOptions::builder()
             .identity_mode(IdentityMode::Fresh)
             .population(Population::AlwaysRecompute)
             .build(),
     )
+    .bind()
     .unwrap();
     println!(
         "nested query under FRESH oids: {} object(s)  (\"we may obtain an empty set\")",
@@ -117,7 +119,8 @@ fn main() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     println!("\n== Example 5: addresses as shared objects ==");
     println!(

@@ -44,7 +44,8 @@ fn main() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
 
     // The fixed design: Address is a virtual attribute of Client.
@@ -59,7 +60,8 @@ fn main() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
 
     let show = |label: &str, view: &objects_and_views::views::View| {

@@ -46,7 +46,8 @@ fn main() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
 
     println!("== inferred hierarchy (rules R1/R2, §4.2) ==");
@@ -104,10 +105,9 @@ fn main() {
     .unwrap();
     println!("\n== schizophrenia (§4.3): Erika is merchant AND heavy ==");
     let strict = overlapping
-        .bind_with(
-            &sys,
-            ViewOptions::builder().policy(ConflictPolicy::Error).build(),
-        )
+        .binder(&sys)
+        .options(ViewOptions::builder().policy(ConflictPolicy::Error).build())
+        .bind()
         .unwrap();
     println!(
         "strict policy: {}",
@@ -117,12 +117,13 @@ fn main() {
             .unwrap_or_else(|e| format!("rejected: {e}"))
     );
     let prioritized = overlapping
-        .bind_with(
-            &sys,
+        .binder(&sys)
+        .options(
             ViewOptions::builder()
                 .policy(ConflictPolicy::Priority(vec![sym("Heavy")]))
                 .build(),
         )
+        .bind()
         .unwrap();
     println!(
         "priority(Heavy): {}",

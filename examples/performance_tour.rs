@@ -59,7 +59,9 @@ fn main() {
             "#,
         )
         .unwrap()
-        .bind_with(&sys, ViewOptions::builder().population(population).build())
+        .binder(&sys)
+        .options(ViewOptions::builder().population(population).build())
+        .bind()
         .unwrap();
         (sys, view)
     };

@@ -43,7 +43,8 @@ fn main() {
         "#,
     )
     .expect("view definition parses")
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .expect("view binds");
 
     // 3. Query the view exactly like a database.

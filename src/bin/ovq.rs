@@ -80,6 +80,7 @@ const FAULT_SITES: &[&str] = &[
     "query.scan_chunk",
     "view.scan_chunk",
     "view.population_recompute",
+    "view.bind",
 ];
 
 /// Budget knobs applied to every subsequent statement (each statement gets

@@ -27,12 +27,15 @@
 //!         class Person type [Name: string, Age: integer];
 //!         object #1 in Person value [Name: "Maggy", Age: 65];
 //!     "#)?;
-//!     let view = ViewDef::new("V").import_all("Staff").bind_with(
-//!         &sys,
-//!         ViewOptions::builder()
-//!             .population(Population::Incremental)
-//!             .build(),
-//!     )?;
+//!     let view = ViewDef::new("V")
+//!         .import_all("Staff")
+//!         .binder(&sys)
+//!         .options(
+//!             ViewOptions::builder()
+//!                 .population(Population::Incremental)
+//!                 .build(),
+//!         )
+//!         .bind()?;
 //!     assert_eq!(run_query(&view, "count(Person)")?, Value::Int(1));
 //!     Ok(())
 //! }
@@ -60,7 +63,8 @@ pub mod prelude {
     };
     pub use crate::relational::{bridge, Relation, RelationalDb};
     pub use crate::views::{
-        IdentityMode, Materialization, Outcome, Population, Session, View, ViewDef, ViewError,
+        Binder, CatalogTxn, DdlOutcome, DepEdge, DepTarget, DependencyGraph, IdentityMode,
+        Materialization, Outcome, Population, Session, View, ViewDef, ViewError, ViewHealth,
         ViewOptions, ViewOptionsBuilder, ViewStats,
     };
     pub use crate::Error;

@@ -102,8 +102,8 @@ fn chaos_view(sys: &System) -> View {
         "#,
     )
     .unwrap()
-    .bind_with(
-        sys,
+    .binder(sys)
+    .options(
         ViewOptions::builder()
             .materialization(Materialization::Incremental)
             .parallel(ParallelConfig {
@@ -112,6 +112,7 @@ fn chaos_view(sys: &System) -> View {
             })
             .build(),
     )
+    .bind()
     .unwrap()
 }
 
@@ -286,6 +287,55 @@ fn run_chaos(seed: u64) {
     assert_eq!(
         a, b,
         "seed {seed}: imaginary identity unstable across clean reads"
+    );
+}
+
+/// A fault injected mid-revalidation must never leave the catalog half
+/// updated: a redefinition stages every dependent rebind before committing
+/// any of them, so the session either moves wholesale or not at all.
+#[test]
+fn chaos_fault_mid_revalidation_keeps_catalog_atomic() {
+    let _serial = chaos_lock();
+    let _guard = ChaosGuard;
+    let mut s = Session::new();
+    s.execute(
+        r#"
+        database Staff;
+        class Person type [Name: string, Age: integer];
+        object #1 in Person value [Name: "Maggy", Age: 66];
+        create view Adults;
+        import all classes from database Staff;
+        class Adult includes (select P from Person where P.Age >= 21);
+        create view Top;
+        import all classes from view Adults;
+        class Elder includes (select A from Adult where A.Age >= 60);
+        "#,
+    )
+    .unwrap();
+    let before = s.save();
+    // Redefining Adults binds Adults first, then its dependent Top; fail
+    // the second bind — the dependent, mid-revalidation.
+    faults::arm("view.bind", FaultSchedule::Nth(2), FaultAction::Error);
+    let candidate = ViewDef::from_script(
+        "create view Adults; import all classes from database Staff; \
+         class Adult includes (select P from Person where P.Age >= 18);",
+    )
+    .unwrap();
+    let err = s.catalog().redefine_view(candidate).unwrap_err();
+    assert!(
+        matches!(err, ViewError::RevalidationFailed { .. }),
+        "got: {err}"
+    );
+    assert!(err.is_transient(), "injected fault should stay transient");
+    faults::clear();
+    // Nothing half-moved: definitions, dependency graph, and answers all
+    // match the pre-fault session.
+    assert_eq!(s.save(), before, "catalog changed despite the rollback");
+    assert_eq!(s.query(sym("Top"), "count(Elder)").unwrap(), Value::Int(1));
+    assert_eq!(
+        s.dependency_graph()
+            .transitive_dependents(DepTarget::View(sym("Adults"))),
+        vec![sym("Top")]
     );
 }
 

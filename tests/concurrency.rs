@@ -47,7 +47,9 @@ fn adult_view(sys: &System, options: ViewOptions) -> View {
         "#,
     )
     .unwrap()
-    .bind_with(sys, options)
+    .binder(sys)
+    .options(options)
+    .bind()
     .unwrap()
 }
 

@@ -62,7 +62,8 @@ fn multi_parameter_classes() {
             (select P from Person where P.Age = A and P.City = C);",
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert_eq!(
         view.query(r#"count(Cohort(30, "London"))"#).unwrap(),
@@ -96,7 +97,8 @@ fn float_core_attributes_have_stable_identity() {
          class TempGroup includes imaginary (select [T: R.Temp] from R in Reading);",
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     // 21.5 appears twice → one group; -0.0 → another.
     assert_eq!(view.query("count(TempGroup)").unwrap(), Value::Int(2));
@@ -147,7 +149,8 @@ fn virtual_class_over_aliased_import() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert_eq!(view.query("count(Old_Fordite)").unwrap(), Value::Int(1));
     assert_eq!(
@@ -168,7 +171,8 @@ fn aliased_subtree_import_keeps_subclass_names() {
     );
     let view = ViewDef::from_script("create view V; import class Animal from database D as Beast;")
         .unwrap()
-        .bind(&sys)
+        .binder(&sys)
+        .bind()
         .unwrap();
     // The root is renamed; the subclass keeps its name and its position.
     assert!(view.is_subclass_by_name(sym("Dog"), sym("Beast")).unwrap());
@@ -201,7 +205,8 @@ fn methods_resolve_through_virtual_class_membership() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert_eq!(view.query("acct.Projected(3)").unwrap(), Value::Int(130));
     // Wrong arity is caught.
@@ -241,7 +246,8 @@ fn empty_database_views_are_fine() {
          class Im includes imaginary (select [V: N.X] from N in Nothing_Here);",
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert_eq!(view.query("count(Sub)").unwrap(), Value::Int(0));
     assert_eq!(view.query("count(Im)").unwrap(), Value::Int(0));

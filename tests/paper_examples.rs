@@ -66,7 +66,8 @@ fn restructuring_attributes() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert_eq!(
         view.query("c.Addresses").unwrap(),
@@ -107,7 +108,8 @@ fn my_view_imports_from_two_databases() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert_eq!(
         view.query("select C.Model from C in Car").unwrap(),
@@ -141,7 +143,8 @@ fn full_view_script() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     // Membership: Maggy+Denis (senior), Mark (student), Denis again (low
     // income) → 3 distinct people.
@@ -175,7 +178,8 @@ fn dump_reload_then_view() {
         "#,
     )
     .unwrap()
-    .bind(&sys2)
+    .binder(&sys2)
+    .bind()
     .unwrap();
     assert_eq!(
         view.query("count((select A from A in Adult))").unwrap(),
@@ -202,7 +206,8 @@ fn stacked_views_via_materialization() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     let snapshot = first.materialize(sym("Level1")).unwrap();
     let mut sys2 = System::new();
@@ -218,7 +223,8 @@ fn stacked_views_via_materialization() {
         "#,
     )
     .unwrap()
-    .bind(&sys2)
+    .binder(&sys2)
+    .bind()
     .unwrap();
     assert_eq!(
         second.query("select G.Greeting from G in Greeter").unwrap(),
@@ -232,7 +238,8 @@ fn views_share_base_storage() {
     let sys = load(STAFF);
     let view = ViewDef::from_script("create view V; import all classes from database Staff;")
         .unwrap()
-        .bind(&sys)
+        .binder(&sys)
+        .bind()
         .unwrap();
     let before_base = {
         let db = sys.database(sym("Staff")).unwrap();
@@ -274,7 +281,8 @@ fn concurrent_view_readers() {
                     "#,
                 )
                 .unwrap()
-                .bind(sys_ref)
+                .binder(sys_ref)
+                .bind()
                 .unwrap();
                 for _ in 0..50 {
                     let n = view.query("count((select A from A in Adult))").unwrap();
@@ -354,7 +362,8 @@ fn decomposing_large_objects() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     // Two people, two distinct name parts, ONE shared address part.
     assert_eq!(view.query("count(NamePart)").unwrap(), Value::Int(2));
@@ -403,7 +412,8 @@ fn behavioral_generalization_admits_later_classes_unchanged() {
     .unwrap();
     assert_eq!(
         behavioral
-            .bind(&sys)
+            .binder(&sys)
+            .bind()
             .unwrap()
             .query("count(On_Sale)")
             .unwrap(),
@@ -422,7 +432,8 @@ fn behavioral_generalization_admits_later_classes_unchanged() {
     // Unchanged behavioral definition: Boat admitted automatically.
     assert_eq!(
         behavioral
-            .bind(&sys)
+            .binder(&sys)
+            .bind()
             .unwrap()
             .query("count(On_Sale)")
             .unwrap(),
@@ -431,7 +442,8 @@ fn behavioral_generalization_admits_later_classes_unchanged() {
     // The by-name definition misses it until someone edits it.
     assert_eq!(
         by_name
-            .bind(&sys)
+            .binder(&sys)
+            .bind()
             .unwrap()
             .query("count(On_Sale_Bis)")
             .unwrap(),
@@ -455,7 +467,8 @@ fn objects_belong_to_many_overlapping_virtual_classes() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     // Maggy is simultaneously in all three incomparable classes.
     for class in ["Rich", "Old", "Londoner"] {

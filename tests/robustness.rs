@@ -121,7 +121,8 @@ fn view_misuses_each_have_a_precise_error() {
     for (script, check) in cases {
         let err = ViewDef::from_script(script)
             .unwrap()
-            .bind(&sys)
+            .binder(&sys)
+            .bind()
             .expect_err(script);
         assert!(check(&err), "script {script:?} gave {err:?}");
     }
@@ -139,7 +140,8 @@ fn virtual_class_write_protections() {
         "#,
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert!(matches!(
         view.insert(sym("Young"), Value::empty_tuple()),
@@ -168,7 +170,8 @@ fn parameterized_arity_and_unknown_template() {
          class ByAge(A) includes (select P from Person where P.Age = A);",
     )
     .unwrap()
-    .bind(&sys)
+    .binder(&sys)
+    .bind()
     .unwrap();
     assert!(view.query("count(ByAge(1, 2))").is_err());
     assert!(view.query("count(NotATemplate(1))").is_err());
@@ -208,12 +211,13 @@ fn journal_overflow_never_corrupts_populations() {
          class Young includes (select P from Person where P.Age < 21);",
     )
     .unwrap()
-    .bind_with(
-        &sys,
+    .binder(&sys)
+    .options(
         ViewOptions::builder()
             .materialization(Materialization::Incremental)
             .build(),
     )
+    .bind()
     .unwrap();
     let db = sys.database(sym("D")).unwrap();
     for i in 0..20 {

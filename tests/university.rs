@@ -81,7 +81,8 @@ fn the_full_campus_view_works() {
     let sys = university();
     let view = ViewDef::from_script(CAMPUS_VIEW)
         .unwrap()
-        .bind(&sys)
+        .binder(&sys)
+        .bind()
         .unwrap();
 
     // Virtual attributes with aggregates.
@@ -152,12 +153,13 @@ fn campus_view_tracks_updates_under_all_materializations() {
         let sys = university();
         let view = ViewDef::from_script(CAMPUS_VIEW)
             .unwrap()
-            .bind_with(
-                &sys,
+            .binder(&sys)
+            .options(
                 ViewOptions::builder()
                     .materialization(materialization)
                     .build(),
             )
+            .bind()
             .unwrap();
         assert_eq!(view.query("count(Honors)").unwrap(), Value::Int(2));
         let enrollments_before = view.extent_of(sym("Enrollment")).unwrap();
@@ -190,7 +192,7 @@ fn campus_view_round_trips_through_script_and_materialization() {
     // Script round-trip.
     let def2 = ViewDef::from_script(&def.to_script()).unwrap();
     assert_eq!(def, def2);
-    let view = def2.bind(&sys).unwrap();
+    let view = def2.binder(&sys).bind().unwrap();
     // Materialize and re-query the snapshot.
     let snapshot = view.materialize(sym("CampusSnapshot")).unwrap();
     let mut sys2 = System::new();
@@ -219,7 +221,8 @@ fn type_inference_works_through_the_whole_stack() {
     let sys = university();
     let view = ViewDef::from_script(CAMPUS_VIEW)
         .unwrap()
-        .bind(&sys)
+        .binder(&sys)
+        .bind()
         .unwrap();
     // Load : integer (sum of integers); Standing : string.
     let student = DataSource::class_by_name(&view, sym("Student")).unwrap();
