@@ -50,6 +50,11 @@ pub struct Session {
     /// Session-persistent `#n` literal → oid bindings, so interactive
     /// statements can refer to objects declared earlier.
     oid_map: HashMap<u64, Oid>,
+    /// This session's execution-engine choice. `None` inherits the process
+    /// default ([`ov_query::engine_mode`]); `Some` scopes the choice to this
+    /// session's statements via the thread-scoped override, so concurrent
+    /// sessions with different `.engine` settings never race on a global.
+    engine: Option<ov_query::EngineMode>,
 }
 
 impl Default for Session {
@@ -68,7 +73,22 @@ impl Session {
             focus: Focus::Nothing,
             graph: DependencyGraph::new(),
             oid_map: HashMap::new(),
+            engine: None,
         }
+    }
+
+    /// Sets this session's execution engine ([`ov_query::EngineMode`]).
+    /// `None` reverts to the process default. The choice applies to every
+    /// statement and query this session runs — and only to those: it is
+    /// installed as a thread-scoped override around each run, so other
+    /// sessions (even on other threads) are unaffected.
+    pub fn set_engine(&mut self, mode: Option<ov_query::EngineMode>) {
+        self.engine = mode;
+    }
+
+    /// This session's engine override, if any (`None` = process default).
+    pub fn engine(&self) -> Option<ov_query::EngineMode> {
+        self.engine
     }
 
     /// A session with non-default view options (conflict policy etc.).
@@ -227,12 +247,16 @@ impl Session {
                 }
                 Focus::Nothing => Err(no_focus()),
             },
-            // Data statements and queries dispatch on focus.
-            other => match self.focus {
-                Focus::Database(db) => self.run_on_database(db, other),
-                Focus::View(vname) => self.run_on_view(vname, other),
-                Focus::Nothing => Err(no_focus()),
-            },
+            // Data statements and queries dispatch on focus, under the
+            // session's engine override (if any).
+            other => {
+                let engine = self.engine;
+                under_engine(engine, || match self.focus {
+                    Focus::Database(db) => self.run_on_database(db, other),
+                    Focus::View(vname) => self.run_on_view(vname, other),
+                    Focus::Nothing => Err(no_focus()),
+                })
+            }
         }
     }
 
@@ -334,6 +358,12 @@ impl Session {
         for &name in &order {
             let (def, _) = self.views.get(&name).expect("graph tracks session views");
             let def = def.clone();
+            // `bind_def` is a *full* rebind: it re-runs bind-time predicate
+            // compilation, so each staged dependent's
+            // `VirtualInfo::compiled` bytecode is rebuilt against the new
+            // upstream definitions — a dependent never keeps stale compiled
+            // programs after a redefinition commits (regression-tested in
+            // `redefining_an_upstream_view_recompiles_dependents`).
             let view = self
                 .bind_def(&def)
                 .map_err(|e| ViewError::RevalidationFailed {
@@ -413,7 +443,10 @@ impl Session {
         let (_, view) = self.views.get(&vname).expect("focused view exists");
         match stmt {
             Stmt::Query(e) => {
-                let v = ov_query::eval_expr(view, &e).map_err(ViewError::from)?;
+                // `run_expr`, not `eval_expr`: a canonical class scan on the
+                // focused view takes the compiled engine, same as
+                // `Session::query` and the database path.
+                let v = ov_query::run_expr(view, &e).map_err(ViewError::from)?;
                 Ok(Outcome::Value(v))
             }
             Stmt::Insert { class, value } => {
@@ -519,6 +552,16 @@ impl Session {
     }
 }
 
+/// Runs `f` under `engine` when the session has an override, plain
+/// otherwise. A free function (not a method) so callers can pass `&mut
+/// self` closures without a borrow conflict.
+fn under_engine<R>(engine: Option<ov_query::EngineMode>, f: impl FnOnce() -> R) -> R {
+    match engine {
+        Some(mode) => ov_query::with_engine_mode(mode, f),
+        None => f(),
+    }
+}
+
 fn no_focus() -> ViewError {
     ViewError::Definition(
         "no focused database or view (start with `database D;` or `create view V;`)".into(),
@@ -528,14 +571,17 @@ fn no_focus() -> ViewError {
 // DataSource passthrough so a session's focused view can be queried
 // through generic code paths if desired.
 impl Session {
-    /// Runs a query against a named view or database.
+    /// Runs a query against a named view or database (under the session's
+    /// engine override, if any).
     pub fn query(&self, target: Symbol, query: &str) -> Result<Value> {
-        if let Some((_, view)) = self.views.get(&target) {
-            return view.query(query);
-        }
-        let db = self.system.database(target)?;
-        let db = db.read();
-        ov_query::run_query(&*db, query).map_err(ViewError::from)
+        under_engine(self.engine, || {
+            if let Some((_, view)) = self.views.get(&target) {
+                return view.query(query);
+            }
+            let db = self.system.database(target)?;
+            let db = db.read();
+            ov_query::run_query(&*db, query).map_err(ViewError::from)
+        })
     }
 
     /// Explains a query against a named view or database: the parsed form,
@@ -583,11 +629,11 @@ impl Session {
         // full recompute with its scans). Same rendering as
         // `View::explain`.
         let traced = if let Some((_, view)) = self.views.get(&target) {
-            ov_query::run_query_traced(view, query)
+            under_engine(self.engine, || ov_query::run_query_traced(view, query))
         } else {
             let db = self.system.database(target)?;
             let db = db.read();
-            ov_query::run_query_traced(&*db, query)
+            under_engine(self.engine, || ov_query::run_query_traced(&*db, query))
         };
         match traced {
             Ok((_, trace)) => {
@@ -608,7 +654,11 @@ impl Session {
             .views
             .get(&view)
             .ok_or(ViewError::Oodb(ov_oodb::OodbError::UnknownDatabase(view)))?;
-        Ok(format!("{}\n", v.explain_population(class)?))
+        // The explain may trigger the population recompute it then reports,
+        // so it must run under the session's engine like any other read.
+        under_engine(self.engine, || {
+            Ok(format!("{}\n", v.explain_population(class)?))
+        })
     }
 }
 
@@ -836,6 +886,109 @@ mod tests {
         );
         // Saving the restored session reproduces the same script (fixpoint).
         assert_eq!(restored.save(), script);
+    }
+
+    /// Satellite regression (engine-mode scoping): two sessions on two
+    /// threads with *different* engine overrides run concurrently; each
+    /// session's scans use its own engine (visible in the EXPLAIN scan
+    /// markers) and the process default is untouched afterwards.
+    #[test]
+    fn concurrent_sessions_scope_their_engine_modes() {
+        let default_before = ov_query::engine_mode();
+        let run = |mode: ov_query::EngineMode, marker: &str| {
+            // AlwaysRecompute so every explain records a fresh scan.
+            let mut s = Session::with_options(
+                ViewOptions::builder()
+                    .materialization(Materialization::AlwaysRecompute)
+                    .build(),
+            );
+            s.execute(
+                r#"
+                database Staff;
+                class Person type [Name: string, Age: integer];
+                object #1 in Person value [Name: "Maggy", Age: 66];
+                create view V;
+                import all classes from database Staff;
+                class Adult includes (select P from Person where P.Age >= 21);
+                "#,
+            )
+            .unwrap();
+            s.set_engine(Some(mode));
+            for _ in 0..20 {
+                assert_eq!(s.query(sym("V"), "count(Adult)").unwrap(), Value::Int(1));
+                let e = s.explain(sym("V"), "count(Adult)").unwrap();
+                assert!(e.contains(marker), "mode {mode:?}: got {e}");
+            }
+        };
+        std::thread::scope(|scope| {
+            scope.spawn(|| run(ov_query::EngineMode::Compiled, "[seq compiled]"));
+            scope.spawn(|| run(ov_query::EngineMode::Interp, "[seq]"));
+        });
+        assert_eq!(ov_query::engine_mode(), default_before);
+    }
+
+    /// Satellite regression (stale compiled bytecode): redefining an
+    /// upstream view must recompile the *dependent's* membership programs,
+    /// not leave them pointing at the old definition's bytecode.
+    #[test]
+    fn redefining_an_upstream_view_recompiles_dependents() {
+        let mut s = loaded_session();
+        // A (Adult: Age >= 21) feeds B (Named: a virtual class over A's
+        // Adult). Both predicates are in the compiler's covered subset.
+        s.execute(
+            "create view A; import all classes from database Staff; \
+             class Adult includes (select P from Person where P.Age >= 21);",
+        )
+        .unwrap();
+        s.execute(
+            "create view B; import all classes from view A; \
+             class Senior includes (select X from Adult where X.Age >= 21);",
+        )
+        .unwrap();
+        assert_eq!(s.query(sym("B"), "count(Senior)").unwrap(), Value::Int(2));
+        // Redefine A through the catalog: Adult's threshold moves 21 → 60.
+        // Binding B *expanded* A's definition into B's own schema, so B
+        // holds its own compiled program for the spliced Adult filter — a
+        // stale one would still admit Tony (30).
+        let mut def = s.views[&sym("A")].0.clone();
+        for el in &mut def.elements {
+            if let ViewElement::VirtualClass(vc) = el {
+                vc.includes = vec![ov_query::IncludeSpec::Query(
+                    ov_query::parse_select("select P from Person where P.Age >= 60").unwrap(),
+                )];
+            }
+        }
+        s.catalog().redefine_view(def).unwrap();
+        assert_eq!(s.query(sym("A"), "count(Adult)").unwrap(), Value::Int(1));
+        assert_eq!(s.query(sym("B"), "count(Senior)").unwrap(), Value::Int(1));
+    }
+
+    /// Satellite regression (resolution-cache staleness): a compiled scan
+    /// warmed before a mid-session `hide` must not serve the stale
+    /// resolution afterwards. (The within-one-`View` half — warm slot
+    /// caches across population brackets — is covered by the resolution
+    /// generation counter; see `View::res_gen` and the
+    /// `generation_bump_invalidates_warm_slot_caches` test in `ov-query`.)
+    #[test]
+    fn hide_then_rescan_does_not_serve_stale_resolution() {
+        let mut s = loaded_session();
+        s.execute("create view V; import all classes from database Staff;")
+            .unwrap();
+        // Warm the compiled scan path over Employee.Salary.
+        assert_eq!(
+            s.query(sym("V"), "select E.Salary from E in Employee")
+                .unwrap(),
+            Value::set([Value::Int(50000)])
+        );
+        // Hide it mid-session, then rescan the exact same query.
+        s.focus(sym("V")).unwrap();
+        s.execute("hide attribute Salary in class Employee;")
+            .unwrap();
+        let after = s.query(sym("V"), "select E.Salary from E in Employee");
+        assert!(
+            after.is_err(),
+            "hidden attribute must not resolve from a warm cache: {after:?}"
+        );
     }
 
     #[test]

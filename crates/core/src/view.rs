@@ -121,6 +121,11 @@ impl<'a> PopBracket<'a> {
             s.populating.insert(class);
             s.body_depth += 1;
         });
+        // Membership in the populating set changes what
+        // `resolution_class_and_field` answers for this class, so warm
+        // compiled-scan resolution caches must be invalidated on both
+        // edges of the bracket.
+        view.res_gen.fetch_add(1, Ordering::Release);
         PopBracket { view, class }
     }
 }
@@ -131,6 +136,7 @@ impl Drop for PopBracket<'_> {
             s.body_depth -= 1;
             s.populating.remove(&self.class);
         });
+        self.view.res_gen.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -274,6 +280,14 @@ pub struct View {
     /// panics). At [`PARALLEL_STRIKE_LIMIT`] the view stops splitting scans
     /// and stays sequential — a tripped circuit breaker.
     parallel_strikes: AtomicU32,
+    /// Attribute-resolution generation, surfaced to the compiled engine via
+    /// [`DataSource::resolution_generation`]. Bumped whenever something that
+    /// can change what `resolution_class_and_field` returns for a given
+    /// `(class, name)` happens mid-session: opening/closing a population
+    /// bracket (populating-set membership gates virtual-class resolution)
+    /// and template instantiation (which grows the schema). Warm per-slot
+    /// resolution caches in `ov_query::Scan` are dropped when this moves.
+    res_gen: AtomicU64,
     /// Dependency edges recorded at bind time: which databases and which
     /// upstream views this definition reads, with the class names read.
     deps: Vec<DepEdge>,
@@ -466,6 +480,7 @@ impl<'a> Binder<'a> {
             parallel: options.parallel,
             stats: StatCells::default(),
             parallel_strikes: AtomicU32::new(0),
+            res_gen: AtomicU64::new(0),
             deps: Vec::new(),
         };
         // Which dependency target defined each class name the view can
@@ -1892,6 +1907,9 @@ impl View {
         compiled: Option<&ov_query::Program>,
     ) -> ov_query::Result<BTreeSet<Oid>> {
         let (populating, depth) = self.with_eval(|s| (s.populating.clone(), s.body_depth));
+        // Batch size is thread-scoped; read it on the coordinator and apply
+        // it inside every worker's chunk loop.
+        let batch = ov_query::batch_rows();
         let workers = self.parallel.workers_for(extent.len());
         let chunk_len = extent.len().div_ceil(workers);
         plan::record_scan(plan::ScanKind::Parallel {
@@ -1925,10 +1943,22 @@ impl View {
                             // caches are per-thread state.
                             if let Some(prog) = compiled {
                                 let mut scan = ov_query::Scan::new(prog, self);
-                                for &oid in chunk {
-                                    scan.bind(0, Value::Oid(oid));
-                                    if ov_query::truthy(&scan.run(0)?) {
-                                        keep.insert(oid);
+                                let sub_len = if batch == 0 {
+                                    chunk.len().max(1)
+                                } else {
+                                    batch
+                                };
+                                for sub in chunk.chunks(sub_len) {
+                                    if batch > 0 {
+                                        let rows: Vec<Value> =
+                                            sub.iter().map(|&o| Value::Oid(o)).collect();
+                                        scan.begin_batch(0, &rows);
+                                    }
+                                    for (i, &oid) in sub.iter().enumerate() {
+                                        scan.bind(0, Value::Oid(oid));
+                                        if ov_query::truthy(&scan.run_row(0, i)?) {
+                                            keep.insert(oid);
+                                        }
                                     }
                                 }
                                 return Ok(keep);
@@ -2018,11 +2048,24 @@ impl View {
                         });
                         let var = q.bindings[0].0;
                         if let Some(prog) = compiled {
+                            let batch = ov_query::batch_rows();
                             let mut scan = ov_query::Scan::new(prog, self);
-                            for oid in candidates {
-                                scan.bind(0, Value::Oid(oid));
-                                if ov_query::truthy(&scan.run(0)?) {
-                                    out.insert(oid);
+                            let sub_len = if batch == 0 {
+                                candidates.len().max(1)
+                            } else {
+                                batch
+                            };
+                            for sub in candidates.chunks(sub_len) {
+                                if batch > 0 {
+                                    let rows: Vec<Value> =
+                                        sub.iter().map(|&o| Value::Oid(o)).collect();
+                                    scan.begin_batch(0, &rows);
+                                }
+                                for (i, &oid) in sub.iter().enumerate() {
+                                    scan.bind(0, Value::Oid(oid));
+                                    if ov_query::truthy(&scan.run_row(0, i)?) {
+                                        out.insert(oid);
+                                    }
                                 }
                             }
                             continue;
@@ -2097,20 +2140,33 @@ impl View {
                                     engine: plan::Engine::Compiled,
                                 });
                                 let budget = ov_query::budget::current();
+                                let batch = ov_query::batch_rows();
                                 let mut scan = ov_query::Scan::new(prog, self);
                                 // One node entry for the collection name,
                                 // then per row the filter and (on keep) the
                                 // projection node — the tree walker's exact
-                                // accounting.
+                                // accounting, preserved within each batch.
                                 scan.step(1)?;
                                 let mut kept = BTreeSet::new();
-                                for &oid in &extent {
-                                    scan.bind(0, Value::Oid(oid));
-                                    if ov_query::truthy(&scan.run(1)?) {
-                                        scan.step(1)?;
-                                        if kept.insert(oid) {
-                                            if let Some(b) = &budget {
-                                                b.note_rows(1)?;
+                                let sub_len = if batch == 0 {
+                                    extent.len().max(1)
+                                } else {
+                                    batch
+                                };
+                                for sub in extent.chunks(sub_len) {
+                                    if batch > 0 {
+                                        let rows: Vec<Value> =
+                                            sub.iter().map(|&o| Value::Oid(o)).collect();
+                                        scan.begin_batch(0, &rows);
+                                    }
+                                    for (i, &oid) in sub.iter().enumerate() {
+                                        scan.bind(0, Value::Oid(oid));
+                                        if ov_query::truthy(&scan.run_row(1, i)?) {
+                                            scan.step(1)?;
+                                            if kept.insert(oid) {
+                                                if let Some(b) = &budget {
+                                                    b.note_rows(1)?;
+                                                }
                                             }
                                         }
                                     }
@@ -2574,6 +2630,9 @@ impl View {
         instance_name.push(')');
         let class = self.define_virtual_class(Symbol::new(&instance_name), &substituted)?;
         instances.insert(key, class);
+        // The schema grew: `Param(x)` names now resolve where they didn't,
+        // so any warm compiled-scan resolution caches must be refreshed.
+        self.res_gen.fetch_add(1, Ordering::Release);
         Ok(class)
     }
 }
@@ -2838,6 +2897,47 @@ impl DataSource for View {
             }
         }
         None
+    }
+
+    fn resolution_generation(&self) -> u64 {
+        self.res_gen.load(Ordering::Acquire)
+    }
+
+    fn prefetch_attr_columns(
+        &self,
+        oids: &[Option<Oid>],
+        names: &[Symbol],
+    ) -> Option<ov_query::PrefetchedColumns> {
+        // Batched `resolution_class_and_field`: the imaginary table and
+        // every source store are locked *once* for the whole batch instead
+        // of once per row per attribute. Pure snapshot reads — no budget
+        // charges, no fault sites, no membership checks — matching the
+        // trait contract.
+        let imaginary = self.imaginary.read();
+        let stores: Vec<_> = self.sources.iter().map(|h| h.read()).collect();
+        let mut cols = vec![vec![None; oids.len()]; names.len()];
+        for (row, oid) in oids.iter().enumerate() {
+            let Some(oid) = *oid else { continue };
+            if let Some(im) = imaginary.get(&oid) {
+                for (c, name) in names.iter().enumerate() {
+                    cols[c][row] =
+                        Some((im.class, im.core.get(*name).cloned().unwrap_or(Value::Null)));
+                }
+                continue;
+            }
+            for (idx, db) in stores.iter().enumerate() {
+                if let Some(obj) = db.store.get(oid) {
+                    if let Some(&class) = self.import_maps[idx].get(&obj.class) {
+                        for (c, name) in names.iter().enumerate() {
+                            cols[c][row] =
+                                Some((class, obj.value.get(*name).cloned().unwrap_or(Value::Null)));
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        Some(cols)
     }
 
     fn resolution_is_class_pure(&self, class: ClassId, name: Symbol) -> bool {

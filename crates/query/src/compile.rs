@@ -15,20 +15,43 @@
 //!   of `resolve` results keyed by the object's presentation class, used
 //!   only where the source vouches (via
 //!   [`DataSource::resolution_is_class_pure`]) that resolution depends on
-//!   the class alone.
+//!   the class alone;
+//! * **computed-attribute bodies compile too**: when a slot's cached
+//!   resolution is class-pure and the body is in the covered subset, the
+//!   body is lowered once into its own [`Program`] (`self` in register 0,
+//!   parameters after it, bracketed by `EnterBody`/`ExitBody`
+//!   instructions) and invoked as a bytecode frame instead of
+//!   round-tripping through `Evaluator::run_computed` per row;
+//! * scans execute over **columnar batches**: [`Scan::begin_batch`]
+//!   prefetches the (class, raw field) probes for every attribute access
+//!   that reads the batched register — one lock acquisition and one object
+//!   lookup per row for the whole batch, instead of one per access.
 //!
 //! The contract is **bit-identical observable behavior** with the
 //! interpreter: same values, same error variants and messages, same
 //! [`crate::Budget`] step/row accounting (a `Step` instruction is
 //! emitted exactly where `eval_depth` would charge a step, at the same
-//! depth), same depth-limit behavior, and computed attributes delegate to
-//! the interpreter (`Evaluator::run_computed`) so nested bodies — budget,
-//! faults, tracing, view body-privilege brackets — are literally the same
-//! code. Expressions outside the covered subset (`Lit`, scan variables,
-//! `Attr`, `Unary`, `Binary`, `If`) simply fail to compile and the caller
-//! falls back to the interpreter, recording the scan as interpreted in
-//! EXPLAIN output ([`crate::plan::Engine`]).
+//! depth — batching amortizes lookups, *never* budget charges, so a
+//! breach stops at the exact row the interpreter would), same depth-limit
+//! behavior, and uncovered computed bodies still delegate to the
+//! interpreter (`Evaluator::run_computed`). Expressions outside the
+//! covered subset (`Lit`, scan variables, `self` in bodies, `Attr`,
+//! tuple/set/list constructors, `Unary`, `Binary`, `If`) simply fail to
+//! compile and the caller falls back to the interpreter, recording the
+//! scan as interpreted in EXPLAIN output ([`crate::plan::Engine`]).
+//!
+//! **Consistency model.** A batch's prefetched probes are a snapshot
+//! taken at [`Scan::begin_batch`]. Scans hold `&Database` (immutable) or
+//! run against a `View` whose raw class/field probes for existing objects
+//! do not change mid-scan, so the snapshot cannot be observed stale; a
+//! probe is only used when the receiver equals the batched row's object,
+//! and anything else falls through to the per-row path. Slot caches are
+//! additionally guarded by [`DataSource::resolution_generation`]: a
+//! source that invalidates scan-visible resolution state (a view opening
+//! or closing a population bracket, template instantiation) bumps its
+//! generation and the scan drops its cached verdicts.
 
+use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
@@ -42,10 +65,10 @@ use crate::source::{DataSource, ResolvedAttr};
 
 // --- engine selection -----------------------------------------------------
 
-/// Which engine scan paths should use. Process-wide, like the fault and
-/// trace switches — scans are driven from worker threads and sessions that
-/// share no state, and the mode is a diagnostic/benchmark toggle, not a
-/// per-query parameter.
+/// Which engine scan paths should use. There is a process-wide default
+/// (set once at startup by tooling) and a thread-scoped override
+/// ([`with_engine_mode`]) so concurrent sessions — and parallel tests —
+/// can pick engines independently without racing on the global.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineMode {
     /// Compile where the expression is covered, fall back otherwise
@@ -82,7 +105,13 @@ impl EngineMode {
 
 static ENGINE_MODE: AtomicU8 = AtomicU8::new(0);
 
-/// Sets the process-wide engine mode.
+thread_local! {
+    static TLS_ENGINE: Cell<Option<EngineMode>> = const { Cell::new(None) };
+}
+
+/// Sets the process-wide *default* engine mode. Scopes that need a
+/// different engine without affecting concurrent sessions should use
+/// [`with_engine_mode`] instead.
 pub fn set_engine_mode(mode: EngineMode) {
     let v = match mode {
         EngineMode::Auto => 0,
@@ -92,8 +121,13 @@ pub fn set_engine_mode(mode: EngineMode) {
     ENGINE_MODE.store(v, Ordering::Relaxed);
 }
 
-/// The process-wide engine mode.
+/// The engine mode governing this thread: the innermost
+/// [`with_engine_mode`] override if one is active, else the process-wide
+/// default.
 pub fn engine_mode() -> EngineMode {
+    if let Some(m) = TLS_ENGINE.with(|c| c.get()) {
+        return m;
+    }
     match ENGINE_MODE.load(Ordering::Relaxed) {
         1 => EngineMode::Compiled,
         2 => EngineMode::Interp,
@@ -101,9 +135,63 @@ pub fn engine_mode() -> EngineMode {
     }
 }
 
+/// Runs `f` with `mode` as this thread's engine mode, restoring the
+/// previous override on the way out (also on unwind). This is how
+/// per-`Session` engine selection works without racing the global:
+/// nothing outside the closure — other threads, other sessions — sees
+/// the override. Note that scans dispatched to *worker* threads inside
+/// `f` (parallel chunk scans, background populations) consult their own
+/// thread's mode, i.e. the process default; both engines are
+/// bit-identical, so this affects performance characteristics only.
+pub fn with_engine_mode<R>(mode: EngineMode, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<EngineMode>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TLS_ENGINE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(TLS_ENGINE.with(|c| c.replace(Some(mode))));
+    f()
+}
+
 /// Should scan paths attempt compiled execution at all?
 pub fn compiled_enabled() -> bool {
     engine_mode() != EngineMode::Interp
+}
+
+// --- batch sizing ---------------------------------------------------------
+
+/// Default number of rows per columnar batch. Large enough to amortize
+/// lock acquisition and (after the first batch warms the slot caches)
+/// body-program discovery; small enough that prefetched probe columns
+/// stay cache-resident.
+pub const DEFAULT_BATCH_ROWS: usize = 1024;
+
+thread_local! {
+    static BATCH_ROWS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The batch size governing this thread's compiled scans: the innermost
+/// [`with_batch_rows`] override, else [`DEFAULT_BATCH_ROWS`]. `0` means
+/// row-at-a-time execution (no prefetch) — the baseline the bench
+/// harness's E16 compares against.
+pub fn batch_rows() -> usize {
+    BATCH_ROWS.with(|c| c.get()).unwrap_or(DEFAULT_BATCH_ROWS)
+}
+
+/// Runs `f` with compiled scans batching `rows` rows at a time (`0`
+/// disables batching), restoring the previous setting on the way out.
+/// Batching is a pure execution strategy: results, errors, and budget
+/// accounting are identical at every setting.
+pub fn with_batch_rows<R>(rows: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BATCH_ROWS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(BATCH_ROWS.with(|c| c.replace(Some(rows))));
+    f()
 }
 
 // --- programs -------------------------------------------------------------
@@ -119,7 +207,8 @@ enum Inst {
     Step { rel: usize },
     /// Push a constant (from the program's pool).
     Const(usize),
-    /// Push a scan variable's current value.
+    /// Push a register: a scan variable, or — in a body program — `self`
+    /// (register 0) or a parameter.
     Reg(usize),
     /// Pop `nargs` arguments and a receiver; perform attribute access via
     /// resolution slot `slot` (mirrors `Evaluator::access`/`attr_of`,
@@ -144,6 +233,21 @@ enum Inst {
     BranchFalsy { to: usize },
     /// Unconditional jump (end of an `if` then-arm).
     Jump { to: usize },
+    /// Pop the shape's field count of values, build a tuple in field order
+    /// (mirrors `Expr::TupleCons`: later duplicates overwrite).
+    MakeTuple { shape: usize },
+    /// Pop `n` values, build a set.
+    MakeSet { n: usize },
+    /// Pop `n` values, build a list.
+    MakeList { n: usize },
+    /// Frame entry of a compiled computed-attribute body: the
+    /// `DataSource::enter_body` bracket the interpreter's `run_computed`
+    /// opens before evaluating the body.
+    EnterBody,
+    /// …and the matching `exit_body`. Skipped when the body errors; the
+    /// frame driver ([`Scan::run_body`]) re-balances, exactly like
+    /// `run_computed` exiting on the error path.
+    ExitBody,
 }
 
 /// A compiled expression: flat instructions, a constant pool, and one
@@ -155,12 +259,19 @@ pub struct Program {
     consts: Vec<Value>,
     /// Attribute name per resolution slot, in slot order.
     slots: Vec<Symbol>,
+    /// For each slot, the register its receiver reads directly (the
+    /// receiver expression is that register and nothing else) — the
+    /// accesses a columnar batch can prefetch. `None` for computed
+    /// receivers (path tails like `P.Spouse.Name`).
+    slot_recv: Vec<Option<usize>>,
+    /// Field-name shapes for `MakeTuple`, in shape order.
+    shapes: Vec<Vec<Symbol>>,
     n_regs: usize,
 }
 
 impl Program {
-    /// Number of scan-variable registers (the length of the `vars` slice
-    /// the program was compiled with).
+    /// Number of registers (scan variables; in a body program, `self`
+    /// plus the parameters).
     pub fn n_regs(&self) -> usize {
         self.n_regs
     }
@@ -175,14 +286,49 @@ pub fn compile_predicate(expr: &Expr, vars: &[Symbol]) -> Option<Program> {
         insts: Vec::new(),
         consts: Vec::new(),
         slots: Vec::new(),
+        slot_recv: Vec::new(),
+        shapes: Vec::new(),
         vars,
+        reg_base: 0,
+        self_reg: None,
     };
     c.emit(expr, 0)?;
     Some(Program {
         insts: c.insts,
         consts: c.consts,
         slots: c.slots,
+        slot_recv: c.slot_recv,
+        shapes: c.shapes,
         n_regs: vars.len(),
+    })
+}
+
+/// Lowers a computed-attribute body to a [`Program`] with `self` in
+/// register 0 and `params` in registers `1..`, bracketed by
+/// `EnterBody`/`ExitBody` so the body-privilege window and its budget
+/// charges land exactly where `Evaluator::run_computed` puts them.
+/// `None` when the body uses anything outside the covered subset — the
+/// scan then falls back to `run_computed` for that slot.
+fn compile_body(params: &[Symbol], body: &Expr) -> Option<Program> {
+    let mut c = Compiler {
+        insts: vec![Inst::EnterBody],
+        consts: Vec::new(),
+        slots: Vec::new(),
+        slot_recv: Vec::new(),
+        shapes: Vec::new(),
+        vars: params,
+        reg_base: 1,
+        self_reg: Some(0),
+    };
+    c.emit(body, 0)?;
+    c.insts.push(Inst::ExitBody);
+    Some(Program {
+        insts: c.insts,
+        consts: c.consts,
+        slots: c.slots,
+        slot_recv: c.slot_recv,
+        shapes: c.shapes,
+        n_regs: 1 + params.len(),
     })
 }
 
@@ -190,10 +336,30 @@ struct Compiler<'a> {
     insts: Vec<Inst>,
     consts: Vec<Value>,
     slots: Vec<Symbol>,
+    slot_recv: Vec<Option<usize>>,
+    shapes: Vec<Vec<Symbol>>,
     vars: &'a [Symbol],
+    /// First register for `vars` (1 in body programs, where register 0 is
+    /// `self`).
+    reg_base: usize,
+    /// The register holding `self`, when compiling a body.
+    self_reg: Option<usize>,
 }
 
 impl Compiler<'_> {
+    /// The register `e` reads directly, if `e` is exactly a register read.
+    fn reg_of(&self, e: &Expr) -> Option<usize> {
+        match e {
+            Expr::Name(n) => self
+                .vars
+                .iter()
+                .rposition(|v| v == n)
+                .map(|i| self.reg_base + i),
+            Expr::SelfRef => self.self_reg,
+            _ => None,
+        }
+    }
+
     /// Emits code for `e` at depth `rel` relative to the program root.
     /// Every covered node nets exactly one value on the stack.
     fn emit(&mut self, e: &Expr, rel: usize) -> Option<()> {
@@ -210,20 +376,47 @@ impl Compiler<'_> {
                 // freezing them at compile time would diverge from the
                 // interpreter. Innermost binding wins, like `Env::lookup`.
                 let reg = self.vars.iter().rposition(|v| v == n)?;
-                self.insts.push(Inst::Reg(reg));
+                self.insts.push(Inst::Reg(self.reg_base + reg));
+            }
+            Expr::SelfRef => {
+                // `self` is a register only inside a body program.
+                let r = self.self_reg?;
+                self.insts.push(Inst::Reg(r));
             }
             Expr::Attr { recv, name, args } => {
+                let recv_reg = self.reg_of(recv);
                 self.emit(recv, rel + 1)?;
                 for a in args {
                     self.emit(a, rel + 1)?;
                 }
                 let slot = self.slots.len();
                 self.slots.push(*name);
+                self.slot_recv.push(recv_reg);
                 self.insts.push(Inst::Attr {
                     slot,
                     nargs: args.len(),
                     rel,
                 });
+            }
+            Expr::TupleCons(fields) => {
+                for (_, fe) in fields {
+                    self.emit(fe, rel + 1)?;
+                }
+                let shape = self.shapes.len();
+                self.shapes.push(fields.iter().map(|(n, _)| *n).collect());
+                self.insts.push(Inst::MakeTuple { shape });
+            }
+            Expr::SetCons(items) => {
+                for it in items {
+                    self.emit(it, rel + 1)?;
+                }
+                self.insts.push(Inst::MakeSet { n: items.len() });
+            }
+            Expr::ListCons(items) => {
+                for it in items {
+                    self.emit(it, rel + 1)?;
+                }
+                self.insts.push(Inst::MakeList { n: items.len() });
             }
             Expr::Unary { op, expr } => {
                 self.emit(expr, rel + 1)?;
@@ -266,8 +459,8 @@ impl Compiler<'_> {
                 let end = self.insts.len();
                 self.insts[jump] = Inst::Jump { to: end };
             }
-            // Everything else — selects, aggregates, constructors, `self`,
-            // free names, `isa`, `Apply` — is interpreter territory.
+            // Everything else — selects, aggregates, free names, `isa`,
+            // `Apply` — is interpreter territory.
             _ => return None,
         }
         Some(())
@@ -281,25 +474,72 @@ impl Compiler<'_> {
 #[derive(Debug)]
 enum SlotEntry {
     /// Resolution is class-pure here: reuse this result for every object
-    /// of the class for the rest of the scan.
-    Pure(Arc<ResolvedAttr>),
-    /// The source couldn't vouch for purity: re-resolve every row.
+    /// of the class for the rest of the scan. For computed attributes
+    /// whose body is in the covered subset, `body` carries the
+    /// compiled-once body program.
+    Pure {
+        res: Arc<ResolvedAttr>,
+        body: Option<Arc<Program>>,
+    },
+    /// The source couldn't vouch for purity: re-resolve every row (and
+    /// run computed bodies through the interpreter — compiling per row
+    /// would cost more than it saves).
     Impure,
 }
 
+/// Columnar prefetch state for one batch of rows.
+struct BatchState {
+    /// The row currently executing (set by [`Scan::run_row`]).
+    row: usize,
+    /// The batched rows' object ids (`None` for non-object rows). A
+    /// prefetched probe is used only when the receiver equals this row's
+    /// oid, so mixing batched and ad-hoc receivers is always safe.
+    oids: Vec<Option<Oid>>,
+    /// Prefetched column index per global slot (`None`: slot not
+    /// prefetchable). Indexed by the slots allocated when the batch began;
+    /// slots added later (newly discovered body programs) simply miss
+    /// until the next batch.
+    cols: Vec<Option<usize>>,
+    /// Fused (class, raw field) probes, column-major: `data[col][row]`.
+    /// `None` entries fall through to the per-row probe path.
+    data: Vec<Vec<Option<(ClassId, Value)>>>,
+}
+
 /// A per-scan executor for one [`Program`]: the reusable value stack, the
-/// register file, the captured [`Budget`], and the per-slot resolution
-/// caches. Create one per scan (or per parallel chunk — caches are not
-/// shared across threads), then `bind` + `run` per row.
+/// register file, the captured [`Budget`], the per-slot resolution caches,
+/// and — when batching — the columnar prefetch state. Create one per scan
+/// (or per parallel chunk — caches are not shared across threads), then
+/// `bind` + `run` per row, or `begin_batch` + `bind` + `run_row` over
+/// columnar chunks.
 pub struct Scan<'a> {
     prog: &'a Program,
     src: &'a dyn DataSource,
-    /// Delegate for computed-attribute bodies (captures the same budget).
+    /// Delegate for uncovered computed-attribute bodies (captures the same
+    /// budget).
     ev: Evaluator<'a>,
     budget: Option<Arc<Budget>>,
+    /// Register file: the outer program's registers first, then one frame
+    /// per in-flight body invocation (`self`, params).
     regs: Vec<Value>,
     stack: Vec<Value>,
+    /// Resolution caches, one per *global* slot: the outer program's slots
+    /// first, then a contiguous range per registered body program. Body
+    /// slots get their own entries (never shared with outer slots of the
+    /// same name) because resolution inside a body-privilege bracket can
+    /// legitimately differ from resolution outside it.
     caches: Vec<HashMap<ClassId, SlotEntry>>,
+    /// Registered body programs, keyed by `Arc` address: the program and
+    /// its global-slot base. The `Arc` is kept in the value so the address
+    /// cannot be reused while registered.
+    body_bases: HashMap<usize, (Arc<Program>, usize)>,
+    /// In-flight `EnterBody` brackets, so an error unwinding past
+    /// `ExitBody` instructions can be re-balanced exactly like
+    /// `run_computed`'s exit-on-error.
+    open_bodies: usize,
+    /// The source's resolution generation when the caches were last
+    /// (re)filled; a bump drops every cached verdict.
+    gen: u64,
+    batch: Option<BatchState>,
 }
 
 impl<'a> Scan<'a> {
@@ -314,6 +554,10 @@ impl<'a> Scan<'a> {
             regs: vec![Value::Null; prog.n_regs],
             stack: Vec::with_capacity(8),
             caches: prog.slots.iter().map(|_| HashMap::new()).collect(),
+            body_bases: HashMap::new(),
+            open_bodies: 0,
+            gen: src.resolution_generation(),
+            batch: None,
         }
     }
 
@@ -337,22 +581,118 @@ impl<'a> Scan<'a> {
         Ok(())
     }
 
+    /// Starts a columnar batch over `rows`, which the caller will bind to
+    /// register `reg` one at a time: prefetches the fused (class, raw
+    /// field) probes for every attribute access that reads `reg` directly
+    /// — in the outer program and in every body program discovered so far
+    /// (whose receiver register is `self`) — in one pass over the source.
+    /// Budget charges are untouched: prefetching amortizes *lookups*, and
+    /// each row still pays its exact interpreter charges in `run_row`.
+    /// A no-op (per-row fallback) when nothing is prefetchable or the
+    /// source does not support prefetch.
+    pub fn begin_batch(&mut self, reg: usize, rows: &[Value]) {
+        self.batch = None;
+        if rows.is_empty() {
+            return;
+        }
+        // Plan the columns: one per distinct attribute name read directly
+        // off the batched register (outer program) or off `self` (body
+        // programs run the batched object as their receiver; the
+        // oid-equality guard in `attr` rejects the prefetched probe when a
+        // body runs against some other object).
+        let mut names: Vec<Symbol> = Vec::new();
+        let mut slot_cols: Vec<(usize, usize)> = Vec::new();
+        let mut plan = |prog: &Program, base: usize, recv: usize| {
+            for (i, r) in prog.slot_recv.iter().enumerate() {
+                if *r == Some(recv) {
+                    let name = prog.slots[i];
+                    let col = names.iter().position(|n| *n == name).unwrap_or_else(|| {
+                        names.push(name);
+                        names.len() - 1
+                    });
+                    slot_cols.push((base + i, col));
+                }
+            }
+        };
+        plan(self.prog, 0, reg);
+        for (prog, base) in self.body_bases.values() {
+            plan(prog, *base, 0);
+        }
+        if slot_cols.is_empty() {
+            return;
+        }
+        let oids: Vec<Option<Oid>> = rows
+            .iter()
+            .map(|v| match v {
+                Value::Oid(o) => Some(*o),
+                _ => None,
+            })
+            .collect();
+        if oids.iter().all(|o| o.is_none()) {
+            return;
+        }
+        let Some(data) = self.src.prefetch_attr_columns(&oids, &names) else {
+            return;
+        };
+        let mut cols = vec![None; self.caches.len()];
+        for (gslot, col) in slot_cols {
+            cols[gslot] = Some(col);
+        }
+        self.batch = Some(BatchState {
+            row: 0,
+            oids,
+            cols,
+            data,
+        });
+    }
+
+    /// Ends the current batch (subsequent rows take the per-row path).
+    pub fn end_batch(&mut self) {
+        self.batch = None;
+    }
+
+    /// Executes the program for row `idx` of the current batch (the caller
+    /// has already `bind`-ed the row's value). Identical to [`Scan::run`]
+    /// except prefetched probes for this row become visible.
+    pub fn run_row(&mut self, base: usize, idx: usize) -> Result<Value> {
+        if let Some(b) = &mut self.batch {
+            b.row = idx;
+        }
+        self.run(base)
+    }
+
     /// Executes the program with the expression root at depth `base`
     /// (matching the depth the interpreter would evaluate the same
     /// expression at in this position).
     pub fn run(&mut self, base: usize) -> Result<Value> {
         let prog = self.prog;
         self.stack.clear();
+        self.regs.truncate(prog.n_regs);
+        self.exec(prog, base, 0, 0)
+    }
+
+    /// The bytecode loop. `frame` is the base of this invocation's
+    /// registers, `slot_base` the base of its resolution slots; the outer
+    /// program runs at (0, 0), body programs at their pushed frame and
+    /// registered slot range.
+    fn exec(
+        &mut self,
+        prog: &Program,
+        base: usize,
+        frame: usize,
+        slot_base: usize,
+    ) -> Result<Value> {
         let mut pc = 0;
         while pc < prog.insts.len() {
             match prog.insts[pc] {
                 Inst::Step { rel } => self.step(base + rel)?,
                 Inst::Const(i) => self.stack.push(prog.consts[i].clone()),
-                Inst::Reg(i) => self.stack.push(self.regs[i].clone()),
+                Inst::Reg(i) => self.stack.push(self.regs[frame + i].clone()),
                 Inst::Attr { slot, nargs, rel } => {
                     let args = self.stack.split_off(self.stack.len() - nargs);
                     let recv = self.stack.pop().expect("receiver on stack");
-                    let v = self.attr(recv, slot, args, base + rel)?;
+                    let name = prog.slots[slot];
+                    let v = self.attr(recv, slot_base + slot, name, args, base + rel)?;
                     self.stack.push(v);
                 }
                 Inst::Unary(op) => {
@@ -395,16 +735,60 @@ impl<'a> Scan<'a> {
                     pc = to;
                     continue;
                 }
+                Inst::MakeTuple { shape } => {
+                    let fields = &prog.shapes[shape];
+                    let vals = self.stack.split_off(self.stack.len() - fields.len());
+                    let mut t = ov_oodb::Tuple::new();
+                    for (n, v) in fields.iter().zip(vals) {
+                        t.set(*n, v);
+                    }
+                    self.stack.push(Value::Tuple(t));
+                }
+                Inst::MakeSet { n } => {
+                    let vals = self.stack.split_off(self.stack.len() - n);
+                    self.stack.push(Value::Set(vals.into_iter().collect()));
+                }
+                Inst::MakeList { n } => {
+                    let vals = self.stack.split_off(self.stack.len() - n);
+                    self.stack.push(Value::List(vals));
+                }
+                Inst::EnterBody => {
+                    self.src.enter_body();
+                    self.open_bodies += 1;
+                }
+                Inst::ExitBody => {
+                    self.src.exit_body();
+                    self.open_bodies -= 1;
+                }
             }
             pc += 1;
         }
         Ok(self.stack.pop().expect("program nets exactly one value"))
     }
 
+    /// The prefetched fused probe for `gslot`, valid only when the
+    /// receiver is exactly the batched row's object.
+    fn batch_probe(&self, gslot: usize, oid: Oid) -> Option<(ClassId, Value)> {
+        let b = self.batch.as_ref()?;
+        let col = (*b.cols.get(gslot)?)?;
+        if b.oids.get(b.row).copied().flatten() == Some(oid) {
+            b.data[col][b.row].clone()
+        } else {
+            None
+        }
+    }
+
     /// Attribute access, mirroring `Evaluator::access`/`attr_of` byte for
-    /// byte — with the resolve call routed through the slot cache.
-    fn attr(&mut self, recv: Value, slot: usize, args: Vec<Value>, depth: usize) -> Result<Value> {
-        let name = self.prog.slots[slot];
+    /// byte — with the resolve call routed through the slot cache and the
+    /// object probe served from the batch prefetch when available.
+    fn attr(
+        &mut self,
+        recv: Value,
+        gslot: usize,
+        name: Symbol,
+        args: Vec<Value>,
+        depth: usize,
+    ) -> Result<Value> {
         match recv {
             Value::Null => Ok(Value::Null),
             Value::Oid(oid) => {
@@ -418,12 +802,19 @@ impl<'a> Scan<'a> {
                 // One fused object lookup yields the cache key *and* the raw
                 // stored field; the field half is used only when resolution
                 // says the attribute is stored (it never depends on
-                // membership, so the early read is safe).
-                let (resolved, raw) = match self.src.resolution_class_and_field(oid, name) {
-                    Some((class, raw)) => (self.resolve_cached(oid, class, slot, name)?, Some(raw)),
+                // membership, so the early read is safe). The batch prefetch
+                // serves the same probe without touching the source.
+                let probe = self
+                    .batch_probe(gslot, oid)
+                    .or_else(|| self.src.resolution_class_and_field(oid, name));
+                let (resolved, body, raw) = match probe {
+                    Some((class, raw)) => {
+                        let (res, body) = self.resolve_cached(oid, class, gslot, name)?;
+                        (res, body, Some(raw))
+                    }
                     // No cache key (unknown object, unimportable class):
                     // uncached resolve reproduces the interpreter's error.
-                    None => (Arc::new(self.src.resolve(oid, name)?), None),
+                    None => (Arc::new(self.src.resolve(oid, name)?), None, None),
                 };
                 match &*resolved {
                     ResolvedAttr::Stored => {
@@ -437,9 +828,15 @@ impl<'a> Scan<'a> {
                             None => self.src.stored_field(oid, name),
                         }
                     }
-                    ResolvedAttr::Computed { params, body } => {
-                        self.ev.run_computed(oid, name, params, body, args, depth)
-                    }
+                    ResolvedAttr::Computed {
+                        params,
+                        body: body_expr,
+                    } => match body {
+                        Some(prog) => self.run_body(&prog, oid, name, params.len(), args, depth),
+                        None => self
+                            .ev
+                            .run_computed(oid, name, params, body_expr, args, depth),
+                    },
                 }
             }
             Value::Tuple(t) => {
@@ -459,29 +856,112 @@ impl<'a> Scan<'a> {
         }
     }
 
+    /// Invokes a compiled body program: arity check, a fresh register
+    /// frame (`self`, then the arguments by move), and the body's own
+    /// slot range. Bit-identical to `Evaluator::run_computed` — same
+    /// arity error, same `enter_body`/step ordering (the program's
+    /// `EnterBody` + root `Step`), and the body bracket is closed even
+    /// when the body errors.
+    fn run_body(
+        &mut self,
+        prog: &Arc<Program>,
+        oid: Oid,
+        name: Symbol,
+        nparams: usize,
+        args: Vec<Value>,
+        depth: usize,
+    ) -> Result<Value> {
+        if nparams != args.len() {
+            return Err(QueryError::eval(format!(
+                "attribute `{name}` expects {nparams} argument(s), got {}",
+                args.len()
+            )));
+        }
+        let slot_base = self.slot_base_for(prog);
+        let frame = self.regs.len();
+        self.regs.push(Value::Oid(oid));
+        self.regs.extend(args);
+        let open = self.open_bodies;
+        let result = self.exec(prog, depth + 1, frame, slot_base);
+        // On error the body's `ExitBody` never ran; close the bracket(s)
+        // like `run_computed`'s unconditional exit.
+        while self.open_bodies > open {
+            self.src.exit_body();
+            self.open_bodies -= 1;
+        }
+        self.regs.truncate(frame);
+        result
+    }
+
+    /// The global-slot base for a body program, registering it (and
+    /// allocating its slot caches) on first use.
+    fn slot_base_for(&mut self, prog: &Arc<Program>) -> usize {
+        let key = Arc::as_ptr(prog) as usize;
+        if let Some((_, base)) = self.body_bases.get(&key) {
+            return *base;
+        }
+        let base = self.caches.len();
+        self.caches
+            .extend(prog.slots.iter().map(|_| HashMap::new()));
+        self.body_bases.insert(key, (prog.clone(), base));
+        base
+    }
+
     /// `DataSource::resolve` through the slot's inline cache, keyed by the
     /// already-fetched resolution `class`. The purity verdict is asked once
-    /// per (slot, class) per scan; errors are never cached (the first error
-    /// aborts the scan anyway).
+    /// per (slot, class) per scan — dropped and re-asked whenever the
+    /// source bumps its resolution generation — and errors are never
+    /// cached (the first error aborts the scan anyway). A class-pure
+    /// computed attribute gets its body compiled here, once.
+    ///
+    /// Slot-cache soundness across body depths: a given slot only ever
+    /// executes at one body-privilege polarity — outer-program slots
+    /// outside any `EnterBody` bracket this scan opened, body-program
+    /// slots always inside one (nesting depth may vary, but visibility is
+    /// a binary in-body/not-in-body distinction) — so one verdict per
+    /// (slot, class) cannot be observed from the other polarity.
     fn resolve_cached(
         &mut self,
         oid: Oid,
         class: ClassId,
-        slot: usize,
+        gslot: usize,
         name: Symbol,
-    ) -> Result<Arc<ResolvedAttr>> {
-        match self.caches[slot].get(&class) {
-            Some(SlotEntry::Pure(r)) => Ok(r.clone()),
-            Some(SlotEntry::Impure) => self.src.resolve(oid, name).map(Arc::new),
+    ) -> Result<(Arc<ResolvedAttr>, Option<Arc<Program>>)> {
+        let gen_now = self.src.resolution_generation();
+        if gen_now != self.gen {
+            // Scan-visible resolution state changed (population bracket,
+            // template instantiation): every cached verdict is suspect.
+            // Maps are cleared in place — body programs keep their slot
+            // ranges so in-flight frames stay valid.
+            for m in &mut self.caches {
+                m.clear();
+            }
+            self.gen = gen_now;
+        }
+        match self.caches[gslot].get(&class) {
+            Some(SlotEntry::Pure { res, body }) => Ok((res.clone(), body.clone())),
+            Some(SlotEntry::Impure) => Ok((self.src.resolve(oid, name).map(Arc::new)?, None)),
             None => {
                 let r = Arc::new(self.src.resolve(oid, name)?);
-                let entry = if self.src.resolution_is_class_pure(class, name) {
-                    SlotEntry::Pure(r.clone())
+                if self.src.resolution_is_class_pure(class, name) {
+                    let body = match &*r {
+                        ResolvedAttr::Computed { params, body } => {
+                            compile_body(params, body).map(Arc::new)
+                        }
+                        ResolvedAttr::Stored => None,
+                    };
+                    self.caches[gslot].insert(
+                        class,
+                        SlotEntry::Pure {
+                            res: r.clone(),
+                            body: body.clone(),
+                        },
+                    );
+                    Ok((r, body))
                 } else {
-                    SlotEntry::Impure
-                };
-                self.caches[slot].insert(class, entry);
-                Ok(r)
+                    self.caches[gslot].insert(class, SlotEntry::Impure);
+                    Ok((r, None))
+                }
             }
         }
     }
@@ -546,7 +1026,10 @@ pub(crate) fn try_run_compiled(src: &dyn DataSource, expr: &Expr) -> Option<Resu
 /// interpreter's `eval_expr` → `select_depth` → `iterate_bindings` chain
 /// would: one step for the `select` node (depth 0), one for the collection
 /// name (depth 1), the filter and projection at depth 1 per row, and one
-/// `note_rows` per newly inserted result.
+/// `note_rows` per newly inserted result. The extent is walked in
+/// columnar batches ([`batch_rows`]-sized); rows inside a batch still
+/// execute — and charge — strictly in order, so a budget breach or error
+/// stops at the exact row the interpreter would.
 fn run_select_scan(src: &dyn DataSource, q: &SelectExpr, scan: &SelectScan) -> Result<Value> {
     let _span = ov_oodb::span!("query.compiled_scan");
     let budget = budget::current();
@@ -555,19 +1038,34 @@ fn run_select_scan(src: &dyn DataSource, q: &SelectExpr, scan: &SelectScan) -> R
     proj.step(0)?; // the `select` node itself
     proj.step(1)?; // the collection name
     let extent = src.extent(scan.class)?;
+    let batch = batch_rows();
+    let chunk_len = if batch == 0 {
+        extent.len().max(1)
+    } else {
+        batch
+    };
     let mut out = BTreeSet::new();
-    for oid in extent {
-        if let Some(f) = &mut filter {
-            f.bind(0, Value::Oid(oid));
-            if !truthy(&f.run(1)?) {
-                continue;
+    for chunk in extent.chunks(chunk_len) {
+        let rows: Vec<Value> = chunk.iter().map(|&o| Value::Oid(o)).collect();
+        if batch > 0 {
+            if let Some(f) = &mut filter {
+                f.begin_batch(0, &rows);
             }
+            proj.begin_batch(0, &rows);
         }
-        proj.bind(0, Value::Oid(oid));
-        let v = proj.run(1)?;
-        if out.insert(v) {
-            if let Some(b) = &budget {
-                b.note_rows(1)?;
+        for (i, row) in rows.iter().enumerate() {
+            if let Some(f) = &mut filter {
+                f.bind(0, row.clone());
+                if !truthy(&f.run_row(1, i)?) {
+                    continue;
+                }
+            }
+            proj.bind(0, row.clone());
+            let v = proj.run_row(1, i)?;
+            if out.insert(v) {
+                if let Some(b) = &budget {
+                    b.note_rows(1)?;
+                }
             }
         }
     }
@@ -608,6 +1106,17 @@ mod tests {
                     sym("Doubled"),
                     Type::Int,
                     parse_expr("self.Age + self.Age").unwrap(),
+                ),
+            )
+            .unwrap();
+        db.schema
+            .add_attr(
+                person,
+                AttrDef::method(
+                    sym("Plus"),
+                    vec![(sym("x"), Type::Int)],
+                    Type::Int,
+                    parse_expr("self.Age + x").unwrap(),
                 ),
             )
             .unwrap();
@@ -652,8 +1161,12 @@ mod tests {
             "not (P.Age = 30)",
             "if P.Age > 50 then P.Name else P.Age",
             "P.Doubled = 140",
+            "P.Plus(5) > 40",
             "-P.Age < 0",
             "P.Age / 2 >= 15",
+            "{P.Age, 1} = {1}",
+            "[A: P.Name, B: P.Age].B",
+            "[X: 1, Y: {P.Age}] = [X: 1]",
         ] {
             assert_differential(&db, src);
         }
@@ -669,6 +1182,10 @@ mod tests {
             "-P.Name",              // cannot negate
             "P.Ghost = 1",          // unknown attribute
             r#"P.Name ++ 1 = "x""#, // concat kind error
+            "P.Plus() = 1",         // arity error through a compiled body
+            "P.Plus(1, 2) = 1",     // arity error the other way
+            r#"P.Plus("x") = 1"#,   // body errors on a bad argument
+            "P.Age(1) = 1",         // stored attribute with arguments
         ] {
             assert_differential(&db, src);
         }
@@ -679,8 +1196,6 @@ mod tests {
         for src in [
             "count((select Q from Q in Person))",
             "exists(select Q from Q in Person)",
-            "{1, 2}",
-            "[A: 1, B: 2]",
             "P in Person", // free name `Person`
             "self.Age",    // `self` is not a scan variable
             "maggy.Age",   // free name
@@ -700,6 +1215,19 @@ mod tests {
         // with falsy lhs and `or` with truthy lhs must not touch it.
         assert_differential(&db, "P.Age < 0 and 1 / 0 = 1");
         assert_differential(&db, "P.Age > 0 or 1 / 0 = 1");
+    }
+
+    #[test]
+    fn recursive_body_hits_the_same_depth_limit() {
+        let mut db = staff();
+        let person = db.schema.class_by_name(sym("Person")).unwrap();
+        db.schema
+            .add_attr(
+                person,
+                AttrDef::computed(sym("Loop"), Type::Int, parse_expr("self.Loop").unwrap()),
+            )
+            .unwrap();
+        assert_differential(&db, "P.Loop = 1");
     }
 
     #[test]
@@ -779,8 +1307,54 @@ mod tests {
         assert_eq!(scan.caches.len(), 1);
         assert!(matches!(
             scan.caches[0].get(&person),
-            Some(SlotEntry::Pure(_))
+            Some(SlotEntry::Pure { .. })
         ));
+    }
+
+    #[test]
+    fn computed_bodies_compile_into_the_scan() {
+        let db = staff();
+        let expr = parse_expr("P.Doubled").unwrap();
+        let prog = compile_predicate(&expr, &[sym("P")]).unwrap();
+        let mut scan = Scan::new(&prog, &db);
+        let person = db.schema.class_by_name(sym("Person")).unwrap();
+        let ages = [65, 70, 30];
+        for (i, oid) in db.deep_extent(person).into_iter().enumerate() {
+            scan.bind(0, Value::Oid(oid));
+            assert_eq!(scan.run(0).unwrap(), Value::Int(2 * ages[i]));
+        }
+        // The Doubled slot cached a Pure entry with a compiled body, and
+        // the body program registered its own slot range (self.Age twice
+        // → two body slots appended after the outer slot).
+        assert!(matches!(
+            scan.caches[0].get(&person),
+            Some(SlotEntry::Pure { body: Some(_), .. })
+        ));
+        assert_eq!(scan.body_bases.len(), 1);
+        assert_eq!(scan.caches.len(), 3);
+    }
+
+    #[test]
+    fn batched_rows_are_bit_identical_to_row_at_a_time() {
+        let db = staff();
+        let expr = parse_expr("select P.Doubled from P in Person where P.Age >= 30").unwrap();
+        let reference = crate::eval::eval_expr(&db, &expr);
+        for rows in [0, 1, 2, 3, 1024] {
+            let (result, steps) = with_batch_rows(rows, || {
+                let b = Arc::new(Budget::new());
+                let r = budget::with(b.clone(), || {
+                    try_run_compiled(&db, &expr).expect("should compile")
+                });
+                (r, b.steps_used())
+            });
+            assert_eq!(result, reference, "batch_rows = {rows}");
+            let b = Arc::new(Budget::new());
+            let interp_steps = {
+                budget::with(b.clone(), || crate::eval::eval_expr(&db, &expr)).unwrap();
+                b.steps_used()
+            };
+            assert_eq!(steps, interp_steps, "steps at batch_rows = {rows}");
+        }
     }
 
     #[test]
@@ -792,6 +1366,7 @@ mod tests {
             "select the P from P in Person where P.Age = 30",
             "select the P from P in Person",     // cardinality error
             "select P.Age / 0 from P in Person", // projection error
+            "select [N: P.Name, D: P.Doubled] from P in Person",
         ] {
             let expr = parse_expr(src).unwrap();
             let compiled =
@@ -805,10 +1380,28 @@ mod tests {
     fn interp_mode_disables_compilation() {
         let db = staff();
         let expr = parse_expr("select P from P in Person").unwrap();
-        set_engine_mode(EngineMode::Interp);
-        assert!(try_run_compiled(&db, &expr).is_none());
-        set_engine_mode(EngineMode::Auto);
+        with_engine_mode(EngineMode::Interp, || {
+            assert!(try_run_compiled(&db, &expr).is_none());
+        });
         assert!(try_run_compiled(&db, &expr).is_some());
+    }
+
+    #[test]
+    fn engine_mode_override_scopes_to_the_thread() {
+        assert_eq!(engine_mode(), EngineMode::Auto);
+        with_engine_mode(EngineMode::Interp, || {
+            assert_eq!(engine_mode(), EngineMode::Interp);
+            // Nested overrides stack…
+            with_engine_mode(EngineMode::Compiled, || {
+                assert_eq!(engine_mode(), EngineMode::Compiled);
+            });
+            assert_eq!(engine_mode(), EngineMode::Interp);
+            // …and other threads see the process default, not our override.
+            std::thread::spawn(|| assert_eq!(engine_mode(), EngineMode::Auto))
+                .join()
+                .unwrap();
+        });
+        assert_eq!(engine_mode(), EngineMode::Auto);
     }
 
     #[test]
@@ -817,5 +1410,98 @@ mod tests {
             assert_eq!(EngineMode::parse(mode.as_str()), Some(mode));
         }
         assert_eq!(EngineMode::parse("jit"), None);
+    }
+
+    /// A source whose resolution can change mid-scan, announced via the
+    /// generation counter — the shape of a view's population brackets.
+    struct GenSource {
+        db: Database,
+        generation: std::sync::atomic::AtomicU64,
+        /// When set, `Age` resolves to a computed constant instead of the
+        /// stored field.
+        redefined: std::sync::atomic::AtomicBool,
+    }
+
+    impl DataSource for GenSource {
+        fn class_by_name(&self, name: Symbol) -> Option<ClassId> {
+            DataSource::class_by_name(&self.db, name)
+        }
+        fn class_name(&self, c: ClassId) -> Symbol {
+            DataSource::class_name(&self.db, c)
+        }
+        fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
+            DataSource::is_subclass(&self.db, sub, sup)
+        }
+        fn ancestors(&self, c: ClassId) -> Vec<ClassId> {
+            DataSource::ancestors(&self.db, c)
+        }
+        fn class_of(&self, oid: Oid) -> Result<ClassId> {
+            DataSource::class_of(&self.db, oid)
+        }
+        fn extent(&self, class: ClassId) -> Result<Vec<Oid>> {
+            DataSource::extent(&self.db, class)
+        }
+        fn is_member(&self, oid: Oid, class: ClassId) -> Result<bool> {
+            DataSource::is_member(&self.db, oid, class)
+        }
+        fn resolve(&self, oid: Oid, name: Symbol) -> Result<ResolvedAttr> {
+            if name == sym("Age") && self.redefined.load(Ordering::Relaxed) {
+                return Ok(ResolvedAttr::Computed {
+                    params: vec![],
+                    body: parse_expr("999").unwrap(),
+                });
+            }
+            DataSource::resolve(&self.db, oid, name)
+        }
+        fn stored_field(&self, oid: Oid, name: Symbol) -> Result<Value> {
+            DataSource::stored_field(&self.db, oid, name)
+        }
+        fn named_object(&self, name: Symbol) -> Option<Oid> {
+            DataSource::named_object(&self.db, name)
+        }
+        fn object_exists(&self, oid: Oid) -> bool {
+            DataSource::object_exists(&self.db, oid)
+        }
+        fn attr_sig(&self, c: ClassId, name: Symbol) -> Option<ov_oodb::AttrSig> {
+            DataSource::attr_sig(&self.db, c, name)
+        }
+        fn class_type(&self, c: ClassId) -> Type {
+            DataSource::class_type(&self.db, c)
+        }
+        fn resolution_class(&self, oid: Oid) -> Option<ClassId> {
+            self.db.store.get(oid).map(|o| o.class)
+        }
+        fn resolution_is_class_pure(&self, _class: ClassId, _name: Symbol) -> bool {
+            true
+        }
+        fn resolution_generation(&self) -> u64 {
+            self.generation.load(Ordering::Relaxed)
+        }
+    }
+
+    #[test]
+    fn generation_bump_invalidates_warm_slot_caches() {
+        let src = GenSource {
+            db: staff(),
+            generation: std::sync::atomic::AtomicU64::new(0),
+            redefined: std::sync::atomic::AtomicBool::new(false),
+        };
+        let expr = parse_expr("P.Age").unwrap();
+        let prog = compile_predicate(&expr, &[sym("P")]).unwrap();
+        let mut scan = Scan::new(&prog, &src);
+        let person = src.class_by_name(sym("Person")).unwrap();
+        let oid = DataSource::extent(&src, person).unwrap()[0];
+        scan.bind(0, Value::Oid(oid));
+        assert_eq!(scan.run(0).unwrap(), Value::Int(65)); // warm the cache
+
+        // Redefine without announcing: the warm Pure(Stored) verdict is
+        // (by design) served for the rest of the scan.
+        src.redefined.store(true, Ordering::Relaxed);
+        assert_eq!(scan.run(0).unwrap(), Value::Int(65));
+
+        // Announce via the generation counter: the cache drops, `Age`
+        // re-resolves, and the redefinition takes effect mid-scan.
+        src.generation.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(scan.run(0).unwrap(), Value::Int(999));
     }
 }

@@ -429,9 +429,18 @@ pub fn run_query(src: &dyn crate::source::DataSource, query: &str) -> Result<Val
         crate::parser::parse_expr(query)?
     };
     let _exec = ov_oodb::span!("query.execute");
-    match crate::compile::try_run_compiled(src, &e) {
+    run_expr(src, &e)
+}
+
+/// Runs a pre-parsed expression against any data source, routing canonical
+/// class scans through the compiled engine exactly like [`run_query`].
+/// Callers that hold an [`Expr`] (e.g. a session dispatching a parsed
+/// statement) should prefer this over [`eval_expr`], which always
+/// interprets.
+pub fn run_expr(src: &dyn crate::source::DataSource, e: &Expr) -> Result<Value> {
+    match crate::compile::try_run_compiled(src, e) {
         Some(r) => r,
-        None => eval_expr(src, &e),
+        None => eval_expr(src, e),
     }
 }
 

@@ -42,14 +42,15 @@ pub mod typecheck;
 pub use ast::{ImportWhat, IncludeSpec, Stmt, TypeExpr};
 pub use budget::{Budget, BudgetBreach};
 pub use compile::{
-    compile_predicate, compile_select_scan, compiled_enabled, engine_mode, set_engine_mode,
-    EngineMode, Program, Scan, SelectScan,
+    batch_rows, compile_predicate, compile_select_scan, compiled_enabled, engine_mode,
+    set_engine_mode, with_batch_rows, with_engine_mode, EngineMode, Program, Scan, SelectScan,
+    DEFAULT_BATCH_ROWS,
 };
 pub use error::{Pos, QueryError, Result};
 pub use eval::{eval_attr, eval_expr, eval_select, truthy, value_eq, Env, Evaluator};
 pub use exec::{
     execute_script, execute_stmts, execute_stmts_with_map, map_select, resolve_type, rewrite_expr,
-    run_query, run_query_with_budget,
+    run_expr, run_query, run_query_with_budget,
 };
 pub use optimize::{optimize_expr, optimize_select};
 pub use parallel::{eval_select_parallel, panic_message, run_query_parallel, ParallelConfig};
@@ -57,7 +58,7 @@ pub use parser::{parse_expr, parse_program, parse_select, parse_type};
 pub use plan::{
     run_query_traced, Engine, PopOutcome, PopPath, PopulationTrace, QueryTrace, ScanKind, Stage,
 };
-pub use source::{require_class, DataSource, ResolvedAttr, SourceGraph};
+pub use source::{require_class, DataSource, PrefetchedColumns, ResolvedAttr, SourceGraph};
 pub use typecheck::{
     infer, infer_expr, infer_select, infer_select_in, referenced_classes,
     referenced_classes_select, type_of_value, TypeEnv,

@@ -114,19 +114,35 @@ pub fn eval_select_parallel(
     } else {
         None
     };
+    // Batch size is read on the coordinator (it is thread-scoped) and
+    // applied inside every worker's chunk loop.
+    let batch = crate::compile::batch_rows();
     let out = match &compiled {
         Some((filter, proj)) => filter_map_chunked(cfg, &items, |chunk, keep| {
             let mut fscan = filter.as_ref().map(|p| crate::compile::Scan::new(p, src));
             let mut pscan = crate::compile::Scan::new(proj, src);
-            for item in chunk {
-                if let Some(f) = &mut fscan {
-                    f.bind(0, item.clone());
-                    if !truthy(&f.run(0)?) {
-                        continue;
+            let sub_len = if batch == 0 {
+                chunk.len().max(1)
+            } else {
+                batch
+            };
+            for sub in chunk.chunks(sub_len) {
+                if batch > 0 {
+                    if let Some(f) = &mut fscan {
+                        f.begin_batch(0, sub);
                     }
+                    pscan.begin_batch(0, sub);
                 }
-                pscan.bind(0, item.clone());
-                keep.insert(pscan.run(0)?);
+                for (i, item) in sub.iter().enumerate() {
+                    if let Some(f) = &mut fscan {
+                        f.bind(0, item.clone());
+                        if !truthy(&f.run_row(0, i)?) {
+                            continue;
+                        }
+                    }
+                    pscan.bind(0, item.clone());
+                    keep.insert(pscan.run_row(0, i)?);
+                }
             }
             Ok(())
         })?,

@@ -32,6 +32,11 @@ use crate::source::DataSource;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Engine {
     /// The scan ran the compiled predicate engine ([`crate::compile`]).
+    /// Compiled scans execute over columnar batches of
+    /// [`crate::compile::batch_rows`] rows (attribute columns prefetched
+    /// per batch, locks amortized across it); the observable behavior —
+    /// values, errors, budget accounting — is identical at every batch
+    /// size, so the marker does not carry the batch width.
     Compiled,
     /// The scan ran the tree-walking interpreter (either by choice — see
     /// [`crate::EngineMode`] — or because the expression fell outside the

@@ -30,6 +30,11 @@ pub enum ResolvedAttr {
     },
 }
 
+/// One prefetched attribute column per requested name: `cols[col][row]`
+/// is the fused [`DataSource::resolution_class_and_field`] answer for
+/// `oids[row]` (or `None` for `None`/unknown rows).
+pub type PrefetchedColumns = Vec<Vec<Option<(ClassId, Value)>>>;
+
 /// A queryable source of objects: a database or a view.
 ///
 /// Extents are *deep* (a class denotes objects real in it or any subclass),
@@ -133,6 +138,37 @@ pub trait DataSource {
     fn resolution_class_and_field(&self, oid: Oid, name: Symbol) -> Option<(ClassId, Value)> {
         let class = self.resolution_class(oid)?;
         Some((class, self.stored_field(oid, name).ok()?))
+    }
+
+    /// A counter the source bumps whenever scan-visible resolution state
+    /// changes mid-scan — for a view: opening/closing a population
+    /// bracket (the thread's `populating` set feeds purity verdicts) or
+    /// instantiating a parameterized-class template. Compiled scans
+    /// capture the generation when created and drop their per-(slot,
+    /// class) caches when it moves, so a verdict computed under one state
+    /// is never served under another. Sources whose resolution state
+    /// cannot change under a shared reference (a base `Database` behind
+    /// `&self`) keep the default constant `0`.
+    fn resolution_generation(&self) -> u64 {
+        0
+    }
+
+    /// Batched [`DataSource::resolution_class_and_field`]: one column per
+    /// name in `names`, each `data[col][row]` being exactly the fused
+    /// probe for `oids[row]` (or `None` for `None`/unknown rows). The
+    /// point is amortization — a source acquires its locks once and walks
+    /// the batch, instead of locking per (row, name). `None` when the
+    /// source does not support prefetch; callers then probe per row.
+    /// Implementations must return *pure snapshot reads* with no
+    /// observable effects (no budget charges, no fault sites, no
+    /// membership computation) so that rows after an early scan abort
+    /// were, observably, never touched.
+    fn prefetch_attr_columns(
+        &self,
+        _oids: &[Option<Oid>],
+        _names: &[Symbol],
+    ) -> Option<PrefetchedColumns> {
+        None
     }
 
     /// Called by the evaluator when it starts evaluating the body of a
@@ -262,6 +298,36 @@ impl DataSource for Database {
             obj.class,
             obj.value.get(name).cloned().unwrap_or(Value::Null),
         ))
+    }
+
+    fn prefetch_attr_columns(
+        &self,
+        oids: &[Option<Oid>],
+        names: &[Symbol],
+    ) -> Option<PrefetchedColumns> {
+        // One store lookup per row serves every requested column.
+        let mut cols: Vec<Vec<Option<(ClassId, Value)>>> = names
+            .iter()
+            .map(|_| Vec::with_capacity(oids.len()))
+            .collect();
+        for &oid in oids {
+            match oid.and_then(|o| self.store.get(o)) {
+                Some(obj) => {
+                    for (ci, &name) in names.iter().enumerate() {
+                        cols[ci].push(Some((
+                            obj.class,
+                            obj.value.get(name).cloned().unwrap_or(Value::Null),
+                        )));
+                    }
+                }
+                None => {
+                    for col in &mut cols {
+                        col.push(None);
+                    }
+                }
+            }
+        }
+        Some(cols)
     }
 }
 

@@ -149,8 +149,113 @@ fn compiled(
     })
 }
 
+/// Scans `rows` through the interpreter with one shared budget — the
+/// sequential scan-loop shape — stopping at the first error.
+fn interp_scan_all(
+    db: &Database,
+    e: &Expr,
+    rows: &[Value],
+    budget: Arc<Budget>,
+) -> (Vec<Value>, Option<QueryError>) {
+    ov_query::budget::with(budget, || {
+        let ev = Evaluator::new(db);
+        let mut vals = Vec::new();
+        for row in rows {
+            let mut env = Env::new();
+            env.bind(sym("V"), row.clone());
+            match ev.eval(e, &mut env) {
+                Ok(v) => vals.push(v),
+                Err(err) => return (vals, Some(err)),
+            }
+        }
+        (vals, None)
+    })
+}
+
+/// Scans `rows` through the compiled engine in batches of `batch` rows
+/// (`0` = one chunk, no prefetch), sharing one budget across the whole
+/// scan. `None` when the predicate is uncovered.
+fn compiled_scan_all(
+    db: &Database,
+    e: &Expr,
+    rows: &[Value],
+    batch: usize,
+    budget: Arc<Budget>,
+) -> Option<(Vec<Value>, Option<QueryError>)> {
+    let prog = compile_predicate(e, &[sym("V")])?;
+    Some(ov_query::budget::with(budget, || {
+        let mut scan = Scan::new(&prog, db);
+        let mut vals = Vec::new();
+        let sub_len = if batch == 0 { rows.len().max(1) } else { batch };
+        for sub in rows.chunks(sub_len) {
+            if batch > 0 {
+                scan.begin_batch(0, sub);
+            }
+            for (i, row) in sub.iter().enumerate() {
+                scan.bind(0, row.clone());
+                match scan.run_row(0, i) {
+                    Ok(v) => vals.push(v),
+                    Err(err) => return (vals, Some(err)),
+                }
+            }
+        }
+        (vals, None)
+    }))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Batch boundaries are invisible: empty, one-row, odd-sized, and
+    /// over-sized batches all produce the same values, the same first
+    /// error, and the same step counts as the interpreter's row loop.
+    #[test]
+    fn batch_boundaries_are_invisible(e in arb_pred(), nrows in 0usize..4) {
+        let db = db();
+        let all = rows(&db);
+        let rows = &all[..nrows.min(all.len())];
+        let bi = Arc::new(Budget::new());
+        let want = interp_scan_all(&db, &e, rows, bi.clone());
+        for batch in [0usize, 1, 2, 3, 5] {
+            let bc = Arc::new(Budget::new());
+            let Some(got) = compiled_scan_all(&db, &e, rows, batch, bc.clone()) else {
+                break;
+            };
+            prop_assert_eq!(&got, &want, "expr: {} (batch={})", e, batch);
+            prop_assert_eq!(
+                bc.steps_used(),
+                bi.steps_used(),
+                "step divergence on {} (batch={})",
+                e,
+                batch
+            );
+        }
+    }
+
+    /// A budget breach lands on the same row, with the same error and the
+    /// same step count, whether or not that row sits at a batch edge.
+    #[test]
+    fn breach_at_chunk_edges_is_bit_identical(e in arb_pred(), max_steps in 0u64..96) {
+        let db = db();
+        let rows = rows(&db);
+        let bi = Arc::new(Budget::new().with_max_steps(max_steps));
+        let want = interp_scan_all(&db, &e, &rows, bi.clone());
+        for batch in [0usize, 1, 2, 3] {
+            let bc = Arc::new(Budget::new().with_max_steps(max_steps));
+            let Some(got) = compiled_scan_all(&db, &e, &rows, batch, bc.clone()) else {
+                break;
+            };
+            prop_assert_eq!(&got, &want, "expr: {} (batch={}, max_steps={})", e, batch, max_steps);
+            prop_assert_eq!(
+                bc.steps_used(),
+                bi.steps_used(),
+                "step divergence on {} (batch={}, max_steps={})",
+                e,
+                batch,
+                max_steps
+            );
+        }
+    }
 
     /// Same value, or the same error (variant *and* payload), on every row.
     #[test]
@@ -206,10 +311,12 @@ proptest! {
     }
 }
 
-/// An injected fault mid-scan surfaces identically through both engines:
-/// the parallel scan's per-chunk failpoint fires before any predicate runs,
-/// so the resulting error is engine-independent — and with faults cleared,
-/// both engines agree on the result.
+/// An injected fault mid-scan surfaces identically through both engines
+/// and at every batch size (a fault firing mid-batch must not change the
+/// error, and prefetching must not change what a fault observes): the
+/// parallel scan's per-chunk failpoint fires before any predicate runs, so
+/// the resulting error is engine- and batch-independent — and with faults
+/// cleared, everyone agrees on the result.
 #[test]
 fn injected_faults_surface_identically() {
     use ov_oodb::faults::{arm, clear, FaultAction, FaultSchedule};
@@ -233,34 +340,41 @@ fn injected_faults_surface_identically() {
     };
     let q = "select P from P in Person where P.Age >= 21";
 
-    let run_with = |mode: EngineMode| {
-        ov_query::set_engine_mode(mode);
-        let r = run_query_parallel(&db, &cfg, q);
-        ov_query::set_engine_mode(EngineMode::Auto);
-        r
+    // Thread-scoped overrides: this test no longer mutates the process
+    // default, so it cannot leak engine mode into concurrently running
+    // tests.
+    let run_with = |mode: EngineMode, batch: usize| {
+        ov_query::with_engine_mode(mode, || {
+            ov_query::with_batch_rows(batch, || run_query_parallel(&db, &cfg, q))
+        })
     };
 
-    // Fault on the 2nd chunk: both engines die with the same typed error.
-    arm(
-        "query.scan_chunk",
-        FaultSchedule::Nth(2),
-        FaultAction::Error,
-    );
-    let compiled_err = run_with(EngineMode::Compiled);
-    clear();
-    arm(
-        "query.scan_chunk",
-        FaultSchedule::Nth(2),
-        FaultAction::Error,
-    );
-    let interp_err = run_with(EngineMode::Interp);
-    clear();
-    assert!(compiled_err.is_err(), "fault must surface");
-    assert_eq!(compiled_err, interp_err);
+    // Batch 3 leaves odd-sized tails in every 16-row chunk; 1024 makes one
+    // whole-chunk batch; 0 disables batching outright.
+    for batch in [0usize, 1, 3, 1024] {
+        // Fault on the 2nd chunk: both engines die with the same typed
+        // error, at every batch size.
+        arm(
+            "query.scan_chunk",
+            FaultSchedule::Nth(2),
+            FaultAction::Error,
+        );
+        let compiled_err = run_with(EngineMode::Compiled, batch);
+        clear();
+        arm(
+            "query.scan_chunk",
+            FaultSchedule::Nth(2),
+            FaultAction::Error,
+        );
+        let interp_err = run_with(EngineMode::Interp, batch);
+        clear();
+        assert!(compiled_err.is_err(), "fault must surface (batch={batch})");
+        assert_eq!(compiled_err, interp_err, "batch={batch}");
 
-    // Faults cleared: both engines agree on the value.
-    let compiled_ok = run_with(EngineMode::Compiled);
-    let interp_ok = run_with(EngineMode::Interp);
-    assert!(compiled_ok.is_ok());
-    assert_eq!(compiled_ok, interp_ok);
+        // Faults cleared: both engines agree on the value.
+        let compiled_ok = run_with(EngineMode::Compiled, batch);
+        let interp_ok = run_with(EngineMode::Interp, batch);
+        assert!(compiled_ok.is_ok(), "batch={batch}");
+        assert_eq!(compiled_ok, interp_ok, "batch={batch}");
+    }
 }

@@ -400,14 +400,20 @@ fn meta(session: &mut Session, budget: &mut BudgetSpec, cmd: &str) -> bool {
         }
         ".engine" => {
             if arg.is_empty() {
+                let mode = session
+                    .engine()
+                    .unwrap_or_else(objects_and_views::query::engine_mode);
                 println!(
                     "-- engine: {} (scans report Compiled/Interpreted in .plan and .explain)",
-                    engine_mode_name(objects_and_views::query::engine_mode())
+                    engine_mode_name(mode)
                 );
             } else {
                 match parse_engine_mode(arg) {
                     Some(mode) => {
-                        objects_and_views::query::set_engine_mode(mode);
+                        // Session-scoped, not process-global: two shells (or
+                        // a shell and a library embedder) never race on a
+                        // shared engine setting.
+                        session.set_engine(Some(mode));
                         println!("-- engine: {}", engine_mode_name(mode));
                     }
                     None => eprintln!("usage: .engine [compiled | interp | auto]"),
