@@ -15,6 +15,12 @@
 //!   writes the recorded spans to `FILE` on exit — Chrome trace-event JSON
 //!   (load in Perfetto / `chrome://tracing`), or JSON-lines when `FILE`
 //!   ends in `.jsonl`.
+//! - `--workload FILE` enables query profiling for the whole run and
+//!   writes the per-fingerprint workload registry (calls, rows, latency
+//!   quantiles, engine mix, population-path mix) as JSON to `FILE`.
+//! - `--slowlog FILE` enables query profiling for the whole run and writes
+//!   the captured slow-query log (query text, fingerprint, duration,
+//!   annotated trace) as JSON to `FILE`.
 //! - `--save-baseline [FILE]` writes a baseline snapshot of every timed
 //!   table cell (`"Experiment/label/column"` → mean ns, sorted keys) to
 //!   `FILE` (default `BENCH_baseline.json`).
@@ -25,7 +31,7 @@
 //!   `--baseline`; a cell regresses when `new/old > X` and the absolute
 //!   delta clears a small noise floor.
 //!
-//! Each section corresponds to an experiment id (E1–E16) in EXPERIMENTS.md,
+//! Each section corresponds to an experiment id (E1–E17) in EXPERIMENTS.md,
 //! which maps them back to the paper's sections. Timings are coarse
 //! wall-clock means (use the Criterion benches for statistically careful
 //! numbers); the semantic rows are exact.
@@ -42,6 +48,9 @@ fn main() {
     let threads = args.threads;
     if args.trace.is_some() {
         ov_oodb::trace::set_enabled(true);
+    }
+    if args.workload.is_some() || args.slowlog.is_some() {
+        ov_oodb::set_profiling(true);
     }
     println!("# Objects-and-Views experiment harness");
     println!("# (sections correspond to EXPERIMENTS.md)");
@@ -78,6 +87,7 @@ fn main() {
     e14_compiled_engine();
     e15_stacked_views();
     e16_batched_execution();
+    e17_profiling_overhead();
     write_metrics_and_trace(&args);
     if let Some(path) = &args.save_baseline {
         let json = baseline::to_json(&baseline::snapshot());
@@ -120,6 +130,28 @@ fn write_metrics_and_trace(args: &Args) {
         }
         println!("\n# metrics written to {path}");
     }
+    if let Some(path) = &args.workload {
+        let json = ov_oodb::workload().to_json();
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error writing workload to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "\n# workload registry ({} fingerprints) written to {path}",
+            ov_oodb::workload().len()
+        );
+    }
+    if let Some(path) = &args.slowlog {
+        let json = ov_oodb::slow_queries().to_json();
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error writing slow-query log to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "# slow-query log ({} entries) written to {path}",
+            ov_oodb::slow_queries().len()
+        );
+    }
     if let Some(path) = &args.trace {
         ov_oodb::trace::set_enabled(false);
         let rec = ov_oodb::recorder();
@@ -145,6 +177,8 @@ struct Args {
     threads: usize,
     metrics: Option<String>,
     trace: Option<String>,
+    workload: Option<String>,
+    slowlog: Option<String>,
     baseline: Option<String>,
     save_baseline: Option<String>,
     threshold: f64,
@@ -161,6 +195,10 @@ usage: harness [FLAGS]
   --trace FILE          enable the flight recorder and write the span trace
                         to FILE on exit: Chrome trace-event JSON (open in
                         Perfetto), or JSON-lines if FILE ends in .jsonl
+  --workload FILE       enable query profiling for the run and write the
+                        per-fingerprint workload registry JSON to FILE
+  --slowlog FILE        enable query profiling for the run and write the
+                        captured slow-query log JSON to FILE
   --save-baseline [FILE]  write a baseline snapshot of every timed cell to
                         FILE (default BENCH_baseline.json)
   --baseline [FILE]     compare this run against the snapshot in FILE
@@ -192,6 +230,8 @@ fn parse_args() -> Args {
         threads: 1,
         metrics: None,
         trace: None,
+        workload: None,
+        slowlog: None,
         baseline: None,
         save_baseline: None,
         threshold: baseline::DEFAULT_THRESHOLD,
@@ -230,6 +270,15 @@ fn parse_args() -> Args {
             }
             "--trace" => {
                 out.trace = Some(args.next().unwrap_or_else(|| die("--trace needs a file")))
+            }
+            "--workload" => {
+                out.workload = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--workload needs a file")),
+                )
+            }
+            "--slowlog" => {
+                out.slowlog = Some(args.next().unwrap_or_else(|| die("--slowlog needs a file")))
             }
             "--baseline" => {
                 out.baseline =
@@ -1488,6 +1537,77 @@ fn e16_batched_execution() {
             ],
         );
     }
+}
+
+fn e17_profiling_overhead() {
+    header(
+        "E17",
+        "observability plane: profiling overhead, workload registry, statistics (extension)",
+    );
+    row(
+        "n",
+        &[
+            "off".into(),
+            "on".into(),
+            "overhead".into(),
+            "fingerprints".into(),
+        ],
+    );
+    // The same view query timed with the profiler disabled (the production
+    // default: the per-query cost is one relaxed atomic load) and enabled
+    // (fingerprinting, workload aggregation, actuals collection, sampled
+    // statistics sketches). The two runs must agree on the result; the
+    // `overhead` column is the enabled/disabled ratio.
+    let was_profiling = ov_oodb::profiling_enabled();
+    let q = "select P.Address from P in Person where P.Age >= 21";
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let sys = people(n);
+        let view = staff_view(&sys, ViewOptions::default());
+        ov_oodb::set_profiling(false);
+        let off_result = view.query(q).unwrap();
+        let t_off = time_ns(5, || {
+            std::hint::black_box(view.query(q).unwrap());
+        });
+        ov_oodb::set_profiling(true);
+        let on_result = view.query(q).unwrap();
+        assert_eq!(off_result, on_result, "E17: profiling changed the result");
+        let t_on = time_ns(5, || {
+            std::hint::black_box(view.query(q).unwrap());
+        });
+        ov_oodb::set_profiling(false);
+        // The profiled runs must have fed the observability plane: the
+        // query's fingerprint is registered (without clearing the global
+        // registry — under `--workload` it holds the whole run so far),
+        // and the scanned class has attribute sketches.
+        let (fp, _) = ov_query::fingerprint_query(q).expect("E17: query parses");
+        let entry = ov_oodb::workload()
+            .snapshot()
+            .into_iter()
+            .find(|(f, _)| *f == fp)
+            .map(|(_, e)| e)
+            .expect("E17: profiled runs must register the query's fingerprint");
+        assert!(entry.calls.get() >= 6, "E17: warm run + 5 timed iterations");
+        let stats = ov_oodb::stats().snapshot();
+        let person = stats
+            .classes
+            .get(&sym("Person"))
+            .expect("E17: profiled scans must feed Person statistics");
+        assert!(
+            !person.attrs.is_empty(),
+            "E17: sampled batches must sketch at least one attribute"
+        );
+        let fingerprints = ov_oodb::workload().len();
+        row(
+            &n.to_string(),
+            &[
+                tcell(&n.to_string(), "off", t_off),
+                tcell(&n.to_string(), "on", t_on),
+                format!("{:.2}x", t_on / t_off),
+                fingerprints.to_string(),
+            ],
+        );
+    }
+    ov_oodb::set_profiling(was_profiling);
 }
 
 fn e12_relational() {

@@ -646,6 +646,23 @@ impl Session {
         Ok(out)
     }
 
+    /// EXPLAIN ANALYZE: executes `query` with the actuals collector armed
+    /// and returns the annotated trace — per-stage timings, per-population
+    /// scan events with their measured counters, the query-level actuals
+    /// roll-up, engine, and fingerprint — followed by the result value.
+    /// `.explain` without the static prelude; drives the REPL's `.analyze`.
+    pub fn analyze(&self, target: Symbol, query: &str) -> Result<String> {
+        let traced = if let Some((_, view)) = self.views.get(&target) {
+            under_engine(self.engine, || ov_query::run_query_traced(view, query))
+        } else {
+            let db = self.system.database(target)?;
+            let db = db.read();
+            under_engine(self.engine, || ov_query::run_query_traced(&*db, query))
+        };
+        let (value, trace) = traced.map_err(ViewError::from)?;
+        Ok(format!("{trace}result: {value}\n"))
+    }
+
     /// Explains how the population of virtual class `class` of view `view`
     /// is resolved right now (see `View::explain_population`), rendered as
     /// one line.
@@ -921,7 +938,7 @@ mod tests {
             }
         };
         std::thread::scope(|scope| {
-            scope.spawn(|| run(ov_query::EngineMode::Compiled, "[seq compiled]"));
+            scope.spawn(|| run(ov_query::EngineMode::Compiled, "[seq compiled b="));
             scope.spawn(|| run(ov_query::EngineMode::Interp, "[seq]"));
         });
         assert_eq!(ov_query::engine_mode(), default_before);

@@ -1707,13 +1707,22 @@ fn explain_population_reports_all_three_paths() {
     let PopPath::FullRecompute { scans } = &cold.path else {
         panic!("cold population should recompute, got {cold}");
     };
+    let [scan] = scans.as_slice() else {
+        panic!("one include-term scan expected: {cold}");
+    };
     assert_eq!(
-        scans.as_slice(),
-        &[ScanKind::Sequential {
-            engine: ov_query::Engine::Compiled
-        }],
+        scan.kind,
+        ScanKind::Sequential {
+            engine: ov_query::Engine::Compiled {
+                batch: ov_query::batch_rows()
+            }
+        },
         "{cold}"
     );
+    // The scan measured its own work: every Person row was scanned, the
+    // five adults matched.
+    assert_eq!(scan.actuals.rows_matched, 5, "{cold}");
+    assert!(scan.actuals.rows_scanned >= 5, "{cold}");
     assert_eq!(cold.rows, 5);
     assert!(cold.nanos > 0, "timings must be recorded");
 
@@ -1773,14 +1782,22 @@ fn explain_population_reports_index_pushdown() {
     let PopPath::FullRecompute { scans } = &trace.path else {
         panic!("expected recompute, got {trace}");
     };
+    let [scan] = scans.as_slice() else {
+        panic!("one include-term scan expected: {trace}");
+    };
     assert_eq!(
-        scans.as_slice(),
-        &[ScanKind::IndexPushdown {
+        scan.kind,
+        ScanKind::IndexPushdown {
             index: "Person.City".into(),
-            engine: ov_query::Engine::Compiled
-        }],
+            engine: ov_query::Engine::Compiled {
+                batch: ov_query::batch_rows()
+            }
+        },
         "{trace}"
     );
+    // The index narrowed the scan to exactly the matching candidates.
+    assert_eq!(scan.actuals.rows_scanned, 3, "{trace}");
+    assert_eq!(scan.actuals.rows_matched, 3, "{trace}");
     assert_eq!(trace.rows, 3);
 }
 

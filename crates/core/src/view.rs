@@ -1662,6 +1662,16 @@ impl View {
                     let name = self.schema.read().class(c).name;
                     plan::end_population(name, outcome, oids.len(), nanos);
                 }
+                // Opportunistic statistics: a finished population is an
+                // exact cardinality observation for the virtual class, keyed
+                // to the resolution generation it was computed under.
+                if ov_oodb::metrics::profiling_enabled() {
+                    let name = self.schema.read().class(c).name;
+                    ov_oodb::stats::stats().class(name).note_cardinality(
+                        ov_query::DataSource::resolution_generation(self),
+                        oids.len() as u64,
+                    );
+                }
                 Ok(oids)
             }
             Err(e) => self.degrade(c, e, attempts, t0, span),
@@ -1912,98 +1922,137 @@ impl View {
         let batch = ov_query::batch_rows();
         let workers = self.parallel.workers_for(extent.len());
         let chunk_len = extent.len().div_ceil(workers);
-        plan::record_scan(plan::ScanKind::Parallel {
-            chunks: extent.len().div_ceil(chunk_len),
-            engine: if compiled.is_some() {
-                plan::Engine::Compiled
-            } else {
-                plan::Engine::Interpreted
-            },
-        });
-        let results: Vec<ov_query::Result<BTreeSet<Oid>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = extent
-                .chunks(chunk_len)
-                .map(|chunk| {
-                    let populating = &populating;
-                    scope.spawn(move || {
-                        // Per-chunk span, emitted on the worker thread so
-                        // the flight recorder attributes it to the worker.
-                        let _chunk_span = ov_oodb::span!("view.scan_chunk", len = chunk.len());
-                        self.adopt_eval_state(populating, depth);
-                        let scan = || -> ov_query::Result<BTreeSet<Oid>> {
-                            // Failpoint: per-chunk errors and panics, for
-                            // exercising the sequential-fallback breaker.
-                            if ov_oodb::faults::enabled() {
-                                ov_oodb::faults::hit("view.scan_chunk")
-                                    .map_err(OodbError::Fault)?;
-                            }
-                            let mut keep = BTreeSet::new();
-                            // Each chunk builds its own executor: the
-                            // register file, value stack, and resolution
-                            // caches are per-thread state.
-                            if let Some(prog) = compiled {
-                                let mut scan = ov_query::Scan::new(prog, self);
-                                let sub_len = if batch == 0 {
-                                    chunk.len().max(1)
-                                } else {
-                                    batch
-                                };
-                                for sub in chunk.chunks(sub_len) {
-                                    if batch > 0 {
-                                        let rows: Vec<Value> =
-                                            sub.iter().map(|&o| Value::Oid(o)).collect();
-                                        scan.begin_batch(0, &rows);
+        let engine = if compiled.is_some() {
+            plan::Engine::compiled_now()
+        } else {
+            plan::Engine::Interpreted
+        };
+        let chunks = extent.len().div_ceil(chunk_len);
+        // Work counters cross the thread boundary through shared atomics:
+        // each worker measures its own chunk (including nested scans inside
+        // computed-attribute bodies) in a thread-local frame, then folds the
+        // work counters here. Budget charges are *not* folded — workers
+        // bracket a shared budget concurrently, so their deltas overlap; the
+        // coordinator's own frame below measures the true total.
+        let shared: [AtomicU64; 5] = std::array::from_fn(|_| AtomicU64::new(0));
+        let (result, actuals) = plan::with_scan_actuals(|| {
+            let results: Vec<ov_query::Result<BTreeSet<Oid>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = extent
+                    .chunks(chunk_len)
+                    .map(|chunk| {
+                        let populating = &populating;
+                        let shared = &shared;
+                        scope.spawn(move || {
+                            // Per-chunk span, emitted on the worker thread so
+                            // the flight recorder attributes it to the worker.
+                            let _chunk_span = ov_oodb::span!("view.scan_chunk", len = chunk.len());
+                            self.adopt_eval_state(populating, depth);
+                            let scan = || -> ov_query::Result<BTreeSet<Oid>> {
+                                // Failpoint: per-chunk errors and panics, for
+                                // exercising the sequential-fallback breaker.
+                                if ov_oodb::faults::enabled() {
+                                    ov_oodb::faults::hit("view.scan_chunk")
+                                        .map_err(OodbError::Fault)?;
+                                }
+                                let mut actuals = plan::ScanActuals::default();
+                                // Each chunk builds its own executor: the
+                                // register file, value stack, and resolution
+                                // caches are per-thread state.
+                                let mut exec = compiled.map(|prog| ov_query::Scan::new(prog, self));
+                                let r = (|| -> ov_query::Result<BTreeSet<Oid>> {
+                                    let mut keep = BTreeSet::new();
+                                    if let Some(scan) = exec.as_mut() {
+                                        let sub_len = if batch == 0 {
+                                            chunk.len().max(1)
+                                        } else {
+                                            batch
+                                        };
+                                        for sub in chunk.chunks(sub_len) {
+                                            if batch > 0 {
+                                                let rows: Vec<Value> =
+                                                    sub.iter().map(|&o| Value::Oid(o)).collect();
+                                                scan.begin_batch(0, &rows);
+                                            }
+                                            for (i, &oid) in sub.iter().enumerate() {
+                                                scan.bind(0, Value::Oid(oid));
+                                                actuals.rows_scanned += 1;
+                                                if ov_query::truthy(&scan.run_row(0, i)?) {
+                                                    actuals.rows_matched += 1;
+                                                    keep.insert(oid);
+                                                }
+                                            }
+                                        }
+                                        return Ok(keep);
                                     }
-                                    for (i, &oid) in sub.iter().enumerate() {
-                                        scan.bind(0, Value::Oid(oid));
-                                        if ov_query::truthy(&scan.run_row(0, i)?) {
+                                    let ev = ov_query::Evaluator::new(self);
+                                    for &oid in chunk {
+                                        actuals.rows_scanned += 1;
+                                        let ok = match filter {
+                                            None => true,
+                                            Some(f) => {
+                                                let mut env = ov_query::Env::new();
+                                                env.bind(var, Value::Oid(oid));
+                                                ov_query::truthy(&ev.eval(f, &mut env)?)
+                                            }
+                                        };
+                                        if ok {
+                                            actuals.rows_matched += 1;
                                             keep.insert(oid);
                                         }
                                     }
+                                    Ok(keep)
+                                })();
+                                if let Some(scan) = exec.as_mut() {
+                                    actuals.absorb(&scan.take_actuals());
                                 }
-                                return Ok(keep);
+                                plan::add_actuals(&actuals);
+                                r
+                            };
+                            let (r, a) = plan::with_scan_actuals(scan);
+                            for (slot, v) in shared.iter().zip([
+                                a.rows_scanned,
+                                a.rows_matched,
+                                a.batches,
+                                a.cache_hits,
+                                a.cache_misses,
+                            ]) {
+                                slot.fetch_add(v, Ordering::Relaxed);
                             }
-                            let ev = ov_query::Evaluator::new(self);
-                            for &oid in chunk {
-                                let ok = match filter {
-                                    None => true,
-                                    Some(f) => {
-                                        let mut env = ov_query::Env::new();
-                                        env.bind(var, Value::Oid(oid));
-                                        ov_query::truthy(&ev.eval(f, &mut env)?)
-                                    }
-                                };
-                                if ok {
-                                    keep.insert(oid);
-                                }
-                            }
-                            Ok(keep)
-                        };
-                        let r = scan();
-                        self.clear_eval_state();
-                        r
+                            self.clear_eval_state();
+                            r
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(r) => r,
-                    // A panicking chunk becomes a typed per-chunk error
-                    // instead of tearing down the coordinator; the worker's
-                    // eval state dies with its thread.
-                    Err(payload) => Err(QueryError::Panicked {
-                        site: "view.scan_chunk",
-                        msg: ov_query::panic_message(&payload),
-                    }),
-                })
-                .collect()
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(r) => r,
+                        // A panicking chunk becomes a typed per-chunk error
+                        // instead of tearing down the coordinator; the worker's
+                        // eval state dies with its thread.
+                        Err(payload) => Err(QueryError::Panicked {
+                            site: "view.scan_chunk",
+                            msg: ov_query::panic_message(&payload),
+                        }),
+                    })
+                    .collect()
+            });
+            plan::add_actuals(&plan::ScanActuals {
+                rows_scanned: shared[0].load(Ordering::Relaxed),
+                rows_matched: shared[1].load(Ordering::Relaxed),
+                batches: shared[2].load(Ordering::Relaxed),
+                cache_hits: shared[3].load(Ordering::Relaxed),
+                cache_misses: shared[4].load(Ordering::Relaxed),
+                ..Default::default()
+            });
+            let mut out = BTreeSet::new();
+            for r in results {
+                out.extend(r?);
+            }
+            Ok(out)
         });
-        let mut out = BTreeSet::new();
-        for r in results {
-            out.extend(r?);
-        }
-        Ok(out)
+        plan::record_scan(plan::ScanKind::Parallel { chunks, engine }, actuals);
+        result
     }
 
     fn compute_population(&self, c: ClassId) -> ov_query::Result<BTreeSet<Oid>> {
@@ -2038,51 +2087,65 @@ impl View {
                     // extent.
                     if let Some((candidates, index)) = self.index_candidates(q) {
                         self.bump_stat(Stat::IndexPushdown);
-                        plan::record_scan(plan::ScanKind::IndexPushdown {
-                            index,
-                            engine: if compiled.is_some() {
-                                plan::Engine::Compiled
-                            } else {
-                                plan::Engine::Interpreted
-                            },
-                        });
+                        let engine = if compiled.is_some() {
+                            plan::Engine::compiled_now()
+                        } else {
+                            plan::Engine::Interpreted
+                        };
                         let var = q.bindings[0].0;
-                        if let Some(prog) = compiled {
-                            let batch = ov_query::batch_rows();
-                            let mut scan = ov_query::Scan::new(prog, self);
-                            let sub_len = if batch == 0 {
-                                candidates.len().max(1)
-                            } else {
-                                batch
-                            };
-                            for sub in candidates.chunks(sub_len) {
-                                if batch > 0 {
-                                    let rows: Vec<Value> =
-                                        sub.iter().map(|&o| Value::Oid(o)).collect();
-                                    scan.begin_batch(0, &rows);
+                        let (r, actuals) = plan::with_scan_actuals(|| -> ov_query::Result<()> {
+                            let mut actuals = plan::ScanActuals::default();
+                            let mut exec = compiled.map(|prog| ov_query::Scan::new(prog, self));
+                            let r = (|| -> ov_query::Result<()> {
+                                if let Some(scan) = exec.as_mut() {
+                                    let batch = ov_query::batch_rows();
+                                    let sub_len = if batch == 0 {
+                                        candidates.len().max(1)
+                                    } else {
+                                        batch
+                                    };
+                                    for sub in candidates.chunks(sub_len) {
+                                        if batch > 0 {
+                                            let rows: Vec<Value> =
+                                                sub.iter().map(|&o| Value::Oid(o)).collect();
+                                            scan.begin_batch(0, &rows);
+                                        }
+                                        for (i, &oid) in sub.iter().enumerate() {
+                                            scan.bind(0, Value::Oid(oid));
+                                            actuals.rows_scanned += 1;
+                                            if ov_query::truthy(&scan.run_row(0, i)?) {
+                                                actuals.rows_matched += 1;
+                                                out.insert(oid);
+                                            }
+                                        }
+                                    }
+                                    return Ok(());
                                 }
-                                for (i, &oid) in sub.iter().enumerate() {
-                                    scan.bind(0, Value::Oid(oid));
-                                    if ov_query::truthy(&scan.run_row(0, i)?) {
+                                for oid in candidates {
+                                    actuals.rows_scanned += 1;
+                                    let mut env = ov_query::Env::new();
+                                    env.bind(var, Value::Oid(oid));
+                                    let keep = match &q.filter {
+                                        None => true,
+                                        Some(f) => ov_query::truthy(
+                                            &ov_query::Evaluator::new(self).eval(f, &mut env)?,
+                                        ),
+                                    };
+                                    if keep {
+                                        actuals.rows_matched += 1;
                                         out.insert(oid);
                                     }
                                 }
+                                Ok(())
+                            })();
+                            if let Some(scan) = exec.as_mut() {
+                                actuals.absorb(&scan.take_actuals());
                             }
-                            continue;
-                        }
-                        for oid in candidates {
-                            let mut env = ov_query::Env::new();
-                            env.bind(var, Value::Oid(oid));
-                            let keep = match &q.filter {
-                                None => true,
-                                Some(f) => ov_query::truthy(
-                                    &ov_query::Evaluator::new(self).eval(f, &mut env)?,
-                                ),
-                            };
-                            if keep {
-                                out.insert(oid);
-                            }
-                        }
+                            plan::add_actuals(&actuals);
+                            r
+                        });
+                        plan::record_scan(plan::ScanKind::IndexPushdown { index, engine }, actuals);
+                        r?;
                         continue;
                     }
                     // Parallel scan: a specialization query over a plain
@@ -2136,50 +2199,72 @@ impl View {
                             // steps, and errors as the `eval_select` below,
                             // minus the per-row tree walk and Env clones.
                             if let Some(prog) = compiled {
-                                plan::record_scan(plan::ScanKind::Sequential {
-                                    engine: plan::Engine::Compiled,
-                                });
-                                let budget = ov_query::budget::current();
-                                let batch = ov_query::batch_rows();
-                                let mut scan = ov_query::Scan::new(prog, self);
-                                // One node entry for the collection name,
-                                // then per row the filter and (on keep) the
-                                // projection node — the tree walker's exact
-                                // accounting, preserved within each batch.
-                                scan.step(1)?;
-                                let mut kept = BTreeSet::new();
-                                let sub_len = if batch == 0 {
-                                    extent.len().max(1)
-                                } else {
-                                    batch
-                                };
-                                for sub in extent.chunks(sub_len) {
-                                    if batch > 0 {
-                                        let rows: Vec<Value> =
-                                            sub.iter().map(|&o| Value::Oid(o)).collect();
-                                        scan.begin_batch(0, &rows);
-                                    }
-                                    for (i, &oid) in sub.iter().enumerate() {
-                                        scan.bind(0, Value::Oid(oid));
-                                        if ov_query::truthy(&scan.run_row(1, i)?) {
+                                let (r, actuals) = plan::with_scan_actuals(
+                                    || -> ov_query::Result<BTreeSet<Oid>> {
+                                        let mut actuals = plan::ScanActuals::default();
+                                        let mut scan = ov_query::Scan::new(prog, self);
+                                        let r = (|| -> ov_query::Result<BTreeSet<Oid>> {
+                                            let budget = ov_query::budget::current();
+                                            let batch = ov_query::batch_rows();
+                                            // One node entry for the collection name,
+                                            // then per row the filter and (on keep) the
+                                            // projection node — the tree walker's exact
+                                            // accounting, preserved within each batch.
                                             scan.step(1)?;
-                                            if kept.insert(oid) {
-                                                if let Some(b) = &budget {
-                                                    b.note_rows(1)?;
+                                            let mut kept = BTreeSet::new();
+                                            let sub_len = if batch == 0 {
+                                                extent.len().max(1)
+                                            } else {
+                                                batch
+                                            };
+                                            for sub in extent.chunks(sub_len) {
+                                                if batch > 0 {
+                                                    let rows: Vec<Value> = sub
+                                                        .iter()
+                                                        .map(|&o| Value::Oid(o))
+                                                        .collect();
+                                                    scan.begin_batch(0, &rows);
+                                                }
+                                                for (i, &oid) in sub.iter().enumerate() {
+                                                    scan.bind(0, Value::Oid(oid));
+                                                    actuals.rows_scanned += 1;
+                                                    if ov_query::truthy(&scan.run_row(1, i)?) {
+                                                        actuals.rows_matched += 1;
+                                                        scan.step(1)?;
+                                                        if kept.insert(oid) {
+                                                            if let Some(b) = &budget {
+                                                                b.note_rows(1)?;
+                                                            }
+                                                        }
+                                                    }
                                                 }
                                             }
-                                        }
-                                    }
-                                }
-                                out.extend(kept);
+                                            Ok(kept)
+                                        })();
+                                        actuals.absorb(&scan.take_actuals());
+                                        plan::add_actuals(&actuals);
+                                        r
+                                    },
+                                );
+                                plan::record_scan(
+                                    plan::ScanKind::Sequential {
+                                        engine: plan::Engine::compiled_now(),
+                                    },
+                                    actuals,
+                                );
+                                out.extend(r?);
                                 continue;
                             }
                         }
                     }
-                    plan::record_scan(plan::ScanKind::Sequential {
-                        engine: plan::Engine::Interpreted,
-                    });
-                    let v = eval_select(self, q)?;
+                    let (r, actuals) = plan::with_scan_actuals(|| eval_select(self, q));
+                    plan::record_scan(
+                        plan::ScanKind::Sequential {
+                            engine: plan::Engine::Interpreted,
+                        },
+                        actuals,
+                    );
+                    let v = r?;
                     let Value::Set(items) = v else {
                         unreachable!("select returns a set")
                     };

@@ -58,6 +58,7 @@ pub mod index;
 pub mod metrics;
 pub mod resolve;
 pub mod schema;
+pub mod stats;
 pub mod store;
 pub mod symbol;
 pub mod trace;
@@ -72,9 +73,13 @@ pub use expr::{AggFunc, BinOp, Expr, SelectExpr, UnOp};
 pub use faults::{FaultAction, FaultSchedule, InjectedFault};
 pub use ids::{ClassId, DbId, Oid};
 pub use index::{AttrIndex, IndexSet};
-pub use metrics::{registry, Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    profiling_enabled, registry, set_profiling, slow_queries, workload, Counter, Histogram,
+    MetricsRegistry, MetricsSnapshot, SlowQuery, SlowQueryLog, WorkloadEntry, WorkloadRegistry,
+};
 pub use resolve::{resolve_attr, ConflictPolicy, Resolution};
 pub use schema::{AttrBody, AttrDef, AttrSig, Class, Schema};
+pub use stats::{stats, AttrStatistics, ClassStatistics, ClassStats, Statistics, StatsRegistry};
 pub use store::{Store, StoredObject};
 pub use symbol::{sym, Symbol};
 pub use trace::{recorder, FieldValue, SpanGuard, SpanRecord, TraceRecorder};

@@ -14,12 +14,27 @@
 //! [`metric_histogram!`], so steady-state cost is one relaxed
 //! `fetch_add`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+
+/// Is the query profiler (workload registry + slow-query log + statistics
+/// feeding) enabled? One relaxed load — this is the *entire* cost of the
+/// profiler on the disabled hot path, same discipline as the flight
+/// recorder's enabled check.
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Turns the query profiler on or off (process-wide).
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on, Ordering::Relaxed);
+}
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
 
 /// A monotonically increasing relaxed-atomic counter.
 #[derive(Debug, Default)]
@@ -302,6 +317,294 @@ impl MetricsSnapshot {
     }
 }
 
+impl MetricsSnapshot {
+    /// The movement between `earlier` and `self`: counters as saturating
+    /// differences, histograms as per-bucket/count/sum saturating
+    /// differences. Names absent from `earlier` keep their full value, so
+    /// tests can assert on exactly the counters their own work moved
+    /// without cross-test contamination from the process-wide registry.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| {
+                    (
+                        k.clone(),
+                        v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)),
+                    )
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let d = match earlier.histograms.get(k) {
+                        Some(e) => HistogramSnapshot {
+                            count: h.count.saturating_sub(e.count),
+                            sum: h.sum.saturating_sub(e.sum),
+                            buckets: std::array::from_fn(|i| {
+                                h.buckets[i].saturating_sub(e.buckets[i])
+                            }),
+                        },
+                        None => h.clone(),
+                    };
+                    (k.clone(), d)
+                })
+                .collect(),
+        }
+    }
+}
+
+// --- workload registry -----------------------------------------------------
+
+/// Per-fingerprint workload aggregate: everything the profiler learns about
+/// one query *shape* (see `ov_query::fingerprint`). All cells are relaxed
+/// atomics; the entry is shared via `Arc` so recording never holds the
+/// registry lock.
+#[derive(Debug, Default)]
+pub struct WorkloadEntry {
+    /// The literal-normalized query text this fingerprint hashes (the
+    /// first-seen exemplar; identical for every member by construction).
+    pub normalized: String,
+    /// Executions recorded.
+    pub calls: Counter,
+    /// Cumulative result rows across executions.
+    pub rows: Counter,
+    /// Wall-clock latency per execution.
+    pub latency: Histogram,
+    /// Executions whose top-level expression ran the compiled engine.
+    pub compiled: Counter,
+    /// Executions whose top-level expression ran the interpreter.
+    pub interpreted: Counter,
+    /// Population cache hits observed during executions.
+    pub pop_cache_hits: Counter,
+    /// Population delta patches observed during executions.
+    pub pop_deltas: Counter,
+    /// Population full recomputes observed during executions.
+    pub pop_recomputes: Counter,
+    /// Stale populations served during executions (degraded mode).
+    pub pop_stale_serves: Counter,
+}
+
+/// A process-wide registry of [`WorkloadEntry`]s keyed by fingerprint.
+///
+/// Populated by the query layer when [`profiling_enabled`] is on; read by
+/// `ovq .workload` and `harness --workload FILE`.
+#[derive(Debug, Default)]
+pub struct WorkloadRegistry {
+    entries: RwLock<BTreeMap<String, Arc<WorkloadEntry>>>,
+}
+
+impl WorkloadRegistry {
+    /// An empty registry (the process normally uses [`workload`]).
+    pub fn new() -> WorkloadRegistry {
+        WorkloadRegistry::default()
+    }
+
+    /// The entry for `fingerprint`, created with `normalized` as its
+    /// exemplar on first use.
+    pub fn entry(&self, fingerprint: &str, normalized: &str) -> Arc<WorkloadEntry> {
+        if let Some(e) = self.entries.read().get(fingerprint) {
+            return e.clone();
+        }
+        self.entries
+            .write()
+            .entry(fingerprint.to_owned())
+            .or_insert_with(|| {
+                Arc::new(WorkloadEntry {
+                    normalized: normalized.to_owned(),
+                    ..WorkloadEntry::default()
+                })
+            })
+            .clone()
+    }
+
+    /// Number of distinct fingerprints recorded.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        self.entries.write().clear();
+    }
+
+    /// A point-in-time copy: `(fingerprint, entry)` pairs sorted by
+    /// descending cumulative latency (the "what dominates this workload"
+    /// order).
+    pub fn snapshot(&self) -> Vec<(String, Arc<WorkloadEntry>)> {
+        let mut v: Vec<_> = self
+            .entries
+            .read()
+            .iter()
+            .map(|(k, e)| (k.clone(), e.clone()))
+            .collect();
+        v.sort_by_key(|(_, e)| std::cmp::Reverse(e.latency.snapshot().sum));
+        v
+    }
+
+    /// Serializes the registry as a JSON array, dominant fingerprints
+    /// first.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, (fp, e)) in self.snapshot().iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let lat = e.latency.snapshot();
+            let _ = write!(
+                out,
+                "{sep}\n  {{\"fingerprint\": {}, \"normalized\": {}, \"calls\": {}, \
+                 \"rows\": {}, \"total_ns\": {}, \"mean_ns\": {:.0}, \"p95_ns\": {}, \
+                 \"compiled\": {}, \"interpreted\": {}, \"pop_cache_hits\": {}, \
+                 \"pop_deltas\": {}, \"pop_recomputes\": {}, \"pop_stale_serves\": {}}}",
+                json_str(fp),
+                json_str(&e.normalized),
+                e.calls.get(),
+                e.rows.get(),
+                lat.sum,
+                lat.mean(),
+                lat.p95(),
+                e.compiled.get(),
+                e.interpreted.get(),
+                e.pop_cache_hits.get(),
+                e.pop_deltas.get(),
+                e.pop_recomputes.get(),
+                e.pop_stale_serves.get(),
+            );
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+/// The process-wide workload registry.
+pub fn workload() -> &'static WorkloadRegistry {
+    static GLOBAL: OnceLock<WorkloadRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(WorkloadRegistry::default)
+}
+
+// --- slow-query log --------------------------------------------------------
+
+/// Maximum entries the slow-query ring retains (oldest evicted first).
+pub const SLOW_QUERY_CAP: usize = 64;
+
+/// Default slow-query threshold: 10 ms.
+pub const DEFAULT_SLOW_QUERY_NS: u64 = 10_000_000;
+
+/// One captured slow query: the text, its fingerprint, how long it took,
+/// and the full rendered trace (stages, populations, actuals).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// The original query text.
+    pub query: String,
+    /// The query's workload fingerprint.
+    pub fingerprint: String,
+    /// Wall-clock execution time, in nanoseconds.
+    pub nanos: u64,
+    /// The rendered `QueryTrace` (multi-line).
+    pub trace: String,
+}
+
+/// A bounded ring of the most recent queries that exceeded the threshold.
+///
+/// Recording takes a short mutex — acceptable because only queries already
+/// past the (multi-millisecond) threshold ever reach it; the per-query fast
+/// path is the one relaxed threshold load.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    threshold_ns: AtomicU64,
+    entries: Mutex<VecDeque<SlowQuery>>,
+}
+
+impl Default for SlowQueryLog {
+    fn default() -> SlowQueryLog {
+        SlowQueryLog {
+            threshold_ns: AtomicU64::new(DEFAULT_SLOW_QUERY_NS),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+impl SlowQueryLog {
+    /// An empty log (the process normally uses [`slow_queries`]).
+    pub fn new() -> SlowQueryLog {
+        SlowQueryLog::default()
+    }
+
+    /// The current threshold, in nanoseconds.
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Sets the threshold, in nanoseconds.
+    pub fn set_threshold_ns(&self, ns: u64) {
+        self.threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Records `entry` if it meets the threshold, evicting the oldest entry
+    /// past [`SLOW_QUERY_CAP`]. Returns whether it was kept.
+    pub fn record(&self, entry: SlowQuery) -> bool {
+        if entry.nanos < self.threshold_ns() {
+            return false;
+        }
+        let mut ring = self.entries.lock();
+        if ring.len() >= SLOW_QUERY_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+        true
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowQuery> {
+        self.entries.lock().iter().cloned().collect()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Drops every entry (the threshold is kept).
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// Serializes the log as a JSON array, oldest first.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.entries().iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n  {{\"query\": {}, \"fingerprint\": {}, \"nanos\": {}, \"trace\": {}}}",
+                json_str(&e.query),
+                json_str(&e.fingerprint),
+                e.nanos,
+                json_str(&e.trace),
+            );
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+/// The process-wide slow-query log.
+pub fn slow_queries() -> &'static SlowQueryLog {
+    static GLOBAL: OnceLock<SlowQueryLog> = OnceLock::new();
+    GLOBAL.get_or_init(SlowQueryLog::default)
+}
+
 /// Quotes and escapes a string for JSON.
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -415,5 +718,103 @@ mod tests {
     #[test]
     fn json_escapes_strings() {
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn delta_since_isolates_counter_movement() {
+        let r = MetricsRegistry::new();
+        r.counter("a").add(10);
+        r.counter("b").add(1);
+        r.histogram("h_ns").record(200);
+        let before = r.snapshot();
+        r.counter("a").add(5);
+        r.counter("c").add(7); // born after the baseline
+        r.histogram("h_ns").record(200);
+        r.histogram("h_ns").record(5_000);
+        let delta = r.snapshot().delta_since(&before);
+        assert_eq!(delta.counters["a"], 5);
+        assert_eq!(delta.counters["b"], 0);
+        assert_eq!(delta.counters["c"], 7);
+        let h = &delta.histograms["h_ns"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 5_200);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn profiling_flag_toggles() {
+        let was = profiling_enabled();
+        set_profiling(true);
+        assert!(profiling_enabled());
+        set_profiling(false);
+        assert!(!profiling_enabled());
+        set_profiling(was);
+    }
+
+    #[test]
+    fn workload_registry_aggregates_per_fingerprint() {
+        let w = WorkloadRegistry::new();
+        let e = w.entry(
+            "deadbeefdeadbeef",
+            "(select P from P in Person where P.Age > ?)",
+        );
+        e.calls.inc();
+        e.rows.add(41);
+        e.latency.record(1_000);
+        e.compiled.inc();
+        // Second lookup hits the same entry; the exemplar is kept.
+        let e2 = w.entry("deadbeefdeadbeef", "(ignored — first exemplar wins)");
+        e2.calls.inc();
+        assert_eq!(w.len(), 1);
+        let snap = w.snapshot();
+        assert_eq!(snap[0].0, "deadbeefdeadbeef");
+        assert_eq!(snap[0].1.calls.get(), 2);
+        assert_eq!(
+            snap[0].1.normalized,
+            "(select P from P in Person where P.Age > ?)"
+        );
+        let json = w.to_json();
+        assert!(json.contains("\"calls\": 2"), "got: {json}");
+        assert!(json.contains("deadbeefdeadbeef"), "got: {json}");
+        w.clear();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn workload_snapshot_orders_by_cumulative_latency() {
+        let w = WorkloadRegistry::new();
+        let cheap = w.entry("aaaa", "cheap");
+        let hot = w.entry("bbbb", "hot");
+        cheap.latency.record(100);
+        hot.latency.record(1_000_000);
+        let snap = w.snapshot();
+        assert_eq!(snap[0].0, "bbbb");
+        assert_eq!(snap[1].0, "aaaa");
+    }
+
+    #[test]
+    fn slow_query_log_thresholds_and_bounds() {
+        let log = SlowQueryLog::new();
+        log.set_threshold_ns(1_000);
+        let mk = |i: u64, nanos: u64| SlowQuery {
+            query: format!("q{i}"),
+            fingerprint: "f".into(),
+            nanos,
+            trace: "t".into(),
+        };
+        assert!(!log.record(mk(0, 999)), "below threshold");
+        assert!(log.record(mk(1, 1_000)));
+        for i in 2..(SLOW_QUERY_CAP as u64 + 10) {
+            log.record(mk(i, 2_000));
+        }
+        assert_eq!(log.len(), SLOW_QUERY_CAP);
+        // Oldest entries were evicted.
+        let entries = log.entries();
+        assert_eq!(entries[0].query, "q10");
+        let json = log.to_json();
+        assert!(json.contains("\"nanos\": 2000"), "got: {json}");
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.threshold_ns(), 1_000, "clear keeps the threshold");
     }
 }

@@ -503,6 +503,9 @@ struct BatchState {
     /// Fused (class, raw field) probes, column-major: `data[col][row]`.
     /// `None` entries fall through to the per-row probe path.
     data: Vec<Vec<Option<(ClassId, Value)>>>,
+    /// Attribute name per column (parallel to `data`), kept so the
+    /// statistics plane can attribute prefetched values.
+    names: Vec<Symbol>,
 }
 
 /// A per-scan executor for one [`Program`]: the reusable value stack, the
@@ -540,6 +543,13 @@ pub struct Scan<'a> {
     /// (re)filled; a bump drops every cached verdict.
     gen: u64,
     batch: Option<BatchState>,
+    /// Columnar batches begun (prefetch actually armed). Plain local
+    /// integer; drained by the driver via [`Scan::take_actuals`].
+    n_batches: u64,
+    /// Resolution-slot cache hits (see [`Scan::take_actuals`]).
+    cache_hits: u64,
+    /// Resolution-slot cache misses (see [`Scan::take_actuals`]).
+    cache_misses: u64,
 }
 
 impl<'a> Scan<'a> {
@@ -558,6 +568,45 @@ impl<'a> Scan<'a> {
             open_bodies: 0,
             gen: src.resolution_generation(),
             batch: None,
+            n_batches: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Drains the executor's measured diagnostics — batches begun,
+    /// resolution-cache hits/misses — as a [`ScanActuals`](crate::plan::ScanActuals)
+    /// fragment (the row counters stay zero: drivers count rows
+    /// themselves). Resets the internal counters.
+    pub fn take_actuals(&mut self) -> crate::plan::ScanActuals {
+        let a = crate::plan::ScanActuals {
+            batches: self.n_batches,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            ..Default::default()
+        };
+        self.n_batches = 0;
+        self.cache_hits = 0;
+        self.cache_misses = 0;
+        a
+    }
+
+    /// Feeds the live batch's prefetched columns into the process-wide
+    /// statistics plane under `class`. Call sites sample (a few batches
+    /// per scan) and gate on
+    /// [`profiling_enabled`](ov_oodb::metrics::profiling_enabled); a no-op
+    /// when no batch is armed.
+    pub fn feed_batch_stats(&self, class: Symbol) {
+        let Some(b) = &self.batch else {
+            return;
+        };
+        let stats = ov_oodb::stats::stats().class(class);
+        for (col, name) in b.names.iter().enumerate() {
+            stats.observe_column(
+                self.gen,
+                *name,
+                b.data[col].iter().map(|e| e.as_ref().map(|(_, v)| v)),
+            );
         }
     }
 
@@ -621,6 +670,10 @@ impl<'a> Scan<'a> {
         if slot_cols.is_empty() {
             return;
         }
+        // From here the batch does real work (one pass over the source);
+        // the span shows Chrome-trace readers where batched scans spend
+        // their prefetch time.
+        let _span = ov_oodb::span!("scan.batch_prefetch", rows = rows.len());
         let oids: Vec<Option<Oid>> = rows
             .iter()
             .map(|v| match v {
@@ -638,11 +691,13 @@ impl<'a> Scan<'a> {
         for (gslot, col) in slot_cols {
             cols[gslot] = Some(col);
         }
+        self.n_batches += 1;
         self.batch = Some(BatchState {
             row: 0,
             oids,
             cols,
             data,
+            names,
         });
     }
 
@@ -939,9 +994,18 @@ impl<'a> Scan<'a> {
             self.gen = gen_now;
         }
         match self.caches[gslot].get(&class) {
-            Some(SlotEntry::Pure { res, body }) => Ok((res.clone(), body.clone())),
-            Some(SlotEntry::Impure) => Ok((self.src.resolve(oid, name).map(Arc::new)?, None)),
+            Some(SlotEntry::Pure { res, body }) => {
+                self.cache_hits += 1;
+                Ok((res.clone(), body.clone()))
+            }
+            Some(SlotEntry::Impure) => {
+                // The verdict ("re-resolve every row") is itself cached —
+                // a hit, even though a fresh resolve follows.
+                self.cache_hits += 1;
+                Ok((self.src.resolve(oid, name).map(Arc::new)?, None))
+            }
             None => {
+                self.cache_misses += 1;
                 let r = Arc::new(self.src.resolve(oid, name)?);
                 if self.src.resolution_is_class_pure(class, name) {
                     let body = match &*r {
@@ -1030,45 +1094,88 @@ pub(crate) fn try_run_compiled(src: &dyn DataSource, expr: &Expr) -> Option<Resu
 /// columnar batches ([`batch_rows`]-sized); rows inside a batch still
 /// execute — and charge — strictly in order, so a budget breach or error
 /// stops at the exact row the interpreter would.
+/// Batches per scan whose prefetched columns feed the statistics plane
+/// when profiling is on — enough for a useful sample, cheap enough to
+/// never dominate a scan.
+const STATS_SAMPLE_BATCHES: u32 = 4;
+
 fn run_select_scan(src: &dyn DataSource, q: &SelectExpr, scan: &SelectScan) -> Result<Value> {
     let _span = ov_oodb::span!("query.compiled_scan");
     let budget = budget::current();
     let mut filter = scan.filter.as_ref().map(|p| Scan::new(p, src));
     let mut proj = Scan::new(&scan.proj, src);
-    proj.step(0)?; // the `select` node itself
-    proj.step(1)?; // the collection name
-    let extent = src.extent(scan.class)?;
-    let batch = batch_rows();
-    let chunk_len = if batch == 0 {
-        extent.len().max(1)
-    } else {
-        batch
+    // The scanned collection's class name (compile_select_scan required
+    // the plain-name shape), for statistics attribution.
+    let coll_name = match q.bindings.first() {
+        Some((_, Expr::Name(n))) => Some(*n),
+        _ => None,
     };
-    let mut out = BTreeSet::new();
-    for chunk in extent.chunks(chunk_len) {
-        let rows: Vec<Value> = chunk.iter().map(|&o| Value::Oid(o)).collect();
-        if batch > 0 {
-            if let Some(f) = &mut filter {
-                f.begin_batch(0, &rows);
-            }
-            proj.begin_batch(0, &rows);
-        }
-        for (i, row) in rows.iter().enumerate() {
-            if let Some(f) = &mut filter {
-                f.bind(0, row.clone());
-                if !truthy(&f.run_row(1, i)?) {
-                    continue;
-                }
-            }
-            proj.bind(0, row.clone());
-            let v = proj.run_row(1, i)?;
-            if out.insert(v) {
-                if let Some(b) = &budget {
-                    b.note_rows(1)?;
-                }
+    let profiling = ov_oodb::metrics::profiling_enabled();
+    let mut stats_batches_left = if profiling { STATS_SAMPLE_BATCHES } else { 0 };
+    let mut actuals = crate::plan::ScanActuals::default();
+    // The loop runs in a closure so measured actuals are reported even
+    // when a row errors or breaches the budget mid-scan.
+    let result = (|| -> Result<BTreeSet<Value>> {
+        proj.step(0)?; // the `select` node itself
+        proj.step(1)?; // the collection name
+        let extent = src.extent(scan.class)?;
+        if profiling {
+            if let Some(class) = coll_name {
+                ov_oodb::stats::stats()
+                    .class(class)
+                    .note_cardinality(src.resolution_generation(), extent.len() as u64);
             }
         }
+        let batch = batch_rows();
+        let chunk_len = if batch == 0 {
+            extent.len().max(1)
+        } else {
+            batch
+        };
+        let mut out = BTreeSet::new();
+        for chunk in extent.chunks(chunk_len) {
+            let rows: Vec<Value> = chunk.iter().map(|&o| Value::Oid(o)).collect();
+            if batch > 0 {
+                if let Some(f) = &mut filter {
+                    f.begin_batch(0, &rows);
+                }
+                proj.begin_batch(0, &rows);
+                if stats_batches_left > 0 {
+                    if let Some(class) = coll_name {
+                        if let Some(f) = &filter {
+                            f.feed_batch_stats(class);
+                        }
+                        proj.feed_batch_stats(class);
+                        stats_batches_left -= 1;
+                    }
+                }
+            }
+            for (i, row) in rows.iter().enumerate() {
+                actuals.rows_scanned += 1;
+                if let Some(f) = &mut filter {
+                    f.bind(0, row.clone());
+                    if !truthy(&f.run_row(1, i)?) {
+                        continue;
+                    }
+                }
+                actuals.rows_matched += 1;
+                proj.bind(0, row.clone());
+                let v = proj.run_row(1, i)?;
+                if out.insert(v) {
+                    if let Some(b) = &budget {
+                        b.note_rows(1)?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    })();
+    if let Some(f) = &mut filter {
+        actuals.absorb(&f.take_actuals());
     }
+    actuals.absorb(&proj.take_actuals());
+    crate::plan::add_actuals(&actuals);
+    let out = result?;
     if q.the {
         if out.len() == 1 {
             Ok(out.into_iter().next().expect("len checked"))

@@ -411,6 +411,13 @@ impl<'a> Evaluator<'a> {
     /// Drives the binding loops of a select, calling `visit` with the
     /// environment extended for each tuple of bindings that passes the
     /// filter. `visit` returns `false` to stop early.
+    ///
+    /// This is the interpreter's scan driver, so it is also where the
+    /// interpreter measures scan actuals: `rows_scanned` per completed
+    /// binding tuple (before the filter runs), `rows_matched` per tuple
+    /// that passes. The counters are plain locals, reported once per
+    /// iterate — on success *and* on error, so a mid-scan breach reports
+    /// exactly the rows it got through, matching the compiled driver.
     fn iterate(
         &self,
         q: &SelectExpr,
@@ -418,10 +425,23 @@ impl<'a> Evaluator<'a> {
         depth: usize,
         visit: &mut dyn FnMut(&mut Env) -> bool,
     ) -> Result<()> {
-        self.iterate_bindings(&q.bindings, 0, q.filter.as_deref(), env, depth, visit)
-            .map(|_| ())
+        let mut actuals = crate::plan::ScanActuals::default();
+        let r = self
+            .iterate_bindings(
+                &q.bindings,
+                0,
+                q.filter.as_deref(),
+                env,
+                depth,
+                visit,
+                &mut actuals,
+            )
+            .map(|_| ());
+        crate::plan::add_actuals(&actuals);
+        r
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn iterate_bindings(
         &self,
         bindings: &[(Symbol, Expr)],
@@ -430,14 +450,17 @@ impl<'a> Evaluator<'a> {
         env: &mut Env,
         depth: usize,
         visit: &mut dyn FnMut(&mut Env) -> bool,
+        actuals: &mut crate::plan::ScanActuals,
     ) -> Result<bool> {
         if i == bindings.len() {
+            actuals.rows_scanned += 1;
             if let Some(f) = filter {
                 let keep = self.eval_depth(f, env, depth + 1)?;
                 if !truthy(&keep) {
                     return Ok(true);
                 }
             }
+            actuals.rows_matched += 1;
             return Ok(visit(env));
         }
         let (var, coll_expr) = &bindings[i];
@@ -455,7 +478,8 @@ impl<'a> Evaluator<'a> {
         };
         for item in items {
             env.bind(*var, item);
-            let cont = self.iterate_bindings(bindings, i + 1, filter, env, depth, visit)?;
+            let cont =
+                self.iterate_bindings(bindings, i + 1, filter, env, depth, visit, actuals)?;
             env.pop(1);
             if !cont {
                 return Ok(false);

@@ -225,7 +225,13 @@ impl Executor<'_> {
                     results.push(Value::Oid(oid));
                 }
                 Stmt::Query(e) => {
-                    let v = self.eval_with_remap(e)?;
+                    // `run_expr`, not `eval_expr`: canonical scans take the
+                    // compiled engine and profiled runs feed the workload
+                    // registry, same as `run_query` on a text query.
+                    let remapped = remap_oids(e, self.oid_map);
+                    let db = self.current()?;
+                    let db = db.read();
+                    let v = run_expr(&*db, &remapped)?;
                     results.push(v);
                 }
                 Stmt::CreateView(_)
@@ -422,7 +428,16 @@ pub fn rewrite_expr(e: &Expr, f: &mut dyn FnMut(&Expr) -> Option<Expr>) -> Expr 
 /// via [`set_engine_mode`](crate::set_engine_mode)); everything else — and
 /// every expression outside the compiler's coverage — takes the
 /// tree-walking interpreter, with identical observable behavior.
+///
+/// When the profiler is on ([`ov_oodb::metrics::set_profiling`]) the run is
+/// additionally fingerprinted and recorded in the process-wide workload
+/// registry (and, past the threshold, the slow-query log). The profiled
+/// path executes the *same* expression the unprofiled path would — it only
+/// measures around it. Disabled cost: one relaxed atomic load.
 pub fn run_query(src: &dyn crate::source::DataSource, query: &str) -> Result<Value> {
+    if ov_oodb::metrics::profiling_enabled() && !crate::plan::tracing_active() {
+        return run_query_profiled(src, query);
+    }
     let _span = ov_oodb::span!("query.run");
     let e = {
         let _parse = ov_oodb::span!("query.parse");
@@ -432,12 +447,101 @@ pub fn run_query(src: &dyn crate::source::DataSource, query: &str) -> Result<Val
     run_expr(src, &e)
 }
 
+/// The profiled twin of [`run_query`]: same parse, same [`run_expr`]
+/// execution, but bracketed by an actuals frame and the population
+/// collector so the workload registry learns the query's fingerprint,
+/// latency, rows, engine, and population-path mix — and the slow-query
+/// log captures a full annotated trace when the run crosses the
+/// threshold. Only successful runs are recorded.
+fn run_query_profiled(src: &dyn crate::source::DataSource, query: &str) -> Result<Value> {
+    let _span = ov_oodb::span!("query.run");
+    let e = {
+        let _parse = ov_oodb::span!("query.parse");
+        crate::parser::parse_expr(query)?
+    };
+    run_expr_profiled(src, &e, Some(query))
+}
+
+/// The shared profiled execution core: runs `e` through the same engine
+/// dispatch as [`run_expr`], measured. `query` is the original source text
+/// when the caller has it (for the slow-query log); pre-parsed callers pass
+/// `None` and the expression's rendering stands in.
+fn run_expr_profiled(
+    src: &dyn crate::source::DataSource,
+    e: &Expr,
+    query: Option<&str>,
+) -> Result<Value> {
+    use crate::plan::{self, Engine, QueryTrace, Stage};
+    let t0 = std::time::Instant::now();
+    let (fingerprint, normalized) = crate::fingerprint::fingerprint_expr(e);
+    let ((result, populations), actuals) = {
+        let _exec = ov_oodb::span!("query.execute");
+        plan::with_scan_actuals(|| {
+            plan::collect(|| match crate::compile::try_run_compiled(src, e) {
+                Some(r) => (r, Engine::compiled_now()),
+                None => (crate::eval::eval_expr(src, e), Engine::Interpreted),
+            })
+        })
+    };
+    let (value, engine) = result;
+    let value = value?;
+    let nanos = t0.elapsed().as_nanos() as u64;
+
+    let rows = match &value {
+        Value::Set(s) => Some(s.len()),
+        Value::List(l) => Some(l.len()),
+        _ => None,
+    };
+    let entry = ov_oodb::metrics::workload().entry(&fingerprint, &normalized);
+    entry.calls.inc();
+    entry.rows.add(rows.unwrap_or(0) as u64);
+    entry.latency.record(nanos);
+    match engine {
+        Engine::Compiled { .. } => entry.compiled.inc(),
+        Engine::Interpreted => entry.interpreted.inc(),
+    }
+    for p in &populations {
+        match &p.path {
+            plan::PopPath::CacheHit => entry.pop_cache_hits.inc(),
+            plan::PopPath::Delta { .. } => entry.pop_deltas.inc(),
+            plan::PopPath::FullRecompute { .. } => entry.pop_recomputes.inc(),
+            plan::PopPath::StaleServe { .. } => entry.pop_stale_serves.inc(),
+        }
+    }
+    let log = ov_oodb::metrics::slow_queries();
+    if nanos >= log.threshold_ns() {
+        let trace = QueryTrace {
+            stages: vec![Stage {
+                name: "execute",
+                nanos,
+                detail: format!("engine={engine}"),
+            }],
+            populations,
+            rows,
+            actuals,
+            engine: Some(engine),
+            fingerprint: fingerprint.clone(),
+            normalized,
+        };
+        log.record(ov_oodb::metrics::SlowQuery {
+            query: query.map(str::to_string).unwrap_or_else(|| e.to_string()),
+            fingerprint,
+            nanos,
+            trace: trace.to_string(),
+        });
+    }
+    Ok(value)
+}
+
 /// Runs a pre-parsed expression against any data source, routing canonical
 /// class scans through the compiled engine exactly like [`run_query`].
 /// Callers that hold an [`Expr`] (e.g. a session dispatching a parsed
 /// statement) should prefer this over [`eval_expr`], which always
 /// interprets.
 pub fn run_expr(src: &dyn crate::source::DataSource, e: &Expr) -> Result<Value> {
+    if ov_oodb::metrics::profiling_enabled() && !crate::plan::tracing_active() {
+        return run_expr_profiled(src, e, None);
+    }
     match crate::compile::try_run_compiled(src, e) {
         Some(r) => r,
         None => eval_expr(src, e),
@@ -551,6 +655,43 @@ mod tests {
         assert!(matches!(results[2], Value::Oid(_))); // insert result
         assert_eq!(results[3], Value::Int(2));
         assert_eq!(results[4], Value::Int(1));
+    }
+
+    #[test]
+    fn profiling_records_workload_and_slow_queries() {
+        let mut sys = System::new();
+        execute_script(&mut sys, STAFF).unwrap();
+        let db = sys.database(sym("Staff")).unwrap();
+        let db = db.read();
+        // A query shape distinctive enough that no other test records it.
+        let q = "select W.Name from W in Person where W.Age > 63";
+        let (fp, _) = crate::fingerprint::fingerprint_query(q).unwrap();
+        let log = ov_oodb::metrics::slow_queries();
+        let threshold_was = log.threshold_ns();
+        log.set_threshold_ns(0); // capture everything while enabled
+        ov_oodb::metrics::set_profiling(true);
+        let v = run_query(&*db, q).unwrap();
+        let v2 = run_query(&*db, q).unwrap();
+        ov_oodb::metrics::set_profiling(false);
+        log.set_threshold_ns(threshold_was);
+        assert_eq!(v, v2);
+        assert_eq!(
+            v,
+            Value::set([Value::str("Maggy"), Value::str("Denis")]),
+            "profiled execution returns the same result"
+        );
+        let entry = ov_oodb::metrics::workload().entry(&fp, "");
+        assert!(entry.calls.get() >= 2, "calls: {}", entry.calls.get());
+        assert!(entry.rows.get() >= 4, "rows: {}", entry.rows.get());
+        assert!(entry.compiled.get() + entry.interpreted.get() >= 2);
+        let slow = log.entries();
+        let mine: Vec<_> = slow.iter().filter(|e| e.fingerprint == fp).collect();
+        assert!(!mine.is_empty(), "slow-query log captured the run");
+        assert!(
+            mine[0].trace.contains("actuals:"),
+            "trace is annotated: {}",
+            mine[0].trace
+        );
     }
 
     #[test]

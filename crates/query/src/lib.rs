@@ -31,6 +31,7 @@ pub mod compile;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod fingerprint;
 pub mod lexer;
 pub mod optimize;
 pub mod parallel;
@@ -52,11 +53,13 @@ pub use exec::{
     execute_script, execute_stmts, execute_stmts_with_map, map_select, resolve_type, rewrite_expr,
     run_expr, run_query, run_query_with_budget,
 };
+pub use fingerprint::{fingerprint_expr, fingerprint_query};
 pub use optimize::{optimize_expr, optimize_select};
 pub use parallel::{eval_select_parallel, panic_message, run_query_parallel, ParallelConfig};
 pub use parser::{parse_expr, parse_program, parse_select, parse_type};
 pub use plan::{
-    run_query_traced, Engine, PopOutcome, PopPath, PopulationTrace, QueryTrace, ScanKind, Stage,
+    run_query_traced, Engine, PopOutcome, PopPath, PopulationTrace, QueryTrace, ScanActuals,
+    ScanEvent, ScanKind, Stage,
 };
 pub use source::{require_class, DataSource, PrefetchedColumns, ResolvedAttr, SourceGraph};
 pub use typecheck::{

@@ -14,6 +14,7 @@
 //! its caches moved to sharded locks) `ov_views::View`.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use ov_oodb::{SelectExpr, Value};
 
@@ -121,44 +122,62 @@ pub fn eval_select_parallel(
         Some((filter, proj)) => filter_map_chunked(cfg, &items, |chunk, keep| {
             let mut fscan = filter.as_ref().map(|p| crate::compile::Scan::new(p, src));
             let mut pscan = crate::compile::Scan::new(proj, src);
+            let mut actuals = crate::plan::ScanActuals::default();
             let sub_len = if batch == 0 {
                 chunk.len().max(1)
             } else {
                 batch
             };
-            for sub in chunk.chunks(sub_len) {
-                if batch > 0 {
-                    if let Some(f) = &mut fscan {
-                        f.begin_batch(0, sub);
-                    }
-                    pscan.begin_batch(0, sub);
-                }
-                for (i, item) in sub.iter().enumerate() {
-                    if let Some(f) = &mut fscan {
-                        f.bind(0, item.clone());
-                        if !truthy(&f.run_row(0, i)?) {
-                            continue;
+            let r = (|| {
+                for sub in chunk.chunks(sub_len) {
+                    if batch > 0 {
+                        if let Some(f) = &mut fscan {
+                            f.begin_batch(0, sub);
                         }
+                        pscan.begin_batch(0, sub);
                     }
-                    pscan.bind(0, item.clone());
-                    keep.insert(pscan.run_row(0, i)?);
+                    for (i, item) in sub.iter().enumerate() {
+                        actuals.rows_scanned += 1;
+                        if let Some(f) = &mut fscan {
+                            f.bind(0, item.clone());
+                            if !truthy(&f.run_row(0, i)?) {
+                                continue;
+                            }
+                        }
+                        actuals.rows_matched += 1;
+                        pscan.bind(0, item.clone());
+                        keep.insert(pscan.run_row(0, i)?);
+                    }
                 }
+                Ok(())
+            })();
+            if let Some(f) = &mut fscan {
+                actuals.absorb(&f.take_actuals());
             }
-            Ok(())
+            actuals.absorb(&pscan.take_actuals());
+            crate::plan::add_actuals(&actuals);
+            r
         })?,
         None => filter_map_chunked(cfg, &items, |chunk, keep| {
             let ev = Evaluator::new(src);
-            for item in chunk {
-                let mut env = Env::new();
-                env.bind(*var, item.clone());
-                if let Some(f) = q.filter.as_deref() {
-                    if !truthy(&ev.eval(f, &mut env)?) {
-                        continue;
+            let mut actuals = crate::plan::ScanActuals::default();
+            let r = (|| {
+                for item in chunk {
+                    let mut env = Env::new();
+                    env.bind(*var, item.clone());
+                    actuals.rows_scanned += 1;
+                    if let Some(f) = q.filter.as_deref() {
+                        if !truthy(&ev.eval(f, &mut env)?) {
+                            continue;
+                        }
                     }
+                    actuals.rows_matched += 1;
+                    keep.insert(ev.eval(&q.proj, &mut env)?);
                 }
-                keep.insert(ev.eval(&q.proj, &mut env)?);
-            }
-            Ok(())
+                Ok(())
+            })();
+            crate::plan::add_actuals(&actuals);
+            r
         })?,
     };
     if q.the {
@@ -208,6 +227,15 @@ where
     // The coordinator's budget is re-installed on every worker so all
     // chunks drain the same shared step/row counters.
     let budget = crate::budget::current();
+    // Workers cannot see the coordinator's thread-local actuals frame, so
+    // when one is open each worker measures its chunk in a frame of its
+    // own and folds the *work counters* into these shared cells; the
+    // coordinator reports them once after the scope. Budget charges are
+    // deliberately not folded — worker-side budget deltas overlap under
+    // concurrency, and the coordinator's own bracketing delta already
+    // covers every worker's charges (the budget is shared).
+    let track = crate::plan::actuals_active();
+    let shared: [AtomicU64; 5] = std::array::from_fn(|_| AtomicU64::new(0));
     let results: Vec<Result<BTreeSet<Value>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_len)
@@ -215,6 +243,7 @@ where
             .map(|(i, chunk)| {
                 let per_chunk = &per_chunk;
                 let budget = budget.clone();
+                let shared = &shared;
                 scope.spawn(move || {
                     // Emitted on the worker, so the flight recorder sees
                     // the chunk under the worker's own thread id.
@@ -233,9 +262,25 @@ where
                         }
                         Ok(keep)
                     };
-                    match &budget {
+                    let work = || match &budget {
                         Some(b) => crate::budget::with(b.clone(), work),
                         None => work(),
+                    };
+                    if track {
+                        let (r, a) = crate::plan::with_scan_actuals(work);
+                        let cells = [
+                            a.rows_scanned,
+                            a.rows_matched,
+                            a.batches,
+                            a.cache_hits,
+                            a.cache_misses,
+                        ];
+                        for (cell, n) in shared.iter().zip(cells) {
+                            cell.fetch_add(n, Ordering::Relaxed);
+                        }
+                        r
+                    } else {
+                        work()
                     }
                 })
             })
@@ -254,6 +299,16 @@ where
             })
             .collect()
     });
+    if track {
+        crate::plan::add_actuals(&crate::plan::ScanActuals {
+            rows_scanned: shared[0].load(Ordering::Relaxed),
+            rows_matched: shared[1].load(Ordering::Relaxed),
+            batches: shared[2].load(Ordering::Relaxed),
+            cache_hits: shared[3].load(Ordering::Relaxed),
+            cache_misses: shared[4].load(Ordering::Relaxed),
+            ..Default::default()
+        });
+    }
     let mut out = BTreeSet::new();
     for r in results {
         out.extend(r?);

@@ -32,24 +32,104 @@ use crate::source::DataSource;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Engine {
     /// The scan ran the compiled predicate engine ([`crate::compile`]).
-    /// Compiled scans execute over columnar batches of
-    /// [`crate::compile::batch_rows`] rows (attribute columns prefetched
-    /// per batch, locks amortized across it); the observable behavior —
-    /// values, errors, budget accounting — is identical at every batch
-    /// size, so the marker does not carry the batch width.
-    Compiled,
+    /// Compiled scans execute over columnar batches (attribute columns
+    /// prefetched per batch, locks amortized across it); the observable
+    /// behavior — values, errors, budget accounting — is identical at
+    /// every batch size, but the marker carries the width so EXPLAIN
+    /// readers can see whether a scan actually ran batched.
+    Compiled {
+        /// The [`crate::compile::batch_rows`] setting the scan ran under
+        /// (`0` = row-at-a-time, no prefetch).
+        batch: usize,
+    },
     /// The scan ran the tree-walking interpreter (either by choice — see
     /// [`crate::EngineMode`] — or because the expression fell outside the
     /// compiler's covered subset).
     Interpreted,
 }
 
+impl Engine {
+    /// The compiled engine at this thread's current batch width.
+    pub fn compiled_now() -> Engine {
+        Engine::Compiled {
+            batch: crate::compile::batch_rows(),
+        }
+    }
+}
+
 impl fmt::Display for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Engine::Compiled => write!(f, "compiled"),
+            Engine::Compiled { batch } => write!(f, "compiled b={batch}"),
             Engine::Interpreted => write!(f, "interp"),
         }
+    }
+}
+
+/// Measured execution counters for one scan (or one whole traced query).
+///
+/// `rows_scanned`, `rows_matched`, and the budget charges (`steps`,
+/// `rows_charged`) are **engine-invariant**: the compiled engine and the
+/// tree-walking interpreter report identical numbers for semantically
+/// identical work, at every batch width — the differential proptest suite
+/// gates this. `batches`, `cache_hits`, and `cache_misses` are
+/// compiled-engine diagnostics (the interpreter has no columnar batches or
+/// resolution-slot caches and reports 0).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanActuals {
+    /// Rows the scan considered (binding tuples completed, before the
+    /// filter ran).
+    pub rows_scanned: u64,
+    /// Rows that passed the filter.
+    pub rows_matched: u64,
+    /// Columnar batches the compiled engine prefetched (0 for the
+    /// interpreter and for row-at-a-time compiled scans).
+    pub batches: u64,
+    /// Budget steps charged while the scan ran (0 when no
+    /// [`crate::Budget`] was installed). Measured as a before/after delta
+    /// on the thread's budget, so it is engine-agnostic by construction.
+    pub steps: u64,
+    /// Budget rows charged while the scan ran (same bracketing).
+    pub rows_charged: u64,
+    /// Resolution-slot cache hits (compiled engine only).
+    pub cache_hits: u64,
+    /// Resolution-slot cache misses (compiled engine only).
+    pub cache_misses: u64,
+}
+
+impl ScanActuals {
+    /// Are all counters zero (nothing measured)?
+    pub fn is_zero(&self) -> bool {
+        *self == ScanActuals::default()
+    }
+
+    /// Folds `other`'s **work counters** (rows, batches, cache traffic)
+    /// into `self`. Budget charges are deliberately excluded: each frame's
+    /// `steps`/`rows_charged` come from its own bracketing delta, which
+    /// already includes every nested frame's charges — folding them too
+    /// would double-count.
+    pub fn absorb(&mut self, other: &ScanActuals) {
+        self.rows_scanned += other.rows_scanned;
+        self.rows_matched += other.rows_matched;
+        self.batches += other.batches;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+}
+
+impl fmt::Display for ScanActuals {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scanned={} matched={} batches={} steps={} rows_charged={} cache={}/{}",
+            self.rows_scanned,
+            self.rows_matched,
+            self.batches,
+            self.steps,
+            self.rows_charged,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+        )
     }
 }
 
@@ -89,8 +169,29 @@ impl fmt::Display for ScanKind {
         };
         match engine {
             Engine::Interpreted => write!(f, "[{body}]"),
-            Engine::Compiled => write!(f, "[{body} compiled]"),
+            compiled => write!(f, "[{body} {compiled}]"),
         }
+    }
+}
+
+/// One include-term scan inside a full recompute: how it was executed,
+/// plus the counters it measured while running.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanEvent {
+    /// How the scan was executed.
+    pub kind: ScanKind,
+    /// What the scan measured ([`ScanActuals::default`] when the scan ran
+    /// without an actuals frame, e.g. from a pre-actuals caller).
+    pub actuals: ScanActuals,
+}
+
+impl fmt::Display for ScanEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        if !self.actuals.is_zero() {
+            write!(f, " ({})", self.actuals)?;
+        }
+        Ok(())
     }
 }
 
@@ -107,7 +208,7 @@ pub enum PopPath {
     /// The population was evaluated from scratch.
     FullRecompute {
         /// How each include-term scan was executed, in evaluation order.
-        scans: Vec<ScanKind>,
+        scans: Vec<ScanEvent>,
     },
     /// Recomputation failed (fault, timeout) and the last good cached
     /// population was served instead — the result is explicitly stale.
@@ -213,6 +314,17 @@ pub struct QueryTrace {
     pub populations: Vec<PopulationTrace>,
     /// Result cardinality, when the result is a set or list.
     pub rows: Option<usize>,
+    /// Measured totals for the whole execution: every scan's work counters
+    /// folded together, plus the budget charges of the execute stage.
+    pub actuals: ScanActuals,
+    /// The engine that ran the top-level expression.
+    pub engine: Option<Engine>,
+    /// The query's literal-normalized fingerprint (16 hex digits; see
+    /// [`crate::fingerprint`]). Stable across processes for the same
+    /// normalized query text.
+    pub fingerprint: String,
+    /// The literal-normalized query text the fingerprint hashes.
+    pub normalized: String,
 }
 
 impl fmt::Display for QueryTrace {
@@ -222,6 +334,15 @@ impl fmt::Display for QueryTrace {
         }
         for p in &self.populations {
             writeln!(f, "{p}")?;
+        }
+        if let Some(engine) = self.engine {
+            writeln!(f, "engine: {engine}")?;
+        }
+        if !self.actuals.is_zero() {
+            writeln!(f, "actuals: {}", self.actuals)?;
+        }
+        if !self.fingerprint.is_empty() {
+            writeln!(f, "fingerprint: {}  {}", self.fingerprint, self.normalized)?;
         }
         if let Some(rows) = self.rows {
             writeln!(f, "rows: {rows}")?;
@@ -243,7 +364,7 @@ pub fn fmt_ns(ns: u64) -> String {
 
 /// One in-flight population frame: the scans recorded since its
 /// [`begin_population`].
-type ScanFrame = Vec<ScanKind>;
+type ScanFrame = Vec<ScanEvent>;
 
 struct Collector {
     events: Vec<PopulationTrace>,
@@ -254,6 +375,61 @@ struct Collector {
 
 thread_local! {
     static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+    /// Stack of open actuals frames (see [`with_scan_actuals`]); separate
+    /// from the collector so budget/row accounting can be measured even
+    /// where no population event is being built.
+    static ACTUALS: RefCell<Vec<ScanActuals>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Is an actuals frame open on this thread? Engine drivers check this once
+/// per scan before reporting (the per-row counting itself is plain local
+/// integers and is never gated).
+pub fn actuals_active() -> bool {
+    ACTUALS.with(|a| !a.borrow().is_empty())
+}
+
+/// Folds measured work counters into the innermost open actuals frame.
+/// No-op when no frame is open (the untraced, unprofiled hot path).
+pub fn add_actuals(actuals: &ScanActuals) {
+    ACTUALS.with(|a| {
+        if let Some(top) = a.borrow_mut().last_mut() {
+            top.absorb(actuals);
+        }
+    });
+}
+
+/// Runs `f` with a fresh actuals frame on this thread and returns its
+/// result together with everything measured while it ran: work counters
+/// reported by engine drivers via [`add_actuals`] (folded up from nested
+/// frames too), plus the thread budget's step/row charges as a
+/// before/after delta (0 when no [`crate::Budget`] is installed). The
+/// budget delta is measured here — outside both engines — so compiled and
+/// interpreted runs of the same work are identical by construction.
+///
+/// On return the popped frame's work counters are folded into the parent
+/// frame (if one is open); budget charges are not (the parent's own delta
+/// already covers them).
+pub fn with_scan_actuals<R>(f: impl FnOnce() -> R) -> (R, ScanActuals) {
+    let budget = crate::budget::current();
+    let before = budget
+        .as_ref()
+        .map(|b| (b.steps_used(), b.rows_used()))
+        .unwrap_or((0, 0));
+    ACTUALS.with(|a| a.borrow_mut().push(ScanActuals::default()));
+    let r = f();
+    let mut actuals = ACTUALS.with(|a| {
+        let mut frames = a.borrow_mut();
+        let popped = frames.pop().unwrap_or_default();
+        if let Some(parent) = frames.last_mut() {
+            parent.absorb(&popped);
+        }
+        popped
+    });
+    if let Some(b) = &budget {
+        actuals.steps = b.steps_used().saturating_sub(before.0);
+        actuals.rows_charged = b.rows_used().saturating_sub(before.1);
+    }
+    (r, actuals)
 }
 
 /// Is a trace collector installed on this thread? The view layer may use
@@ -273,12 +449,13 @@ pub fn begin_population() {
 }
 
 /// Records how an include-term scan of the current population frame was
-/// executed. No-op without a collector or an open frame.
-pub fn record_scan(kind: ScanKind) {
+/// executed, together with what it measured. No-op without a collector or
+/// an open frame.
+pub fn record_scan(kind: ScanKind, actuals: ScanActuals) {
     COLLECTOR.with(|c| {
         if let Some(col) = c.borrow_mut().as_mut() {
             if let Some(frame) = col.frames.last_mut() {
-                frame.push(kind);
+                frame.push(ScanEvent { kind, actuals });
             }
         }
     });
@@ -386,12 +563,18 @@ pub fn run_query_traced(src: &dyn DataSource, query: &str) -> Result<(ov_oodb::V
         },
     });
 
+    let (fp, normalized) = crate::fingerprint::fingerprint_expr(&expr);
+    trace.fingerprint = fp;
+    trace.normalized = normalized;
+
     let t0 = Instant::now();
-    let ((value, engine), populations) = {
+    let (((value, engine), populations), actuals) = {
         let _s = ov_oodb::span!("query.execute");
-        collect(|| match crate::compile::try_run_compiled(src, &optimized) {
-            Some(r) => (r, Engine::Compiled),
-            None => (crate::eval::eval_expr(src, &optimized), Engine::Interpreted),
+        with_scan_actuals(|| {
+            collect(|| match crate::compile::try_run_compiled(src, &optimized) {
+                Some(r) => (r, Engine::compiled_now()),
+                None => (crate::eval::eval_expr(src, &optimized), Engine::Interpreted),
+            })
         })
     };
     trace.stages.push(Stage {
@@ -400,6 +583,8 @@ pub fn run_query_traced(src: &dyn DataSource, query: &str) -> Result<(ov_oodb::V
         detail: format!("engine={engine}"),
     });
     trace.populations = populations;
+    trace.actuals = actuals;
+    trace.engine = Some(engine);
     let value = value?;
     trace.rows = match &value {
         ov_oodb::Value::Set(s) => Some(s.len()),
@@ -421,11 +606,19 @@ mod tests {
         }
     }
 
+    /// Wraps a kind in a zero-actuals [`ScanEvent`].
+    fn ev(kind: ScanKind) -> ScanEvent {
+        ScanEvent {
+            kind,
+            actuals: ScanActuals::default(),
+        }
+    }
+
     #[test]
     fn hooks_are_noops_without_a_collector() {
         assert!(!tracing_active());
         begin_population();
-        record_scan(seq());
+        record_scan(seq(), ScanActuals::default());
         end_population(sym("X"), PopOutcome::FullRecompute, 0, 1);
         abort_population();
         // Nothing to observe: the point is simply that none of it panics.
@@ -436,11 +629,14 @@ mod tests {
         let ((), events) = collect(|| {
             assert!(tracing_active());
             begin_population();
-            record_scan(ScanKind::Parallel {
-                chunks: 4,
-                engine: Engine::Compiled,
-            });
-            record_scan(seq());
+            record_scan(
+                ScanKind::Parallel {
+                    chunks: 4,
+                    engine: Engine::Compiled { batch: 1024 },
+                },
+                ScanActuals::default(),
+            );
+            record_scan(seq(), ScanActuals::default());
             end_population(sym("Adult"), PopOutcome::FullRecompute, 12, 5_000);
         });
         assert_eq!(events.len(), 1);
@@ -450,11 +646,11 @@ mod tests {
             events[0].path,
             PopPath::FullRecompute {
                 scans: vec![
-                    ScanKind::Parallel {
+                    ev(ScanKind::Parallel {
                         chunks: 4,
-                        engine: Engine::Compiled
-                    },
-                    seq()
+                        engine: Engine::Compiled { batch: 1024 }
+                    }),
+                    ev(seq())
                 ]
             }
         );
@@ -465,12 +661,15 @@ mod tests {
     fn nested_frames_attach_scans_to_the_right_population() {
         let ((), events) = collect(|| {
             begin_population(); // outer
-            record_scan(seq());
+            record_scan(seq(), ScanActuals::default());
             begin_population(); // inner
-            record_scan(ScanKind::IndexPushdown {
-                index: "Person.City".into(),
-                engine: Engine::Interpreted,
-            });
+            record_scan(
+                ScanKind::IndexPushdown {
+                    index: "Person.City".into(),
+                    engine: Engine::Interpreted,
+                },
+                ScanActuals::default(),
+            );
             end_population(sym("Inner"), PopOutcome::FullRecompute, 1, 10);
             end_population(sym("Outer"), PopOutcome::FullRecompute, 2, 20);
         });
@@ -479,15 +678,17 @@ mod tests {
         assert_eq!(
             events[0].path,
             PopPath::FullRecompute {
-                scans: vec![ScanKind::IndexPushdown {
+                scans: vec![ev(ScanKind::IndexPushdown {
                     index: "Person.City".into(),
                     engine: Engine::Interpreted,
-                }]
+                })]
             }
         );
         assert_eq!(
             events[1].path,
-            PopPath::FullRecompute { scans: vec![seq()] }
+            PopPath::FullRecompute {
+                scans: vec![ev(seq())]
+            }
         );
     }
 
@@ -495,10 +696,65 @@ mod tests {
     fn abort_closes_a_frame_without_an_event() {
         let ((), events) = collect(|| {
             begin_population();
-            record_scan(seq());
+            record_scan(seq(), ScanActuals::default());
             abort_population();
         });
         assert!(events.is_empty());
+    }
+
+    #[test]
+    fn actuals_frames_fold_into_parents_without_double_counting_budget() {
+        let ((), outer) = with_scan_actuals(|| {
+            let ((), inner) = with_scan_actuals(|| {
+                add_actuals(&ScanActuals {
+                    rows_scanned: 10,
+                    rows_matched: 4,
+                    batches: 1,
+                    cache_hits: 2,
+                    cache_misses: 1,
+                    ..ScanActuals::default()
+                });
+            });
+            assert_eq!(inner.rows_scanned, 10);
+            assert_eq!(inner.rows_matched, 4);
+            add_actuals(&ScanActuals {
+                rows_scanned: 5,
+                ..ScanActuals::default()
+            });
+        });
+        // Work counters fold up: 10 from the inner frame + 5 direct.
+        assert_eq!(outer.rows_scanned, 15);
+        assert_eq!(outer.rows_matched, 4);
+        assert_eq!(outer.batches, 1);
+        assert_eq!(outer.cache_hits, 2);
+        assert_eq!(outer.cache_misses, 1);
+        // No budget installed → no charges measured.
+        assert_eq!(outer.steps, 0);
+        assert_eq!(outer.rows_charged, 0);
+        assert!(!actuals_active());
+    }
+
+    #[test]
+    fn actuals_budget_charges_come_from_the_bracketing_delta() {
+        let budget = std::sync::Arc::new(crate::Budget::new());
+        crate::budget::with(budget, || {
+            let ((), outer) = with_scan_actuals(|| {
+                let b = crate::budget::current().unwrap();
+                b.step(0).unwrap();
+                b.step(0).unwrap();
+                let ((), inner) = with_scan_actuals(|| {
+                    let b = crate::budget::current().unwrap();
+                    b.step(0).unwrap();
+                    b.note_rows(7).unwrap();
+                });
+                assert_eq!(inner.steps, 1);
+                assert_eq!(inner.rows_charged, 7);
+            });
+            // The outer delta covers its own charges AND the nested frame's
+            // (inclusive bracketing — nothing is double-counted by folding).
+            assert_eq!(outer.steps, 3);
+            assert_eq!(outer.rows_charged, 7);
+        });
     }
 
     #[test]
@@ -533,14 +789,14 @@ mod tests {
         );
         let full = PopPath::FullRecompute {
             scans: vec![
-                ScanKind::IndexPushdown {
+                ev(ScanKind::IndexPushdown {
                     index: "Person.City".into(),
                     engine: Engine::Interpreted,
-                },
-                ScanKind::Parallel {
+                }),
+                ev(ScanKind::Parallel {
                     chunks: 8,
                     engine: Engine::Interpreted,
-                },
+                }),
             ],
         };
         assert_eq!(
@@ -552,30 +808,53 @@ mod tests {
     }
 
     #[test]
-    fn compiled_scans_carry_the_engine_marker() {
+    fn compiled_scans_carry_the_engine_and_batch_marker() {
         assert_eq!(seq().to_string(), "[seq]");
         assert_eq!(
             ScanKind::Sequential {
-                engine: Engine::Compiled
+                engine: Engine::Compiled { batch: 1024 }
             }
             .to_string(),
-            "[seq compiled]"
+            "[seq compiled b=1024]"
         );
         assert_eq!(
             ScanKind::Parallel {
                 chunks: 4,
-                engine: Engine::Compiled
+                engine: Engine::Compiled { batch: 0 }
             }
             .to_string(),
-            "[parallel ×4 compiled]"
+            "[parallel ×4 compiled b=0]"
         );
         assert_eq!(
             ScanKind::IndexPushdown {
                 index: "Person.City".into(),
-                engine: Engine::Compiled
+                engine: Engine::Compiled { batch: 256 }
             }
             .to_string(),
-            "[index Person.City compiled]"
+            "[index Person.City compiled b=256]"
+        );
+    }
+
+    #[test]
+    fn scan_events_render_actuals_only_when_measured() {
+        assert_eq!(ev(seq()).to_string(), "[seq]");
+        let measured = ScanEvent {
+            kind: ScanKind::Sequential {
+                engine: Engine::Compiled { batch: 2 },
+            },
+            actuals: ScanActuals {
+                rows_scanned: 6,
+                rows_matched: 2,
+                batches: 3,
+                steps: 20,
+                rows_charged: 2,
+                cache_hits: 5,
+                cache_misses: 1,
+            },
+        };
+        assert_eq!(
+            measured.to_string(),
+            "[seq compiled b=2] (scanned=6 matched=2 batches=3 steps=20 rows_charged=2 cache=5/6)"
         );
     }
 }

@@ -293,6 +293,56 @@ proptest! {
         }
     }
 
+    /// EXPLAIN ANALYZE actuals are engine- and batch-invariant: for one
+    /// query, the tree-walking interpreter and the compiled engine at batch
+    /// widths 0, 1, 3, and 1024 report identical rows-scanned,
+    /// rows-matched, and budget-step actuals in the query trace (batches
+    /// and resolution-cache counters are compiled-engine diagnostics and
+    /// legitimately differ).
+    #[test]
+    fn actuals_are_engine_and_batch_invariant(
+        threshold in -5i64..105,
+        q_idx in 0usize..4,
+    ) {
+        use ov_query::{run_query_traced, EngineMode};
+        let db = db();
+        let queries = [
+            format!("select V.Name from V in Person where V.Age >= {threshold}"),
+            format!("select V from V in Person where V.Age < {threshold}"),
+            format!("select V.Age from V in Person where V.Senior and V.Age > {threshold}"),
+            format!("count((select V from V in Person where V.Age != {threshold}))"),
+        ];
+        let q = &queries[q_idx];
+        // Each run gets a fresh unlimited budget so the trace's `steps`
+        // actual (a bracketed budget delta) is populated and comparable.
+        let mut runs = Vec::new();
+        let (v, trace) = ov_query::budget::with(Arc::new(Budget::new()), || {
+            ov_query::with_engine_mode(EngineMode::Interp, || run_query_traced(&db, q))
+        }).unwrap();
+        runs.push(("interp".to_string(), v, trace.actuals));
+        for batch in [0usize, 1, 3, 1024] {
+            let (v, trace) = ov_query::budget::with(Arc::new(Budget::new()), || {
+                ov_query::with_engine_mode(EngineMode::Compiled, || {
+                    ov_query::with_batch_rows(batch, || run_query_traced(&db, q))
+                })
+            }).unwrap();
+            runs.push((format!("compiled b={batch}"), v, trace.actuals));
+        }
+        let (_, v0, a0) = runs[0].clone();
+        for (label, v, a) in &runs[1..] {
+            prop_assert_eq!(v, &v0, "result divergence: {} on `{}`", label, q);
+            prop_assert_eq!(
+                a.rows_scanned, a0.rows_scanned,
+                "rows_scanned: {} on `{}`", label, q
+            );
+            prop_assert_eq!(
+                a.rows_matched, a0.rows_matched,
+                "rows_matched: {} on `{}`", label, q
+            );
+            prop_assert_eq!(a.steps, a0.steps, "steps: {} on `{}`", label, q);
+        }
+    }
+
     /// With no budget cap, an uncapped run still meters the same steps —
     /// the accounting itself (not just the breach behaviour) is identical.
     #[test]

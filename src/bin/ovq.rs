@@ -16,8 +16,12 @@
 //! | `.load FILE` | execute a script file |
 //! | `.dump DB` | print a database as DDL |
 //! | `.explain T Q` | plan + trace of query `Q` against database/view `T` |
+//! | `.analyze T Q` | EXPLAIN ANALYZE: measured trace + result of `Q` against `T` |
 //! | `.plan V C` | population plan of virtual class `C` of view `V` |
 //! | `.metrics [FILE]` | process-wide metrics snapshot as JSON |
+//! | `.workload …` | per-fingerprint workload profile (see `.help`) |
+//! | `.slowlog …` | slow-query log with annotated traces (see `.help`) |
+//! | `.stats [C]` | optimizer statistics (cardinality, NDV, min/max, nulls) |
 //! | `.trace on\|off\|dump FILE` | flight recorder control + Chrome-trace export |
 //! | `.faults …` | fault-injection control (see `.help`) |
 //! | `.budget …` | per-statement execution budget (see `.help`) |
@@ -42,8 +46,17 @@ const HELP: &str = "\
 .views           print every view definition as DDL\n\
 .save [FILE]     serialize the whole session as a script\n\
 .explain T Q     plan + trace of query Q against T\n\
+.analyze T Q     EXPLAIN ANALYZE: run Q against T, print the measured\n\
+                 trace (per-scan actuals, engine, fingerprint) + result\n\
 .plan V C        population plan of virtual class C of view V\n\
 .metrics [FILE]  process-wide metrics snapshot as JSON\n\
+.workload        per-fingerprint workload aggregates (needs `.workload on`)\n\
+.workload on|off|clear\n\
+                 toggle the profiler / reset the registry\n\
+.slowlog         captured slow queries with their annotated traces\n\
+.slowlog ms N | clear\n\
+                 set the slow threshold (milliseconds) / empty the ring\n\
+.stats [CLASS]   optimizer statistics: cardinality, NDV, min/max, nulls\n\
 .trace on|off    enable/disable the span flight recorder\n\
 .trace dump FILE write recorded spans to FILE (Chrome trace\n\
                  JSON; .jsonl suffix selects JSON-lines)\n\
@@ -213,6 +226,134 @@ fn meta(session: &mut Session, budget: &mut BudgetSpec, cmd: &str) -> bool {
                     Ok(text) => print!("{text}"),
                     Err(e) => eprintln!("error: {e}"),
                 }
+            }
+        }
+        ".analyze" => {
+            let mut parts = arg.splitn(2, ' ');
+            let target = parts.next().unwrap_or("");
+            let q = parts.next().unwrap_or("");
+            if target.is_empty() || q.is_empty() {
+                eprintln!("usage: .analyze TARGET QUERY");
+            } else {
+                match session.analyze(sym(target), q) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+        }
+        ".workload" => {
+            use objects_and_views::oodb::{profiling_enabled, set_profiling, workload};
+            match arg {
+                "on" => {
+                    set_profiling(true);
+                    println!("-- profiling on (queries now feed .workload/.slowlog/.stats)");
+                }
+                "off" => {
+                    set_profiling(false);
+                    println!("-- profiling off");
+                }
+                "clear" => {
+                    workload().clear();
+                    println!("-- workload registry cleared");
+                }
+                "" => {
+                    if !profiling_enabled() {
+                        println!("-- profiling is off (`.workload on` to start recording)");
+                    }
+                    let entries = workload().snapshot();
+                    if entries.is_empty() {
+                        println!("-- no workload recorded");
+                    }
+                    for (fp, e) in entries {
+                        let lat = e.latency.snapshot();
+                        println!(
+                            "{fp} calls={} rows={} mean={} p95={} compiled={} interp={} \
+                             pop[hit={} delta={} recompute={} stale={}]\n  {}",
+                            e.calls.get(),
+                            e.rows.get(),
+                            objects_and_views::query::plan::fmt_ns(lat.mean() as u64),
+                            objects_and_views::query::plan::fmt_ns(lat.p95()),
+                            e.compiled.get(),
+                            e.interpreted.get(),
+                            e.pop_cache_hits.get(),
+                            e.pop_deltas.get(),
+                            e.pop_recomputes.get(),
+                            e.pop_stale_serves.get(),
+                            e.normalized,
+                        );
+                    }
+                }
+                other => eprintln!("unknown `.workload {other}` (try on, off, clear)"),
+            }
+        }
+        ".slowlog" => {
+            use objects_and_views::oodb::slow_queries;
+            let mut parts = arg.split_whitespace();
+            match (parts.next().unwrap_or(""), parts.next()) {
+                ("", None) => {
+                    let log = slow_queries();
+                    let entries = log.entries();
+                    println!(
+                        "-- slow-query threshold {}; {} captured",
+                        objects_and_views::query::plan::fmt_ns(log.threshold_ns()),
+                        entries.len()
+                    );
+                    for e in entries {
+                        println!(
+                            "[{} fp={}] {}",
+                            objects_and_views::query::plan::fmt_ns(e.nanos),
+                            e.fingerprint,
+                            e.query.trim()
+                        );
+                        for line in e.trace.lines() {
+                            println!("  {line}");
+                        }
+                    }
+                }
+                ("clear", None) => {
+                    slow_queries().clear();
+                    println!("-- slow-query log cleared");
+                }
+                ("ms", Some(v)) => match v.parse::<u64>() {
+                    Ok(ms) => {
+                        slow_queries().set_threshold_ns(ms.saturating_mul(1_000_000));
+                        println!("-- slow-query threshold = {ms}ms");
+                    }
+                    Err(_) => eprintln!("error: `{v}` is not a number"),
+                },
+                _ => eprintln!("usage: .slowlog [ms N | clear]"),
+            }
+        }
+        ".stats" => {
+            let snap = objects_and_views::oodb::stats().snapshot();
+            let filter = if arg.is_empty() { None } else { Some(sym(arg)) };
+            let mut shown = 0usize;
+            for (class, cs) in &snap.classes {
+                if filter.is_some_and(|f| f != *class) {
+                    continue;
+                }
+                shown += 1;
+                println!(
+                    "{class}: cardinality={} (generation {})",
+                    cs.cardinality.map_or("-".into(), |n| n.to_string()),
+                    cs.generation
+                );
+                for (attr, a) in &cs.attrs {
+                    println!(
+                        "  .{attr} rows={} ndv={} nulls={:.2} min={} max={}",
+                        a.rows,
+                        a.ndv,
+                        a.null_fraction,
+                        a.min.as_ref().map_or("-".into(), |v| v.to_string()),
+                        a.max.as_ref().map_or("-".into(), |v| v.to_string()),
+                    );
+                }
+            }
+            if shown == 0 {
+                println!(
+                    "-- no statistics{} (run queries with `.workload on`)",
+                    filter.map_or(String::new(), |f| format!(" for {f}"))
+                );
             }
         }
         ".plan" => {
@@ -525,8 +666,25 @@ mod tests {
     #[test]
     fn help_documents_every_meta_command() {
         for cmd in [
-            ".help", ".schema", ".use", ".load", ".dump", ".views", ".save", ".explain", ".plan",
-            ".metrics", ".trace", ".faults", ".budget", ".engine", ".quit",
+            ".help",
+            ".schema",
+            ".use",
+            ".load",
+            ".dump",
+            ".views",
+            ".save",
+            ".explain",
+            ".analyze",
+            ".plan",
+            ".metrics",
+            ".workload",
+            ".slowlog",
+            ".stats",
+            ".trace",
+            ".faults",
+            ".budget",
+            ".engine",
+            ".quit",
         ] {
             assert!(HELP.contains(cmd), "`.help` must document `{cmd}`");
         }
