@@ -88,6 +88,7 @@ fn main() {
     e15_stacked_views();
     e16_batched_execution();
     e17_profiling_overhead();
+    e18_durability(&args);
     write_metrics_and_trace(&args);
     if let Some(path) = &args.save_baseline {
         let json = baseline::to_json(&baseline::snapshot());
@@ -184,6 +185,8 @@ struct Args {
     threshold: f64,
     chaos: Option<u64>,
     budget_ms: Option<u64>,
+    data_dir: Option<String>,
+    durability: Option<ov_oodb::Durability>,
 }
 
 const USAGE: &str = "\
@@ -213,6 +216,10 @@ usage: harness [FLAGS]
   --budget-ms N         (chaos only) run every chaos read under an N ms
                         deadline budget; breaches must surface as typed
                         ResourceExhausted/Cancelled errors
+  --data-dir DIR        root for E18's durable stores; files are kept for
+                        inspection (default: a temp dir, removed after)
+  --durability LEVEL    limit E18 to one commit level: none | wal | walsync
+                        (default: all three)
   --help                this text
 
 --baseline and --save-baseline are mutually exclusive (a snapshot taken and
@@ -237,6 +244,8 @@ fn parse_args() -> Args {
         threshold: baseline::DEFAULT_THRESHOLD,
         chaos: None,
         budget_ms: None,
+        data_dir: None,
+        durability: None,
     };
     let mut threshold_set = false;
     let mut args = std::env::args().skip(1).peekable();
@@ -318,6 +327,21 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| die(&format!("--budget-ms: `{v}` is not a number")));
                 out.budget_ms = Some(n);
+            }
+            "--data-dir" => {
+                out.data_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--data-dir needs a directory")),
+                )
+            }
+            "--durability" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--durability needs a level: none, wal, walsync"));
+                out.durability = Some(
+                    ov_oodb::Durability::parse(&v)
+                        .unwrap_or_else(|| die(&format!("--durability: unknown level `{v}`"))),
+                );
             }
             other => die(&format!("unknown flag `{other}`")),
         }
@@ -1608,6 +1632,97 @@ fn e17_profiling_overhead() {
         );
     }
     ov_oodb::set_profiling(was_profiling);
+}
+
+/// E18: what durability costs. Per-commit latency of inserts and updates
+/// under each durability level, then the other side of the bargain:
+/// recovery time for a WAL-only restart, and checkpoint time (after which
+/// restarts ride the snapshot instead of replaying history).
+fn e18_durability(args: &Args) {
+    use ov_oodb::{AttrDef, Database, Durability, Type};
+
+    header(
+        "E18",
+        "durability: commit latency, WAL recovery, checkpoint under None / Wal / WalSync (extension)",
+    );
+    row(
+        "level",
+        &[
+            "insert".into(),
+            "update".into(),
+            "recovery".into(),
+            "objects".into(),
+            "checkpoint".into(),
+        ],
+    );
+    const N: u32 = 500;
+    let root = match &args.data_dir {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("ov-e18-{}", std::process::id())),
+    };
+    let keep = args.data_dir.is_some();
+    let levels = match args.durability {
+        Some(level) => vec![level],
+        None => vec![Durability::None, Durability::Wal, Durability::WalSync],
+    };
+    for level in levels {
+        let dir = root.join(format!("e18-{}", level.as_str()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (t_insert, t_update) = {
+            let mut db = Database::open(sym("E18"), &dir, level).unwrap();
+            let class = db
+                .create_class(
+                    sym("Person"),
+                    &[],
+                    vec![AttrDef::stored(sym("Age"), Type::Int)],
+                )
+                .unwrap();
+            let mut i = 0i64;
+            let t_insert = time_ns(N, || {
+                i += 1;
+                db.create_object(class, Value::tuple([(sym("Age"), Value::Int(i % 90))]))
+                    .unwrap();
+            });
+            let oids = db.store.sorted_oids();
+            let mut j = 0usize;
+            let t_update = time_ns(N, || {
+                j += 1;
+                db.set_attr(
+                    oids[j % oids.len()],
+                    sym("Age"),
+                    Value::Int((j % 90) as i64),
+                )
+                .unwrap();
+            });
+            (t_insert, t_update)
+        };
+        // Recovery replays the whole history from the WAL.
+        let t0 = std::time::Instant::now();
+        let db = Database::open(sym("E18"), &dir, level).unwrap();
+        let t_recover = t0.elapsed().as_nanos() as f64;
+        let objects = db.store.len();
+        let t1 = std::time::Instant::now();
+        db.checkpoint().unwrap();
+        let t_checkpoint = t1.elapsed().as_nanos() as f64;
+        drop(db);
+        let label = level.as_str();
+        row(
+            label,
+            &[
+                tcell(label, "insert", t_insert),
+                tcell(label, "update", t_update),
+                tcell(label, "recovery", t_recover),
+                objects.to_string(),
+                tcell(label, "checkpoint", t_checkpoint),
+            ],
+        );
+        if !keep {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    if keep {
+        println!("# durable stores kept under {}", root.display());
+    }
 }
 
 fn e12_relational() {

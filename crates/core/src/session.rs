@@ -10,8 +10,9 @@
 //! This is the engine behind the `ovq` REPL binary (workspace root).
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 
-use ov_oodb::{Oid, Symbol, System, Value};
+use ov_oodb::{sym, Durability, Oid, OodbError, Symbol, System, Value, WalStatus};
 use ov_query::{execute_stmts_with_map, parse_program, Stmt};
 
 use crate::def::{AttrDecl, Hide, Import, ViewDef, ViewElement, VirtualClassDef};
@@ -55,7 +56,18 @@ pub struct Session {
     /// session's statements via the thread-scoped override, so concurrent
     /// sessions with different `.engine` settings never race on a global.
     engine: Option<ov_query::EngineMode>,
+    /// Root directory of a durable session ([`Session::open`]); `None` for
+    /// in-memory sessions. Databases live under `<root>/databases/<name>/`,
+    /// view definitions in `<root>/views.ovq`.
+    durable_root: Option<PathBuf>,
+    /// Durability level applied to every database this session opens or
+    /// creates. Irrelevant (always `None`) for in-memory sessions.
+    durability: Durability,
 }
+
+/// File (under the durable root) holding the session's view definitions as
+/// a checked DDL script, rewritten atomically after every view-DDL change.
+const VIEWS_FILE: &str = "views.ovq";
 
 impl Default for Session {
     fn default() -> Self {
@@ -74,7 +86,86 @@ impl Session {
             graph: DependencyGraph::new(),
             oid_map: HashMap::new(),
             engine: None,
+            durable_root: None,
+            durability: Durability::None,
         }
+    }
+
+    /// Opens (or creates) a durable session rooted at `dir`.
+    ///
+    /// Recovery order: every subdirectory of `<dir>/databases/` is opened
+    /// via [`ov_oodb::Database::open`] (snapshot + WAL replay, in name
+    /// order), then `<dir>/views.ovq` — the checked script of view
+    /// definitions — is verified and replayed, rebinding each view against
+    /// the recovered bases. Imaginary-object identity is restored from the
+    /// databases' durable identity tables when the views rebind, so
+    /// imaginary oids are stable across open/close cycles.
+    ///
+    /// `durability` applies to every database the session opens here or
+    /// creates later (`database D;` statements create durable databases
+    /// under the root).
+    pub fn open(dir: &Path, durability: Durability) -> Result<Session> {
+        Session::open_with_options(dir, durability, ViewOptions::default())
+    }
+
+    /// [`Session::open`] with non-default view options.
+    pub fn open_with_options(
+        dir: &Path,
+        durability: Durability,
+        options: ViewOptions,
+    ) -> Result<Session> {
+        let mut session = Session::with_options(options);
+        let dbs_dir = dir.join("databases");
+        std::fs::create_dir_all(&dbs_dir)
+            .map_err(|e| ViewError::Oodb(OodbError::io("session.open: creating root", e)))?;
+        let mut names: Vec<String> = std::fs::read_dir(&dbs_dir)
+            .map_err(|e| ViewError::Oodb(OodbError::io("session.open: listing databases", e)))?
+            .filter_map(|entry| {
+                let entry = entry.ok()?;
+                if entry.file_type().ok()?.is_dir() {
+                    entry.file_name().into_string().ok()
+                } else {
+                    None
+                }
+            })
+            .collect();
+        names.sort();
+        for name in &names {
+            let db = ov_oodb::Database::open(sym(name), &dbs_dir.join(name), durability)
+                .map_err(ViewError::Oodb)?;
+            session.system.add_database(db).map_err(ViewError::Oodb)?;
+        }
+        match std::fs::read_to_string(dir.join(VIEWS_FILE)) {
+            Ok(text) => {
+                let script = ov_oodb::read_checked(&text).map_err(ViewError::Oodb)?;
+                session.execute(script)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(ViewError::Oodb(OodbError::io(
+                    "session.open: reading views.ovq",
+                    e,
+                )))
+            }
+        }
+        // Replay leaves the prompt wherever the script ended; a freshly
+        // opened session starts unfocused, like a freshly created one.
+        session.focus = Focus::Nothing;
+        session.oid_map.clear();
+        session.durable_root = Some(dir.to_path_buf());
+        session.durability = durability;
+        Ok(session)
+    }
+
+    /// The durable root directory, if this session was opened with
+    /// [`Session::open`].
+    pub fn durable_root(&self) -> Option<&Path> {
+        self.durable_root.as_deref()
+    }
+
+    /// The durability level this session's databases run at.
+    pub fn durability(&self) -> Durability {
+        self.durability
     }
 
     /// Sets this session's execution engine ([`ov_query::EngineMode`]).
@@ -177,7 +268,20 @@ impl Session {
         match stmt {
             Stmt::Database(name) => {
                 if self.system.database(name).is_err() {
-                    self.system.create_database(name)?;
+                    match &self.durable_root {
+                        // Durable sessions create durable databases: an
+                        // empty directory under the root, opened with the
+                        // session's durability so every write WAL-logs.
+                        Some(root) => {
+                            let dir = root.join("databases").join(name.to_string());
+                            let db = ov_oodb::Database::open(name, &dir, self.durability)
+                                .map_err(ViewError::Oodb)?;
+                            self.system.add_database(db).map_err(ViewError::Oodb)?;
+                        }
+                        None => {
+                            self.system.create_database(name)?;
+                        }
+                    }
                 }
                 self.focus = Focus::Database(name);
                 Ok(Outcome::Notice(format!("database {name}")))
@@ -296,6 +400,7 @@ impl Session {
         let name = def.name;
         self.graph.set(name, view.dependencies().to_vec());
         self.views.insert(name, (def, view));
+        self.persist_views_best_effort();
     }
 
     /// Removes `name` from the session (views map, dependency graph, and
@@ -306,6 +411,7 @@ impl Session {
         if self.focus == Focus::View(name) {
             self.focus = Focus::Nothing;
         }
+        self.persist_views_best_effort();
     }
 
     /// Replaces (or introduces) a view definition, then atomically
@@ -320,7 +426,10 @@ impl Session {
         let new_edges = self.views[&name].1.dependencies().to_vec();
         self.graph.set(name, new_edges);
         match self.rebind_dependents(DepTarget::View(name), name) {
-            Ok(n) => Ok(n),
+            Ok(n) => {
+                self.persist_views_best_effort();
+                Ok(n)
+            }
             Err(e) => {
                 // Roll back: restore the previous entry and edges.
                 match old {
@@ -507,6 +616,76 @@ impl Session {
         for vname in self.graph.topo_order(self.view_names()) {
             let (def, _) = &self.views[&vname];
             out.push_str(&def.to_script());
+        }
+        out
+    }
+
+    /// Rewrites `<root>/views.ovq` — the checked script of every view
+    /// definition, in dependency order — atomically (temp file, fsync,
+    /// rename). A no-op for in-memory sessions.
+    pub fn persist_views(&self) -> Result<()> {
+        let Some(root) = &self.durable_root else {
+            return Ok(());
+        };
+        let mut script = String::new();
+        for vname in self.graph.topo_order(self.view_names()) {
+            script.push_str(&self.views[&vname].0.to_script());
+        }
+        let text = ov_oodb::wrap_checked(&script);
+        let write = || -> std::io::Result<()> {
+            use std::io::Write as _;
+            let tmp = root.join("views.ovq.tmp");
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+            drop(f);
+            std::fs::rename(&tmp, root.join(VIEWS_FILE))?;
+            if let Ok(d) = std::fs::File::open(root) {
+                let _ = d.sync_all();
+            }
+            Ok(())
+        };
+        write().map_err(|e| ViewError::Oodb(OodbError::io("session: persisting views.ovq", e)))
+    }
+
+    /// [`Session::persist_views`], degrading on failure: view DDL already
+    /// committed in memory stays committed; the miss is counted
+    /// (`session.views_persist_failures`) and the next successful rewrite
+    /// or [`Session::checkpoint`] heals the file.
+    fn persist_views_best_effort(&self) {
+        if self.persist_views().is_err() {
+            ov_oodb::metric_counter!("session.views_persist_failures").inc();
+        }
+    }
+
+    /// Checkpoints every durable database (snapshot + WAL truncation) and
+    /// strictly rewrites `views.ovq`. Returns the number of databases
+    /// checkpointed. Errors if any checkpoint or the view rewrite fails;
+    /// an error leaves earlier checkpoints in place (they are independent).
+    pub fn checkpoint(&self) -> Result<usize> {
+        let mut n = 0;
+        for db_name in self.system.names() {
+            let db = self.system.database(db_name).expect("listed");
+            let db = db.read();
+            if db.durable_core().is_some() {
+                db.checkpoint().map_err(ViewError::Oodb)?;
+                n += 1;
+            }
+        }
+        self.persist_views()?;
+        Ok(n)
+    }
+
+    /// Per-database WAL status (durable databases only, in name order) —
+    /// behind the `ovq` shell's `.wal` command.
+    pub fn wal_status(&self) -> Vec<(Symbol, WalStatus)> {
+        let mut out = Vec::new();
+        for db_name in self.system.names() {
+            let db = self.system.database(db_name).expect("listed");
+            let db = db.read();
+            if let Some(core) = db.durable_core() {
+                out.push((db_name, core.status()));
+            }
         }
         out
     }

@@ -45,8 +45,8 @@ use parking_lot::RwLock;
 
 use ov_oodb::ids::IMAGINARY_OID_BASE;
 use ov_oodb::{
-    AttrBody, AttrDef, AttrSig, ClassGraph, ClassId, ConflictPolicy, DbHandle, Expr, Oid,
-    OodbError, Schema, SelectExpr, Symbol, System, Tuple, Type, Value,
+    AttrBody, AttrDef, AttrSig, ClassGraph, ClassId, ConflictPolicy, DbHandle, DurableCore, Expr,
+    Oid, OodbError, Schema, SelectExpr, Symbol, System, Tuple, Type, Value,
 };
 use ov_query::{
     eval_select, infer_select_in, plan, resolve_type, DataSource, IncludeSpec, ParallelConfig,
@@ -260,6 +260,10 @@ pub struct View {
     kinds: RwLock<HashMap<ClassId, ClassKind>>,
     virt: RwLock<HashMap<ClassId, VirtualInfo>>,
     sources: Vec<DbHandle>,
+    /// Durability cores of durable sources (deduplicated). Imaginary
+    /// identity assignments are logged here so §5.1 identity survives
+    /// restarts; empty for purely in-memory sources.
+    durable: Vec<Arc<DurableCore>>,
     /// Per-source map from source class ids to view class ids.
     import_maps: Vec<HashMap<ClassId, ClassId>>,
     hidden_attrs: Vec<(ClassId, Symbol)>,
@@ -465,6 +469,7 @@ impl<'a> Binder<'a> {
             kinds: RwLock::new(HashMap::new()),
             virt: RwLock::new(HashMap::new()),
             sources: Vec::new(),
+            durable: Vec::new(),
             import_maps: Vec::new(),
             hidden_attrs: Vec::new(),
             hidden_classes: HashSet::new(),
@@ -538,6 +543,10 @@ impl<'a> Binder<'a> {
             .into_iter()
             .map(|(on, classes)| DepEdge { on, classes })
             .collect();
+        // With every class defined, re-adopt identity assignments an
+        // earlier incarnation of this view persisted (§5.1 across
+        // restarts).
+        view.adopt_durable_identity();
         Ok(view)
     }
 }
@@ -1095,6 +1104,11 @@ impl View {
         let handle = system.database(import.db)?;
         let source_idx = self.sources.len();
         let db = handle.read();
+        if let Some(core) = db.durable_core() {
+            if !self.durable.iter().any(|c| Arc::ptr_eq(c, &core)) {
+                self.durable.push(core);
+            }
+        }
         let mut map: HashMap<ClassId, ClassId> = HashMap::new();
         let mut visible: Vec<Symbol> = Vec::new();
         // Which source classes come in, in creation (= topological) order?
@@ -2364,6 +2378,14 @@ impl View {
     /// different oid when used in a different class.)"
     fn imaginary_oid(&self, class: ClassId, core: Tuple) -> Oid {
         if self.identity_mode == IdentityMode::Table {
+            // Resolve the durable class *name* before the identity lock:
+            // names are the durable key (ids are rebuilt per bind), and
+            // taking the schema lock later would invert lock orders.
+            let durable_name = if self.durable.is_empty() {
+                None
+            } else {
+                Some(self.schema.read().class(class).name)
+            };
             // Check-and-assign under one write lock: two threads mapping
             // the same tuple concurrently must agree on its oid.
             let mut identity = self.identity.write();
@@ -2374,9 +2396,20 @@ impl View {
             let oid = Oid(self.next_imaginary.fetch_add(1, Ordering::Relaxed));
             table.insert(core.clone(), oid);
             drop(identity);
-            self.imaginary
-                .write()
-                .insert(oid, ImaginaryObject { class, core });
+            self.imaginary.write().insert(
+                oid,
+                ImaginaryObject {
+                    class,
+                    core: core.clone(),
+                },
+            );
+            // Only the winning assignment reaches the WAL; losers returned
+            // early above. Logging happens outside every lock.
+            if let Some(name) = durable_name {
+                for d in &self.durable {
+                    d.log_identity_assign(self.name, name, core.clone(), oid);
+                }
+            }
             oid
         } else {
             let oid = Oid(self.next_imaginary.fetch_add(1, Ordering::Relaxed));
@@ -2418,18 +2451,27 @@ impl View {
         let Some(table) = identity.get_mut(&class) else {
             return Ok(0);
         };
-        let before = table.len();
-        let dead: Vec<Oid> = table
-            .values()
-            .copied()
-            .filter(|o| !live.contains(o))
+        let dead: Vec<(Tuple, Oid)> = table
+            .iter()
+            .filter(|(_, o)| !live.contains(o))
+            .map(|(t, o)| (t.clone(), *o))
             .collect();
         table.retain(|_, oid| live.contains(oid));
         let mut imaginary = self.imaginary.write();
-        for o in &dead {
+        for (_, o) in &dead {
             imaginary.remove(o);
         }
-        Ok(before - table.len())
+        drop(imaginary);
+        drop(identity);
+        if !self.durable.is_empty() && !dead.is_empty() {
+            let class_name = self.schema.read().class(class).name;
+            for (tuple, _) in &dead {
+                for d in &self.durable {
+                    d.log_identity_drop(self.name, class_name, tuple);
+                }
+            }
+        }
+        Ok(dead.len())
     }
 
     /// Number of identity-table entries for a named imaginary class
@@ -2646,16 +2688,16 @@ impl View {
     /// (with its cached imaginary object). Lock order identity → imaginary,
     /// matching [`Self::gc_identity`] and [`Self::imaginary_oid`].
     fn purge_dead_identity(&self, dead: Oid) {
-        let mut purged: Vec<Oid> = Vec::new();
+        let mut purged: Vec<(ClassId, Tuple, Oid)> = Vec::new();
         let mut identity = self.identity.write();
-        for table in identity.values_mut() {
+        for (&class, table) in identity.iter_mut() {
             table.retain(|tuple, &mut im_oid| {
                 let mut refs = Vec::new();
                 for (_, v) in tuple.iter() {
                     v.collect_oids(&mut refs);
                 }
                 if refs.contains(&dead) {
-                    purged.push(im_oid);
+                    purged.push((class, tuple.clone(), im_oid));
                     false
                 } else {
                     true
@@ -2663,13 +2705,69 @@ impl View {
             });
         }
         let mut imaginary = self.imaginary.write();
-        for o in &purged {
+        for (_, _, o) in &purged {
             imaginary.remove(o);
         }
         drop(imaginary);
         drop(identity);
         if !purged.is_empty() {
             ov_oodb::metric_counter!("views.identity_purged").add(purged.len() as u64);
+            if !self.durable.is_empty() {
+                let schema = self.schema.read();
+                for (class, tuple, _) in &purged {
+                    let class_name = schema.class(*class).name;
+                    for d in &self.durable {
+                        d.log_identity_drop(self.name, class_name, tuple);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-seats identity assignments persisted by an earlier incarnation
+    /// of this view (recovered by the sources' durability cores): each
+    /// durable `(class name, core tuple) → oid` entry whose class is still
+    /// an imaginary class of this view is installed in the in-memory
+    /// tables, and the imaginary-oid allocator starts above every
+    /// recovered oid. Called once at the end of bind.
+    fn adopt_durable_identity(&self) {
+        if self.durable.is_empty() {
+            return;
+        }
+        let schema = self.schema.read();
+        let kinds = self.kinds.read();
+        let mut identity = self.identity.write();
+        let mut imaginary = self.imaginary.write();
+        let mut floor = IMAGINARY_OID_BASE;
+        let mut adopted = 0u64;
+        for core in &self.durable {
+            floor = floor.max(core.next_imaginary());
+            for (class_name, tuple, oid) in core.identity_for_view(self.name) {
+                let Some(cid) = schema.class_by_name(class_name) else {
+                    continue; // class no longer in the view definition
+                };
+                if !matches!(kinds.get(&cid), Some(ClassKind::Imaginary { .. })) {
+                    continue;
+                }
+                let table = identity.entry(cid).or_default();
+                if table.contains_key(&tuple) {
+                    continue;
+                }
+                table.insert(tuple.clone(), oid);
+                imaginary.insert(
+                    oid,
+                    ImaginaryObject {
+                        class: cid,
+                        core: tuple,
+                    },
+                );
+                floor = floor.max(oid.0 + 1);
+                adopted += 1;
+            }
+        }
+        self.next_imaginary.fetch_max(floor, Ordering::Relaxed);
+        if adopted > 0 {
+            ov_oodb::metric_counter!("views.identity_adopted").add(adopted);
         }
     }
 

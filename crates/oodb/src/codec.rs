@@ -1,0 +1,924 @@
+//! Binary encoding for the durability layer.
+//!
+//! The WAL ([`crate::wal`]) and snapshot pager ([`crate::pager`]) share one
+//! hand-rolled, dependency-free binary codec: little-endian fixed-width
+//! integers, length-prefixed strings, and a one-byte tag per enum variant.
+//! Decoding is **bounds-checked everywhere** and returns
+//! [`OodbError::Corrupt`] with a context string instead of panicking — a
+//! torn or foreign file must surface as a typed error (the same discipline
+//! the dump loader follows).
+//!
+//! [`Symbol`]s serialize as their strings: symbol ids are process-local
+//! intern indices and mean nothing across restarts. [`ClassId`]s serialize
+//! as raw `u32` indices, which is sound because [`crate::Schema`] assigns
+//! ids sequentially in creation order and both snapshot encode and WAL
+//! replay walk classes in that same order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::{OodbError, Result};
+use crate::expr::{AggFunc, BinOp, Expr, SelectExpr, UnOp};
+use crate::ids::{ClassId, Oid};
+use crate::schema::{AttrBody, AttrDef, AttrSig};
+use crate::symbol::Symbol;
+use crate::types::Type;
+use crate::value::{Tuple, Value};
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected, table-driven)
+// ---------------------------------------------------------------------------
+
+/// The 256-entry lookup table for the reflected IEEE polynomial 0xEDB88320,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes` — the checksum used by every durable structure
+/// in this crate (WAL record frames, snapshot pages, checked dumps).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// An append-only byte buffer with typed little-endian put methods.
+#[derive(Default, Debug)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`, little-endian two's complement.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a length-prefixed (`u32`) UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(u32::try_from(s.len()).expect("string longer than 4 GiB"));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a symbol (as its string — intern ids are process-local).
+    pub fn put_symbol(&mut self, s: Symbol) {
+        self.put_str(s.as_str());
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked cursor over encoded bytes. Every take method returns
+/// [`OodbError::Corrupt`] naming `context` when the buffer runs out.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    context: &'a str,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`; `context` names the structure being decoded in
+    /// corruption errors (e.g. `"wal record"`).
+    pub fn new(buf: &'a [u8], context: &'a str) -> Reader<'a> {
+        Reader {
+            buf,
+            pos: 0,
+            context,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Has the whole buffer been consumed?
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn short(&self, what: &str) -> OodbError {
+        OodbError::corrupt(format!(
+            "{}: truncated while reading {what} at offset {}",
+            self.context, self.pos
+        ))
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.short(what));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn take_i64(&mut self) -> Result<i64> {
+        Ok(self.take_u64()? as i64)
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len, "string body")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| OodbError::corrupt(format!("{}: string is not valid UTF-8", self.context)))
+    }
+
+    /// Reads a symbol (interning its string).
+    pub fn take_symbol(&mut self) -> Result<Symbol> {
+        Ok(Symbol::new(&self.take_str()?))
+    }
+
+    /// Reads a `u32` length prefix, validated against the remaining buffer
+    /// so a corrupt length cannot drive an over-allocation.
+    pub fn take_len(&mut self, elem_min_bytes: usize) -> Result<usize> {
+        let n = self.take_u32()? as usize;
+        if n.saturating_mul(elem_min_bytes.max(1)) > self.remaining() {
+            return Err(OodbError::corrupt(format!(
+                "{}: implausible element count {n} at offset {}",
+                self.context,
+                self.pos - 4
+            )));
+        }
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`Value`] (one tag byte, then the payload).
+pub fn put_value(w: &mut Writer, v: &Value) {
+    match v {
+        Value::Null => w.put_u8(0),
+        Value::Bool(b) => {
+            w.put_u8(1);
+            w.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            w.put_u8(2);
+            w.put_i64(*i);
+        }
+        Value::Float(x) => {
+            w.put_u8(3);
+            w.put_f64(*x);
+        }
+        Value::Str(s) => {
+            w.put_u8(4);
+            w.put_str(s);
+        }
+        Value::Oid(o) => {
+            w.put_u8(5);
+            w.put_u64(o.0);
+        }
+        Value::Tuple(t) => {
+            w.put_u8(6);
+            put_tuple(w, t);
+        }
+        Value::Set(s) => {
+            w.put_u8(7);
+            w.put_u32(s.len() as u32);
+            for e in s {
+                put_value(w, e);
+            }
+        }
+        Value::List(l) => {
+            w.put_u8(8);
+            w.put_u32(l.len() as u32);
+            for e in l {
+                put_value(w, e);
+            }
+        }
+    }
+}
+
+/// Decodes a [`Value`].
+pub fn take_value(r: &mut Reader<'_>) -> Result<Value> {
+    Ok(match r.take_u8()? {
+        0 => Value::Null,
+        1 => Value::Bool(r.take_u8()? != 0),
+        2 => Value::Int(r.take_i64()?),
+        3 => Value::Float(r.take_f64()?),
+        4 => Value::Str(r.take_str()?.into()),
+        5 => Value::Oid(Oid(r.take_u64()?)),
+        6 => Value::Tuple(take_tuple(r)?),
+        7 => {
+            let n = r.take_len(1)?;
+            let mut s = BTreeSet::new();
+            for _ in 0..n {
+                s.insert(take_value(r)?);
+            }
+            Value::Set(s)
+        }
+        8 => {
+            let n = r.take_len(1)?;
+            let mut l = Vec::with_capacity(n);
+            for _ in 0..n {
+                l.push(take_value(r)?);
+            }
+            Value::List(l)
+        }
+        tag => return Err(bad_tag(r, "value", tag)),
+    })
+}
+
+/// Encodes a [`Tuple`] (field count, then name-ordered `(symbol, value)`
+/// pairs — the `BTreeMap` iteration order, so encoding is deterministic).
+pub fn put_tuple(w: &mut Writer, t: &Tuple) {
+    w.put_u32(t.len() as u32);
+    for (name, v) in t.iter() {
+        w.put_symbol(name);
+        put_value(w, v);
+    }
+}
+
+/// Decodes a [`Tuple`].
+pub fn take_tuple(r: &mut Reader<'_>) -> Result<Tuple> {
+    let n = r.take_len(5)?;
+    let mut fields = BTreeMap::new();
+    for _ in 0..n {
+        let name = r.take_symbol()?;
+        fields.insert(name, take_value(r)?);
+    }
+    Ok(Tuple(fields))
+}
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`Type`].
+pub fn put_type(w: &mut Writer, t: &Type) {
+    match t {
+        Type::Any => w.put_u8(0),
+        Type::Nothing => w.put_u8(1),
+        Type::Bool => w.put_u8(2),
+        Type::Int => w.put_u8(3),
+        Type::Float => w.put_u8(4),
+        Type::Str => w.put_u8(5),
+        Type::Class(c) => {
+            w.put_u8(6);
+            w.put_u32(c.0);
+        }
+        Type::Tuple(fields) => {
+            w.put_u8(7);
+            w.put_u32(fields.len() as u32);
+            for (name, ft) in fields {
+                w.put_symbol(*name);
+                put_type(w, ft);
+            }
+        }
+        Type::Set(e) => {
+            w.put_u8(8);
+            put_type(w, e);
+        }
+        Type::List(e) => {
+            w.put_u8(9);
+            put_type(w, e);
+        }
+    }
+}
+
+/// Decodes a [`Type`].
+pub fn take_type(r: &mut Reader<'_>) -> Result<Type> {
+    Ok(match r.take_u8()? {
+        0 => Type::Any,
+        1 => Type::Nothing,
+        2 => Type::Bool,
+        3 => Type::Int,
+        4 => Type::Float,
+        5 => Type::Str,
+        6 => Type::Class(ClassId(r.take_u32()?)),
+        7 => {
+            let n = r.take_len(5)?;
+            let mut fields = BTreeMap::new();
+            for _ in 0..n {
+                let name = r.take_symbol()?;
+                fields.insert(name, take_type(r)?);
+            }
+            Type::Tuple(fields)
+        }
+        8 => Type::set(take_type(r)?),
+        9 => Type::list(take_type(r)?),
+        tag => return Err(bad_tag(r, "type", tag)),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+fn bin_op_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Mod => 4,
+        BinOp::Concat => 5,
+        BinOp::Eq => 6,
+        BinOp::Ne => 7,
+        BinOp::Lt => 8,
+        BinOp::Le => 9,
+        BinOp::Gt => 10,
+        BinOp::Ge => 11,
+        BinOp::And => 12,
+        BinOp::Or => 13,
+        BinOp::In => 14,
+        BinOp::Union => 15,
+        BinOp::Intersect => 16,
+        BinOp::Except => 17,
+    }
+}
+
+fn bin_op_from_tag(r: &Reader<'_>, tag: u8) -> Result<BinOp> {
+    Ok(match tag {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Mod,
+        5 => BinOp::Concat,
+        6 => BinOp::Eq,
+        7 => BinOp::Ne,
+        8 => BinOp::Lt,
+        9 => BinOp::Le,
+        10 => BinOp::Gt,
+        11 => BinOp::Ge,
+        12 => BinOp::And,
+        13 => BinOp::Or,
+        14 => BinOp::In,
+        15 => BinOp::Union,
+        16 => BinOp::Intersect,
+        17 => BinOp::Except,
+        t => return Err(bad_tag(r, "binary operator", t)),
+    })
+}
+
+fn agg_tag(f: AggFunc) -> u8 {
+    match f {
+        AggFunc::Count => 0,
+        AggFunc::Sum => 1,
+        AggFunc::Min => 2,
+        AggFunc::Max => 3,
+        AggFunc::Avg => 4,
+        AggFunc::Flatten => 5,
+    }
+}
+
+fn agg_from_tag(r: &Reader<'_>, tag: u8) -> Result<AggFunc> {
+    Ok(match tag {
+        0 => AggFunc::Count,
+        1 => AggFunc::Sum,
+        2 => AggFunc::Min,
+        3 => AggFunc::Max,
+        4 => AggFunc::Avg,
+        5 => AggFunc::Flatten,
+        t => return Err(bad_tag(r, "aggregate function", t)),
+    })
+}
+
+/// Encodes an [`Expr`].
+pub fn put_expr(w: &mut Writer, e: &Expr) {
+    match e {
+        Expr::Lit(v) => {
+            w.put_u8(0);
+            put_value(w, v);
+        }
+        Expr::SelfRef => w.put_u8(1),
+        Expr::Name(n) => {
+            w.put_u8(2);
+            w.put_symbol(*n);
+        }
+        Expr::Attr { recv, name, args } => {
+            w.put_u8(3);
+            put_expr(w, recv);
+            w.put_symbol(*name);
+            w.put_u32(args.len() as u32);
+            for a in args {
+                put_expr(w, a);
+            }
+        }
+        Expr::TupleCons(fields) => {
+            w.put_u8(4);
+            w.put_u32(fields.len() as u32);
+            for (n, fe) in fields {
+                w.put_symbol(*n);
+                put_expr(w, fe);
+            }
+        }
+        Expr::SetCons(es) => {
+            w.put_u8(5);
+            w.put_u32(es.len() as u32);
+            for fe in es {
+                put_expr(w, fe);
+            }
+        }
+        Expr::ListCons(es) => {
+            w.put_u8(6);
+            w.put_u32(es.len() as u32);
+            for fe in es {
+                put_expr(w, fe);
+            }
+        }
+        Expr::Unary { op, expr } => {
+            w.put_u8(7);
+            w.put_u8(match op {
+                UnOp::Not => 0,
+                UnOp::Neg => 1,
+            });
+            put_expr(w, expr);
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            w.put_u8(8);
+            w.put_u8(bin_op_tag(*op));
+            put_expr(w, lhs);
+            put_expr(w, rhs);
+        }
+        Expr::If { cond, then, els } => {
+            w.put_u8(9);
+            put_expr(w, cond);
+            put_expr(w, then);
+            put_expr(w, els);
+        }
+        Expr::Select(s) => {
+            w.put_u8(10);
+            put_select(w, s);
+        }
+        Expr::Exists(s) => {
+            w.put_u8(11);
+            put_select(w, s);
+        }
+        Expr::Aggregate { func, arg } => {
+            w.put_u8(12);
+            w.put_u8(agg_tag(*func));
+            put_expr(w, arg);
+        }
+        Expr::IsA { expr, class } => {
+            w.put_u8(13);
+            put_expr(w, expr);
+            w.put_symbol(*class);
+        }
+        Expr::Apply { name, args } => {
+            w.put_u8(14);
+            w.put_symbol(*name);
+            w.put_u32(args.len() as u32);
+            for a in args {
+                put_expr(w, a);
+            }
+        }
+    }
+}
+
+/// Decodes an [`Expr`].
+pub fn take_expr(r: &mut Reader<'_>) -> Result<Expr> {
+    Ok(match r.take_u8()? {
+        0 => Expr::Lit(take_value(r)?),
+        1 => Expr::SelfRef,
+        2 => Expr::Name(r.take_symbol()?),
+        3 => {
+            let recv = Box::new(take_expr(r)?);
+            let name = r.take_symbol()?;
+            let n = r.take_len(1)?;
+            let mut args = Vec::with_capacity(n);
+            for _ in 0..n {
+                args.push(take_expr(r)?);
+            }
+            Expr::Attr { recv, name, args }
+        }
+        4 => {
+            let n = r.take_len(5)?;
+            let mut fields = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.take_symbol()?;
+                fields.push((name, take_expr(r)?));
+            }
+            Expr::TupleCons(fields)
+        }
+        5 => {
+            let n = r.take_len(1)?;
+            let mut es = Vec::with_capacity(n);
+            for _ in 0..n {
+                es.push(take_expr(r)?);
+            }
+            Expr::SetCons(es)
+        }
+        6 => {
+            let n = r.take_len(1)?;
+            let mut es = Vec::with_capacity(n);
+            for _ in 0..n {
+                es.push(take_expr(r)?);
+            }
+            Expr::ListCons(es)
+        }
+        7 => {
+            let op = match r.take_u8()? {
+                0 => UnOp::Not,
+                1 => UnOp::Neg,
+                t => return Err(bad_tag(r, "unary operator", t)),
+            };
+            Expr::Unary {
+                op,
+                expr: Box::new(take_expr(r)?),
+            }
+        }
+        8 => {
+            let tag = r.take_u8()?;
+            let op = bin_op_from_tag(r, tag)?;
+            Expr::Binary {
+                op,
+                lhs: Box::new(take_expr(r)?),
+                rhs: Box::new(take_expr(r)?),
+            }
+        }
+        9 => Expr::If {
+            cond: Box::new(take_expr(r)?),
+            then: Box::new(take_expr(r)?),
+            els: Box::new(take_expr(r)?),
+        },
+        10 => Expr::Select(take_select(r)?),
+        11 => Expr::Exists(take_select(r)?),
+        12 => {
+            let tag = r.take_u8()?;
+            let func = agg_from_tag(r, tag)?;
+            Expr::Aggregate {
+                func,
+                arg: Box::new(take_expr(r)?),
+            }
+        }
+        13 => Expr::IsA {
+            expr: Box::new(take_expr(r)?),
+            class: r.take_symbol()?,
+        },
+        14 => {
+            let name = r.take_symbol()?;
+            let n = r.take_len(1)?;
+            let mut args = Vec::with_capacity(n);
+            for _ in 0..n {
+                args.push(take_expr(r)?);
+            }
+            Expr::Apply { name, args }
+        }
+        tag => return Err(bad_tag(r, "expression", tag)),
+    })
+}
+
+fn put_select(w: &mut Writer, s: &SelectExpr) {
+    w.put_u8(s.distinct as u8);
+    w.put_u8(s.the as u8);
+    put_expr(w, &s.proj);
+    w.put_u32(s.bindings.len() as u32);
+    for (var, coll) in &s.bindings {
+        w.put_symbol(*var);
+        put_expr(w, coll);
+    }
+    match &s.filter {
+        None => w.put_u8(0),
+        Some(f) => {
+            w.put_u8(1);
+            put_expr(w, f);
+        }
+    }
+}
+
+fn take_select(r: &mut Reader<'_>) -> Result<SelectExpr> {
+    let distinct = r.take_u8()? != 0;
+    let the = r.take_u8()? != 0;
+    let proj = Box::new(take_expr(r)?);
+    let n = r.take_len(5)?;
+    let mut bindings = Vec::with_capacity(n);
+    for _ in 0..n {
+        let var = r.take_symbol()?;
+        bindings.push((var, take_expr(r)?));
+    }
+    let filter = match r.take_u8()? {
+        0 => None,
+        1 => Some(Box::new(take_expr(r)?)),
+        t => return Err(bad_tag(r, "select filter marker", t)),
+    };
+    Ok(SelectExpr {
+        distinct,
+        the,
+        proj,
+        bindings,
+        filter,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Attribute definitions
+// ---------------------------------------------------------------------------
+
+/// Encodes an [`AttrDef`].
+pub fn put_attr_def(w: &mut Writer, def: &AttrDef) {
+    w.put_symbol(def.sig.name);
+    w.put_u32(def.sig.params.len() as u32);
+    for (p, t) in &def.sig.params {
+        w.put_symbol(*p);
+        put_type(w, t);
+    }
+    put_type(w, &def.sig.ty);
+    match &def.body {
+        AttrBody::Stored => w.put_u8(0),
+        AttrBody::Computed(e) => {
+            w.put_u8(1);
+            put_expr(w, e);
+        }
+        AttrBody::Abstract => w.put_u8(2),
+    }
+}
+
+/// Decodes an [`AttrDef`].
+pub fn take_attr_def(r: &mut Reader<'_>) -> Result<AttrDef> {
+    let name = r.take_symbol()?;
+    let n = r.take_len(5)?;
+    let mut params = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = r.take_symbol()?;
+        params.push((p, take_type(r)?));
+    }
+    let ty = take_type(r)?;
+    let body = match r.take_u8()? {
+        0 => AttrBody::Stored,
+        1 => AttrBody::Computed(take_expr(r)?),
+        2 => AttrBody::Abstract,
+        t => return Err(bad_tag(r, "attribute body", t)),
+    };
+    Ok(AttrDef {
+        sig: AttrSig { name, params, ty },
+        body,
+    })
+}
+
+fn bad_tag(r: &Reader<'_>, what: &str, tag: u8) -> OodbError {
+    OodbError::corrupt(format!(
+        "{}: unknown {what} tag {tag} at offset {}",
+        r.context,
+        r.pos - 1
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    fn roundtrip_value(v: &Value) {
+        let mut w = Writer::new();
+        put_value(&mut w, v);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        let back = take_value(&mut r).unwrap();
+        assert_eq!(&back, v);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        roundtrip_value(&Value::Null);
+        roundtrip_value(&Value::Bool(true));
+        roundtrip_value(&Value::Int(-42));
+        roundtrip_value(&Value::Float(f64::NAN)); // bit pattern preserved
+        roundtrip_value(&Value::str("héllo"));
+        roundtrip_value(&Value::Oid(Oid(crate::ids::IMAGINARY_OID_BASE + 7)));
+        roundtrip_value(&Value::tuple([
+            ("Name", Value::str("Maggy")),
+            ("Pets", Value::set([Value::Oid(Oid(3)), Value::Int(1)])),
+            ("L", Value::list([Value::Null, Value::Float(2.5)])),
+        ]));
+    }
+
+    #[test]
+    fn float_nan_bits_survive() {
+        let v = Value::Float(f64::from_bits(0x7FF8_0000_0000_1234));
+        let mut w = Writer::new();
+        put_value(&mut w, &v);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        match take_value(&mut r).unwrap() {
+            Value::Float(x) => assert_eq!(x.to_bits(), 0x7FF8_0000_0000_1234),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn types_roundtrip() {
+        let t = Type::tuple([
+            ("A", Type::set(Type::Class(ClassId(3)))),
+            ("B", Type::list(Type::tuple([("X", Type::Int)]))),
+            ("C", Type::Any),
+            ("D", Type::Nothing),
+        ]);
+        let mut w = Writer::new();
+        put_type(&mut w, &t);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        assert_eq!(take_type(&mut r).unwrap(), t);
+    }
+
+    #[test]
+    fn exprs_roundtrip() {
+        let q = Expr::Select(SelectExpr {
+            distinct: true,
+            the: false,
+            proj: Box::new(Expr::TupleCons(vec![(
+                sym("City"),
+                Expr::self_attr("City"),
+            )])),
+            bindings: vec![(sym("P"), Expr::name("Person"))],
+            filter: Some(Box::new(Expr::bin(
+                BinOp::Ge,
+                Expr::attr(Expr::name("P"), "Age"),
+                Expr::lit(Value::Int(21)),
+            ))),
+        });
+        let variants = vec![
+            q.clone(),
+            Expr::Exists(match q {
+                Expr::Select(s) => s,
+                _ => unreachable!(),
+            }),
+            Expr::If {
+                cond: Box::new(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(Expr::SelfRef),
+                }),
+                then: Box::new(Expr::Aggregate {
+                    func: AggFunc::Flatten,
+                    arg: Box::new(Expr::SetCons(vec![Expr::lit(Value::Int(1))])),
+                }),
+                els: Box::new(Expr::IsA {
+                    expr: Box::new(Expr::name("x")),
+                    class: sym("Person"),
+                }),
+            },
+            Expr::Apply {
+                name: sym("Resident"),
+                args: vec![Expr::ListCons(vec![Expr::lit(Value::str("Paris"))])],
+            },
+        ];
+        for e in variants {
+            let mut w = Writer::new();
+            put_expr(&mut w, &e);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes, "test");
+            assert_eq!(take_expr(&mut r).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn attr_defs_roundtrip() {
+        let defs = vec![
+            AttrDef::stored(sym("Age"), Type::Int),
+            AttrDef::computed(sym("Addr"), Type::Str, Expr::self_attr("City")),
+            AttrDef::method(
+                sym("Proj"),
+                vec![(sym("years"), Type::Int)],
+                Type::Float,
+                Expr::self_attr("Balance"),
+            ),
+            AttrDef::abstract_sig(sym("Ghost"), Type::Any),
+        ];
+        for d in defs {
+            let mut w = Writer::new();
+            put_attr_def(&mut w, &d);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes, "test");
+            assert_eq!(take_attr_def(&mut r).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn truncation_yields_typed_corrupt_errors() {
+        let mut w = Writer::new();
+        put_value(&mut w, &Value::str("hello world"));
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut], "truncation test");
+            match take_value(&mut r) {
+                Err(OodbError::Corrupt { context }) => {
+                    assert!(context.contains("truncation test"));
+                }
+                Ok(_) => panic!("decoded from a truncated prefix of len {cut}"),
+                Err(other) => panic!("wrong error kind: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bogus_tags_and_lengths_are_rejected() {
+        let mut r = Reader::new(&[99u8], "tag test");
+        assert!(matches!(take_value(&mut r), Err(OodbError::Corrupt { .. })));
+        // A huge length prefix must not drive allocation.
+        let mut w = Writer::new();
+        w.put_u8(8); // list tag
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "len test");
+        assert!(matches!(take_value(&mut r), Err(OodbError::Corrupt { .. })));
+    }
+}

@@ -5,7 +5,10 @@
 //! databases via *import* statements" (§3).
 
 use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
 
+use crate::durable::DurableCore;
 use crate::error::{OodbError, Result};
 use crate::ids::{ClassId, Oid};
 use crate::schema::{AttrDef, Schema};
@@ -13,6 +16,7 @@ use crate::store::{Store, StoredObject};
 use crate::symbol::Symbol;
 use crate::types::{ClassGraph, Type};
 use crate::value::{Tuple, Value};
+use crate::wal::{Durability, WalRecord};
 
 /// Referential action applied when deleting an object (DECISION: the paper
 /// does not define deletion semantics; these are the standard choices).
@@ -67,14 +71,151 @@ impl Database {
         }
     }
 
+    /// Opens (or creates) a **durable** database rooted at the directory
+    /// `dir`: loads the latest snapshot if one exists, replays the WAL
+    /// tail, rebuilds secondary indexes, re-seats the journal floor at the
+    /// recovered version, and attaches the durability core so every
+    /// subsequent mutation is redo-logged. The §5.1 imaginary identity
+    /// tables recovered alongside are exposed via
+    /// [`Database::durable_core`] for views to re-adopt at bind time.
+    pub fn open(name: Symbol, dir: &Path, durability: Durability) -> Result<Database> {
+        let t0 = std::time::Instant::now();
+        let mut span = crate::span!("recovery.replay", db = name);
+        let (core, snapshot, tail) = DurableCore::open(dir, durability)?;
+        let mut db = Database::new(name);
+        if let Some(img) = snapshot {
+            db.schema = img.restore_schema()?;
+            db.store.restore(img.objects, img.store_version);
+            db.names = img.names.into_iter().collect();
+            // Indexes are derived: rebuild from the persisted definitions.
+            // The durability core is not attached yet, so nothing re-logs.
+            for (class, attr) in img.index_defs {
+                db.store.create_index(class, attr);
+            }
+        }
+        let mut replayed = 0u64;
+        for (lsn, rec) in tail {
+            db.apply_wal_record(rec).map_err(|e| {
+                OodbError::corrupt(format!("recovery: replay of LSN {lsn} failed: {e}"))
+            })?;
+            replayed += 1;
+        }
+        // A Remove in the WAL tail does not carry the name-map cleanup its
+        // original `delete_object` performed; drop bindings to dead oids.
+        let store = &db.store;
+        db.names.retain(|_, oid| store.get(*oid).is_some());
+        db.store.seal_recovery();
+        db.store.attach_durable(core);
+        crate::metric_counter!("recovery.replayed_records").add(replayed);
+        crate::metric_histogram!("recovery_ns").record(t0.elapsed().as_nanos() as u64);
+        span.field("replayed", replayed);
+        span.field("version", db.store.version());
+        Ok(db)
+    }
+
+    /// Applies one WAL record during recovery replay (never re-logged:
+    /// the durability core is attached only after replay finishes).
+    /// Identity records are a no-op here — [`DurableCore::open`] already
+    /// folded them into the identity mirror.
+    fn apply_wal_record(&mut self, rec: WalRecord) -> Result<()> {
+        match rec {
+            WalRecord::Insert { oid, class, value } => {
+                self.store.insert_with_oid(oid, class, value);
+            }
+            WalRecord::Update { oid, value } => self.store.update(oid, value)?,
+            WalRecord::SetField { oid, name, value } => self.store.set_field(oid, name, value)?,
+            WalRecord::Remove { oid } => {
+                self.store.remove(oid)?;
+            }
+            WalRecord::CreateIndex { class, attr } => self.store.create_index(class, attr),
+            WalRecord::DropIndex { class, attr } => {
+                self.store.drop_index(class, attr);
+            }
+            WalRecord::NameBind { name, oid } => {
+                self.names.insert(name, oid);
+            }
+            WalRecord::AddClass {
+                name,
+                parents,
+                attrs,
+            } => {
+                self.schema.add_class(name, &parents, attrs)?;
+            }
+            WalRecord::AddAttr { class, def } => self.schema.add_attr(class, def)?,
+            WalRecord::IdentityAssign { .. } | WalRecord::IdentityDrop { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// The durability core, when this database was opened with
+    /// [`Database::open`]. Views hold a clone to log identity assignments.
+    pub fn durable_core(&self) -> Option<Arc<DurableCore>> {
+        self.store.durable().cloned()
+    }
+
+    /// Writes a snapshot checkpoint of the current state and truncates the
+    /// WAL behind it. Errors if the database is not durable.
+    pub fn checkpoint(&self) -> Result<()> {
+        let core = self.store.durable().ok_or_else(|| OodbError::Io {
+            context: "checkpoint".to_string(),
+            message: "database was not opened durably".to_string(),
+        })?;
+        core.checkpoint(|img| {
+            img.name = self.name;
+            img.store_version = self.store.version();
+            img.capture_schema(&self.schema);
+            img.objects = self
+                .store
+                .sorted_oids()
+                .into_iter()
+                .filter_map(|o| self.store.get(o).cloned())
+                .collect();
+            img.names = self.names();
+            img.index_defs = self.store.index_defs();
+        })
+    }
+
     /// Creates a class; see [`Schema::add_class`].
+    ///
+    /// On a durable database the DDL is validated against a trial copy of
+    /// the schema, WAL-logged, and only then applied — the log never
+    /// contains a record that would fail to replay, and a failed append
+    /// leaves the schema untouched.
     pub fn create_class(
         &mut self,
         name: Symbol,
         parents: &[ClassId],
         attrs: Vec<AttrDef>,
     ) -> Result<ClassId> {
-        self.schema.add_class(name, parents, attrs)
+        if let Some(core) = self.store.durable().cloned() {
+            let mut trial = self.schema.clone();
+            let id = trial.add_class(name, parents, attrs.clone())?;
+            core.log(&WalRecord::AddClass {
+                name,
+                parents: parents.to_vec(),
+                attrs,
+            })?;
+            self.schema = trial;
+            Ok(id)
+        } else {
+            self.schema.add_class(name, parents, attrs)
+        }
+    }
+
+    /// Adds (or redefines) an attribute on a class; see
+    /// [`Schema::add_attr`]. WAL-logged on durable databases — callers
+    /// should prefer this over mutating [`Database::schema`] directly so
+    /// schema DDL survives a crash.
+    pub fn add_attr(&mut self, class: ClassId, def: AttrDef) -> Result<()> {
+        if let Some(core) = self.store.durable().cloned() {
+            let mut trial = self.schema.clone();
+            trial.add_attr(class, def.clone())?;
+            core.log(&WalRecord::AddAttr { class, def })?;
+            self.schema = trial;
+            Ok(())
+        } else {
+            self.schema.add_attr(class, def)
+        }
     }
 
     /// Creates a class naming its parents.
@@ -120,10 +261,11 @@ impl Database {
                 full.set(*name, Value::Null);
             }
         }
-        // Before `Store::insert` (which is infallible by design): a firing
-        // failpoint rejects the creation with no store state touched.
+        // Before the insert: a firing failpoint rejects the creation with
+        // no store state touched. A WAL append failure behaves the same
+        // way (redo logging happens before the in-memory apply).
         crate::failpoint!("store.insert");
-        Ok(self.store.insert(class, full))
+        self.store.try_insert(class, full)
     }
 
     /// Reads a stored attribute of `oid`, resolving the attribute name along
@@ -239,6 +381,9 @@ impl Database {
         self.store.require(oid)?;
         if self.names.contains_key(&name) {
             return Err(OodbError::DuplicateName(name));
+        }
+        if let Some(core) = self.store.durable() {
+            core.log(&WalRecord::NameBind { name, oid })?;
         }
         self.names.insert(name, oid);
         Ok(())

@@ -7,10 +7,83 @@
 
 use std::fmt::Write as _;
 
+use crate::codec::crc32;
 use crate::database::Database;
+use crate::error::OodbError;
 use crate::schema::AttrBody;
 use crate::types::Type;
 use crate::value::Value;
+
+/// Magic prefix of a checked dump's header line. A `--` comment, so checked
+/// dumps remain valid scripts for parsers that skip the header.
+pub const DUMP_MAGIC: &str = "-- ovdump";
+
+/// Current checked-dump format version. Bump on incompatible header changes.
+pub const DUMP_FORMAT: u32 = 1;
+
+/// Wraps script text in the checked dump format: a single `-- ovdump`
+/// comment line carrying the format version, the body's byte length, and a
+/// CRC32 of the body. The result is still a valid script (the header is a
+/// comment); [`read_checked`] verifies and strips it.
+pub fn wrap_checked(body: &str) -> String {
+    format!(
+        "{DUMP_MAGIC} {DUMP_FORMAT} len={} crc32={:08x}\n{body}",
+        body.len(),
+        crc32(body.as_bytes())
+    )
+}
+
+/// Verifies a checked dump produced by [`wrap_checked`] and returns the body.
+///
+/// Rejections are typed, never panics: a file that does not start with the
+/// `-- ovdump` magic, a malformed header, a truncated or padded body, or a
+/// checksum mismatch all yield [`OodbError::Corrupt`]; a format version newer
+/// than this build understands yields [`OodbError::UnsupportedFormat`].
+pub fn read_checked(text: &str) -> Result<&str, OodbError> {
+    let Some(rest) = text.strip_prefix(DUMP_MAGIC) else {
+        return Err(OodbError::corrupt(
+            "dump: missing `-- ovdump` header (not a checked dump)",
+        ));
+    };
+    let (header, body) = match rest.split_once('\n') {
+        Some(split) => split,
+        None => (rest, ""),
+    };
+    let mut version = None;
+    let mut len = None;
+    let mut crc = None;
+    for field in header.split_whitespace() {
+        if let Some(v) = field.strip_prefix("len=") {
+            len = v.parse::<usize>().ok();
+        } else if let Some(v) = field.strip_prefix("crc32=") {
+            crc = u32::from_str_radix(v, 16).ok();
+        } else if version.is_none() {
+            version = field.parse::<u32>().ok();
+        }
+    }
+    let (Some(version), Some(len), Some(crc)) = (version, len, crc) else {
+        return Err(OodbError::corrupt("dump: malformed `-- ovdump` header"));
+    };
+    if version > DUMP_FORMAT {
+        return Err(OodbError::UnsupportedFormat {
+            found: version,
+            supported: DUMP_FORMAT,
+        });
+    }
+    if body.len() != len {
+        return Err(OodbError::corrupt(format!(
+            "dump: body is {} bytes, header says {len} (truncated or padded)",
+            body.len()
+        )));
+    }
+    let actual = crc32(body.as_bytes());
+    if actual != crc {
+        return Err(OodbError::corrupt(format!(
+            "dump: checksum mismatch (header {crc:08x}, body {actual:08x})"
+        )));
+    }
+    Ok(body)
+}
 
 /// Renders `db` as DDL text: class declarations (stored attributes inline),
 /// computed-attribute declarations, objects, then names.
@@ -213,6 +286,34 @@ mod tests {
         );
         assert!(text.contains(r#"object #0 in Person value [Name: "Maggy"];"#));
         assert!(text.contains("name maggy = #0;"));
+    }
+
+    #[test]
+    fn checked_dump_round_trips() {
+        let body = "database D;\nclass C;\n";
+        let wrapped = wrap_checked(body);
+        assert!(wrapped.starts_with(DUMP_MAGIC));
+        assert_eq!(read_checked(&wrapped).unwrap(), body);
+    }
+
+    #[test]
+    fn checked_dump_rejects_foreign_truncated_and_corrupt() {
+        // Foreign file: no magic.
+        let err = read_checked("#!/bin/sh\nexit 1\n").unwrap_err();
+        assert!(matches!(err, OodbError::Corrupt { .. }), "{err}");
+        // Truncated body.
+        let wrapped = wrap_checked("database D;\nobject #0 in C value [];\n");
+        let cut = &wrapped[..wrapped.len() - 10];
+        let err = read_checked(cut).unwrap_err();
+        assert!(matches!(err, OodbError::Corrupt { .. }), "{err}");
+        // Bit flip in the body.
+        let flipped = wrapped.replace("database D", "database X");
+        let err = read_checked(&flipped).unwrap_err();
+        assert!(matches!(err, OodbError::Corrupt { .. }), "{err}");
+        // Future format version.
+        let future = wrapped.replacen("-- ovdump 1", "-- ovdump 99", 1);
+        let err = read_checked(&future).unwrap_err();
+        assert!(matches!(err, OodbError::UnsupportedFormat { .. }), "{err}");
     }
 
     #[test]

@@ -94,6 +94,28 @@ pub enum OodbError {
     /// A failpoint fired (see [`crate::faults`]). Deliberately transient:
     /// retry/degradation logic upstack keys off this variant.
     Fault(crate::faults::InjectedFault),
+    /// An operating-system I/O failure in the durability layer. Carries the
+    /// rendered OS message rather than the `std::io::Error` itself so the
+    /// error type stays `Clone + PartialEq`.
+    Io {
+        /// What the engine was doing (e.g. `"wal append"`).
+        context: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// A persistent file failed validation: bad magic, checksum mismatch,
+    /// or a truncated structure where the format demands more bytes.
+    Corrupt {
+        /// What was being decoded and what was wrong with it.
+        context: String,
+    },
+    /// A persistent file carries a format version this build cannot read.
+    UnsupportedFormat {
+        /// The version found in the file.
+        found: u32,
+        /// The newest version this build supports.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for OodbError {
@@ -151,6 +173,12 @@ impl fmt::Display for OodbError {
                 write!(f, "{context}: dangling or ill-classed reference {oid}")
             }
             OodbError::Fault(inner) => write!(f, "{inner}"),
+            OodbError::Io { context, message } => write!(f, "{context}: i/o error: {message}"),
+            OodbError::Corrupt { context } => write!(f, "corrupt file: {context}"),
+            OodbError::UnsupportedFormat { found, supported } => write!(
+                f,
+                "unsupported format version {found} (this build reads up to {supported})"
+            ),
         }
     }
 }
@@ -170,6 +198,21 @@ impl OodbError {
     /// this to decide between retrying and serving a stale population.
     pub fn is_transient(&self) -> bool {
         matches!(self, OodbError::Fault(_))
+    }
+
+    /// Wraps a `std::io::Error` with the operation that hit it.
+    pub fn io(context: &str, err: std::io::Error) -> OodbError {
+        OodbError::Io {
+            context: context.to_string(),
+            message: err.to_string(),
+        }
+    }
+
+    /// A corruption error with a rendered context.
+    pub fn corrupt(context: impl Into<String>) -> OodbError {
+        OodbError::Corrupt {
+            context: context.into(),
+        }
     }
 }
 

@@ -36,6 +36,11 @@
 //! | `store.index_lookup` | secondary-index lookups |
 //! | `query.scan_chunk` | parallel scan chunks |
 //! | `view.population_recompute` | virtual-class population recompute |
+//! | `wal.append` | WAL record append (fails before any bytes are written) |
+//! | `wal.torn_write` | WAL append that writes only a partial frame (crash mid-write) |
+//! | `wal.fsync` | WAL group-commit fsync |
+//! | `checkpoint.write` | snapshot temp-file write |
+//! | `checkpoint.rename` | snapshot atomic rename (crash before commit) |
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -73,6 +73,14 @@ impl IndexSet {
         self.indexes.contains_key(&(class, attr))
     }
 
+    /// All `(class, attr)` pairs currently indexed, in a deterministic
+    /// order (checkpoints persist these so recovery can rebuild).
+    pub fn defs(&self) -> Vec<(ClassId, Symbol)> {
+        let mut v: Vec<(ClassId, Symbol)> = self.indexes.keys().copied().collect();
+        v.sort();
+        v
+    }
+
     /// All attributes indexed for `class`.
     pub(crate) fn attrs_of(&self, class: ClassId) -> Vec<Symbol> {
         self.indexes

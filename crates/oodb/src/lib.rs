@@ -48,14 +48,17 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod codec;
 pub mod database;
 pub mod dump;
+pub mod durable;
 pub mod error;
 pub mod expr;
 pub mod faults;
 pub mod ids;
 pub mod index;
 pub mod metrics;
+pub mod pager;
 pub mod resolve;
 pub mod schema;
 pub mod stats;
@@ -64,10 +67,14 @@ pub mod symbol;
 pub mod trace;
 pub mod types;
 pub mod value;
+pub mod wal;
 
 pub use catalog::{DbHandle, System};
 pub use database::{Database, DeleteMode};
-pub use dump::{dump_database, dump_database_with_offset};
+pub use dump::{
+    dump_database, dump_database_with_offset, read_checked, wrap_checked, DUMP_FORMAT, DUMP_MAGIC,
+};
+pub use durable::{DurableCore, IdentityMirror, WalStatus};
 pub use error::{OodbError, Result};
 pub use expr::{AggFunc, BinOp, Expr, SelectExpr, UnOp};
 pub use faults::{FaultAction, FaultSchedule, InjectedFault};
@@ -77,6 +84,7 @@ pub use metrics::{
     profiling_enabled, registry, set_profiling, slow_queries, workload, Counter, Histogram,
     MetricsRegistry, MetricsSnapshot, SlowQuery, SlowQueryLog, WorkloadEntry, WorkloadRegistry,
 };
+pub use pager::{IdentityEntry, SnapshotImage};
 pub use resolve::{resolve_attr, ConflictPolicy, Resolution};
 pub use schema::{AttrBody, AttrDef, AttrSig, Class, Schema};
 pub use stats::{stats, AttrStatistics, ClassStatistics, ClassStats, Statistics, StatsRegistry};
@@ -85,3 +93,4 @@ pub use symbol::{sym, Symbol};
 pub use trace::{recorder, FieldValue, SpanGuard, SpanRecord, TraceRecorder};
 pub use types::{ClassGraph, Type};
 pub use value::{Tuple, Value};
+pub use wal::{Durability, Wal, WalRecord};

@@ -1,0 +1,574 @@
+//! Snapshot checkpoints: a versioned, checksummed page file.
+//!
+//! A checkpoint serializes the whole durable state of a database — schema,
+//! objects, names, index definitions, and the view layer's imaginary
+//! identity tables (§5.1) — into `snapshot.ovp`, after which the WAL can be
+//! truncated: recovery is *snapshot + replay of the WAL tail*.
+//!
+//! ## File format
+//!
+//! ```text
+//! header page:  magic "OVSNAP01" · format u32 · page_size u32 ·
+//!               page_count u32 · body_len u64 · checkpoint_lsn u64 ·
+//!               header crc u32
+//! data pages:   page_count × ( crc u32 · chunk bytes )
+//! ```
+//!
+//! Every page carries its own CRC32; a flipped bit anywhere surfaces as
+//! [`OodbError::Corrupt`] naming the page. A foreign file fails the magic
+//! check; a newer format version fails with
+//! [`OodbError::UnsupportedFormat`] instead of misparsing.
+//!
+//! ## Atomicity
+//!
+//! The snapshot is written to `snapshot.ovp.tmp`, fsynced, then renamed
+//! over `snapshot.ovp` (atomic on POSIX), then the directory is fsynced. A
+//! crash at any point leaves either the old snapshot or the new one, never
+//! a mix. Failpoint sites: `checkpoint.write` (fail while writing the temp
+//! file), `checkpoint.rename` (fail before the rename commits).
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use crate::codec::{self, crc32, Reader, Writer};
+use crate::error::{OodbError, Result};
+use crate::ids::{ClassId, Oid};
+use crate::schema::{AttrDef, Schema};
+use crate::store::StoredObject;
+use crate::symbol::Symbol;
+use crate::value::Tuple;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"OVSNAP01";
+
+/// Newest snapshot format version this build writes and reads.
+pub const SNAPSHOT_FORMAT: u32 = 1;
+
+/// Payload bytes per data page.
+pub const PAGE_SIZE: usize = 8192;
+
+/// File name of the snapshot within a database directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.ovp";
+
+/// One durable identity-table entry: view × class name × core tuple → oid.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IdentityEntry {
+    /// The view owning the table.
+    pub view: Symbol,
+    /// The imaginary class's *name* (ids are rebuilt on every bind).
+    pub class: Symbol,
+    /// The core tuple keying the entry.
+    pub core: Tuple,
+    /// The imaginary oid assigned to it.
+    pub oid: Oid,
+}
+
+/// The complete durable state captured by a checkpoint.
+#[derive(Clone, Debug)]
+pub struct SnapshotImage {
+    /// The database name.
+    pub name: Symbol,
+    /// Store mutation counter at checkpoint time. Recovery re-seats
+    /// `journal_floor` here (never back to 0).
+    pub store_version: u64,
+    /// The WAL LSN watermark: every record with LSN < this is reflected in
+    /// the snapshot. The WAL is truncated at checkpoint, so after recovery
+    /// replayed LSNs are *relative to* this watermark.
+    pub checkpoint_lsn: u64,
+    /// Classes in creation order: `(name, parents, own attrs)`.
+    pub classes: Vec<(Symbol, Vec<ClassId>, Vec<AttrDef>)>,
+    /// All objects (oid order for determinism).
+    pub objects: Vec<StoredObject>,
+    /// Named roots.
+    pub names: Vec<(Symbol, Oid)>,
+    /// Secondary index definitions (indexes themselves are rebuilt).
+    pub index_defs: Vec<(ClassId, Symbol)>,
+    /// The imaginary identity tables, flattened.
+    pub identity: Vec<IdentityEntry>,
+    /// Lowest imaginary oid not yet assigned (allocator seed).
+    pub next_imaginary: u64,
+}
+
+impl Default for SnapshotImage {
+    fn default() -> SnapshotImage {
+        SnapshotImage {
+            name: crate::symbol::sym(""),
+            store_version: 0,
+            checkpoint_lsn: 1,
+            classes: Vec::new(),
+            objects: Vec::new(),
+            names: Vec::new(),
+            index_defs: Vec::new(),
+            identity: Vec::new(),
+            next_imaginary: crate::ids::IMAGINARY_OID_BASE,
+        }
+    }
+}
+
+impl SnapshotImage {
+    /// Flattens `schema` into the snapshot's class list. Parent edges whose
+    /// id is ≥ the child's (added later via `add_superclass`) survive: the
+    /// decoder re-applies them after all classes exist.
+    pub fn capture_schema(&mut self, schema: &Schema) {
+        self.classes = schema
+            .classes()
+            .map(|c| (c.name, c.parents.clone(), c.attrs.clone()))
+            .collect();
+    }
+
+    /// Rebuilds a [`Schema`] from the captured class list.
+    pub fn restore_schema(&self) -> Result<Schema> {
+        let mut schema = Schema::new();
+        let mut deferred: Vec<(ClassId, ClassId)> = Vec::new();
+        for (i, (name, parents, attrs)) in self.classes.iter().enumerate() {
+            let id = ClassId(i as u32);
+            // Parents created before this class go through add_class (so
+            // override checks see them); forward edges are re-applied after.
+            let (early, late): (Vec<ClassId>, Vec<ClassId>) =
+                parents.iter().partition(|p| (p.0 as usize) < i);
+            let got = schema.add_class(*name, &early, attrs.clone())?;
+            if got != id {
+                return Err(OodbError::corrupt(format!(
+                    "snapshot: class `{name}` restored with id {got:?}, expected {id:?}"
+                )));
+            }
+            for p in late {
+                deferred.push((id, p));
+            }
+        }
+        for (class, parent) in deferred {
+            if parent.0 as usize >= self.classes.len() {
+                return Err(OodbError::corrupt(format!(
+                    "snapshot: class {class:?} references unknown parent {parent:?}"
+                )));
+            }
+            schema.add_superclass(class, parent)?;
+        }
+        Ok(schema)
+    }
+
+    /// Encodes the image body (the bytes that get paged and checksummed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_symbol(self.name);
+        w.put_u64(self.store_version);
+        w.put_u64(self.checkpoint_lsn);
+        w.put_u64(self.next_imaginary);
+        w.put_u32(self.classes.len() as u32);
+        for (name, parents, attrs) in &self.classes {
+            w.put_symbol(*name);
+            w.put_u32(parents.len() as u32);
+            for p in parents {
+                w.put_u32(p.0);
+            }
+            w.put_u32(attrs.len() as u32);
+            for a in attrs {
+                codec::put_attr_def(&mut w, a);
+            }
+        }
+        w.put_u32(self.objects.len() as u32);
+        for obj in &self.objects {
+            w.put_u64(obj.oid.0);
+            w.put_u32(obj.class.0);
+            codec::put_tuple(&mut w, &obj.value);
+        }
+        w.put_u32(self.names.len() as u32);
+        for (name, oid) in &self.names {
+            w.put_symbol(*name);
+            w.put_u64(oid.0);
+        }
+        w.put_u32(self.index_defs.len() as u32);
+        for (class, attr) in &self.index_defs {
+            w.put_u32(class.0);
+            w.put_symbol(*attr);
+        }
+        w.put_u32(self.identity.len() as u32);
+        for e in &self.identity {
+            w.put_symbol(e.view);
+            w.put_symbol(e.class);
+            codec::put_tuple(&mut w, &e.core);
+            w.put_u64(e.oid.0);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes an image body.
+    pub fn decode(bytes: &[u8]) -> Result<SnapshotImage> {
+        let mut r = Reader::new(bytes, "snapshot body");
+        let name = r.take_symbol()?;
+        let store_version = r.take_u64()?;
+        let checkpoint_lsn = r.take_u64()?;
+        let next_imaginary = r.take_u64()?;
+        let nc = r.take_len(5)?;
+        let mut classes = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            let cname = r.take_symbol()?;
+            let np = r.take_len(4)?;
+            let mut parents = Vec::with_capacity(np);
+            for _ in 0..np {
+                parents.push(ClassId(r.take_u32()?));
+            }
+            let na = r.take_len(5)?;
+            let mut attrs = Vec::with_capacity(na);
+            for _ in 0..na {
+                attrs.push(codec::take_attr_def(&mut r)?);
+            }
+            classes.push((cname, parents, attrs));
+        }
+        let no = r.take_len(13)?;
+        let mut objects = Vec::with_capacity(no);
+        for _ in 0..no {
+            let oid = Oid(r.take_u64()?);
+            let class = ClassId(r.take_u32()?);
+            objects.push(StoredObject {
+                oid,
+                class,
+                value: codec::take_tuple(&mut r)?,
+            });
+        }
+        let nn = r.take_len(12)?;
+        let mut names = Vec::with_capacity(nn);
+        for _ in 0..nn {
+            let n = r.take_symbol()?;
+            names.push((n, Oid(r.take_u64()?)));
+        }
+        let ni = r.take_len(8)?;
+        let mut index_defs = Vec::with_capacity(ni);
+        for _ in 0..ni {
+            let c = ClassId(r.take_u32()?);
+            index_defs.push((c, r.take_symbol()?));
+        }
+        let ne = r.take_len(20)?;
+        let mut identity = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            let view = r.take_symbol()?;
+            let class = r.take_symbol()?;
+            let core = codec::take_tuple(&mut r)?;
+            identity.push(IdentityEntry {
+                view,
+                class,
+                core,
+                oid: Oid(r.take_u64()?),
+            });
+        }
+        if !r.is_exhausted() {
+            return Err(OodbError::corrupt(format!(
+                "snapshot body: {} trailing bytes after image",
+                r.remaining()
+            )));
+        }
+        Ok(SnapshotImage {
+            name,
+            store_version,
+            checkpoint_lsn,
+            classes,
+            objects,
+            names,
+            index_defs,
+            identity,
+            next_imaginary,
+        })
+    }
+}
+
+/// Writes `image` as the snapshot of the database directory `dir`,
+/// atomically (temp file → fsync → rename → directory fsync).
+pub fn write_snapshot(dir: &Path, image: &SnapshotImage) -> Result<()> {
+    let mut span = crate::span!("checkpoint.write", version = image.store_version);
+    let body = image.encode();
+    let pages: Vec<&[u8]> = if body.is_empty() {
+        Vec::new()
+    } else {
+        body.chunks(PAGE_SIZE).collect()
+    };
+
+    let mut header = Writer::new();
+    header.put_bytes(SNAPSHOT_MAGIC);
+    header.put_u32(SNAPSHOT_FORMAT);
+    header.put_u32(PAGE_SIZE as u32);
+    header.put_u32(pages.len() as u32);
+    header.put_u64(body.len() as u64);
+    header.put_u64(image.checkpoint_lsn);
+    let header_bytes = header.into_bytes();
+    let header_crc = crc32(&header_bytes);
+
+    let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+    let fin = dir.join(SNAPSHOT_FILE);
+    {
+        crate::failpoint!("checkpoint.write");
+        let mut f = fs::File::create(&tmp).map_err(|e| OodbError::io("checkpoint write", e))?;
+        f.write_all(&header_bytes)
+            .map_err(|e| OodbError::io("checkpoint write", e))?;
+        f.write_all(&header_crc.to_le_bytes())
+            .map_err(|e| OodbError::io("checkpoint write", e))?;
+        for page in &pages {
+            f.write_all(&crc32(page).to_le_bytes())
+                .map_err(|e| OodbError::io("checkpoint write", e))?;
+            f.write_all(page)
+                .map_err(|e| OodbError::io("checkpoint write", e))?;
+        }
+        f.sync_all()
+            .map_err(|e| OodbError::io("checkpoint fsync", e))?;
+    }
+    crate::failpoint!("checkpoint.rename");
+    fs::rename(&tmp, &fin).map_err(|e| OodbError::io("checkpoint rename", e))?;
+    // Make the rename itself durable.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    crate::metric_counter!("checkpoint.writes").inc();
+    span.field("bytes", body.len());
+    span.field("pages", pages.len());
+    Ok(())
+}
+
+/// Reads the snapshot of `dir`, if one exists. `Ok(None)` when the
+/// directory has never been checkpointed; typed errors for foreign,
+/// truncated, or bit-rotted files.
+pub fn read_snapshot(dir: &Path) -> Result<Option<SnapshotImage>> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let raw = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(OodbError::io("snapshot read", e)),
+    };
+    // Header: magic(8) + format(4) + page_size(4) + page_count(4) +
+    // body_len(8) + checkpoint_lsn(8) = 36, then its crc(4).
+    const HEADER_LEN: usize = 36;
+    if raw.len() < HEADER_LEN + 4 {
+        return Err(OodbError::corrupt(format!(
+            "snapshot header: file is only {} bytes",
+            raw.len()
+        )));
+    }
+    if &raw[..8] != SNAPSHOT_MAGIC {
+        return Err(OodbError::corrupt(
+            "snapshot header: bad magic (not an ov snapshot file)",
+        ));
+    }
+    let stored_crc =
+        u32::from_le_bytes(raw[HEADER_LEN..HEADER_LEN + 4].try_into().expect("4 bytes"));
+    if crc32(&raw[..HEADER_LEN]) != stored_crc {
+        return Err(OodbError::corrupt("snapshot header: checksum mismatch"));
+    }
+    let mut r = Reader::new(&raw[8..HEADER_LEN], "snapshot header");
+    let format = r.take_u32()?;
+    if format > SNAPSHOT_FORMAT {
+        return Err(OodbError::UnsupportedFormat {
+            found: format,
+            supported: SNAPSHOT_FORMAT,
+        });
+    }
+    let page_size = r.take_u32()? as usize;
+    let page_count = r.take_u32()? as usize;
+    let body_len = r.take_u64()? as usize;
+    let _checkpoint_lsn = r.take_u64()?;
+    if page_size == 0 || page_size > (1 << 24) {
+        return Err(OodbError::corrupt(format!(
+            "snapshot header: implausible page size {page_size}"
+        )));
+    }
+    let expected_pages = body_len.div_ceil(page_size);
+    if page_count != expected_pages {
+        return Err(OodbError::corrupt(format!(
+            "snapshot header: {page_count} pages for {body_len} body bytes (expected {expected_pages})"
+        )));
+    }
+
+    let mut body = Vec::with_capacity(body_len);
+    let mut pos = HEADER_LEN + 4;
+    for page_no in 0..page_count {
+        let chunk_len = (body_len - body.len()).min(page_size);
+        if raw.len() < pos + 4 + chunk_len {
+            return Err(OodbError::corrupt(format!(
+                "snapshot page {page_no}: truncated ({} of {} bytes present)",
+                raw.len() - pos,
+                4 + chunk_len
+            )));
+        }
+        let page_crc = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes"));
+        let chunk = &raw[pos + 4..pos + 4 + chunk_len];
+        if crc32(chunk) != page_crc {
+            return Err(OodbError::corrupt(format!(
+                "snapshot page {page_no}: checksum mismatch"
+            )));
+        }
+        body.extend_from_slice(chunk);
+        pos += 4 + chunk_len;
+    }
+    if pos != raw.len() {
+        return Err(OodbError::corrupt(format!(
+            "snapshot: {} trailing bytes after last page",
+            raw.len() - pos
+        )));
+    }
+    Ok(Some(SnapshotImage::decode(&body)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+    use crate::types::Type;
+    use crate::value::Value;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ov-pager-test-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_image() -> SnapshotImage {
+        let mut schema = Schema::new();
+        let person = schema
+            .add_class(
+                sym("Person"),
+                &[],
+                vec![
+                    AttrDef::stored(sym("Name"), Type::Str),
+                    AttrDef::stored(sym("Age"), Type::Int),
+                ],
+            )
+            .unwrap();
+        schema
+            .add_class(sym("Employee"), &[person], vec![])
+            .unwrap();
+        let mut img = SnapshotImage {
+            name: sym("Staff"),
+            store_version: 17,
+            checkpoint_lsn: 42,
+            next_imaginary: crate::ids::IMAGINARY_OID_BASE + 9,
+            ..SnapshotImage::default()
+        };
+        img.capture_schema(&schema);
+        img.objects = vec![StoredObject {
+            oid: Oid(3),
+            class: person,
+            value: Tuple::from_fields([("Name", Value::str("Maggy")), ("Age", Value::Int(65))]),
+        }];
+        img.names = vec![(sym("maggy"), Oid(3))];
+        img.index_defs = vec![(person, sym("Age"))];
+        img.identity = vec![IdentityEntry {
+            view: sym("V"),
+            class: sym("Addr"),
+            core: Tuple::from_fields([("City", Value::str("Paris"))]),
+            oid: Oid(crate::ids::IMAGINARY_OID_BASE + 8),
+        }];
+        img
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_disk() {
+        let dir = tmpdir("roundtrip");
+        let img = sample_image();
+        write_snapshot(&dir, &img).unwrap();
+        let back = read_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(back.name, img.name);
+        assert_eq!(back.store_version, 17);
+        assert_eq!(back.checkpoint_lsn, 42);
+        assert_eq!(back.objects, img.objects);
+        assert_eq!(back.names, img.names);
+        assert_eq!(back.index_defs, img.index_defs);
+        assert_eq!(back.identity, img.identity);
+        assert_eq!(back.next_imaginary, img.next_imaginary);
+        let schema = back.restore_schema().unwrap();
+        assert_eq!(schema.len(), 2);
+        use crate::types::ClassGraph;
+        assert!(schema.is_subclass(
+            schema.class_by_name(sym("Employee")).unwrap(),
+            schema.class_by_name(sym("Person")).unwrap()
+        ));
+    }
+
+    #[test]
+    fn missing_snapshot_is_none_not_error() {
+        let dir = tmpdir("missing");
+        assert!(read_snapshot(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn foreign_file_rejected_with_typed_error() {
+        let dir = tmpdir("foreign");
+        std::fs::write(
+            dir.join(SNAPSHOT_FILE),
+            b"#!/bin/sh\n# definitely not a snapshot file, but long enough to parse\nexit 1\n",
+        )
+        .unwrap();
+        match read_snapshot(&dir) {
+            Err(OodbError::Corrupt { context }) => assert!(context.contains("magic")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_format_version_rejected() {
+        let dir = tmpdir("future");
+        write_snapshot(&dir, &sample_image()).unwrap();
+        let mut raw = std::fs::read(dir.join(SNAPSHOT_FILE)).unwrap();
+        raw[8..12].copy_from_slice(&99u32.to_le_bytes());
+        // Re-seal the header CRC so only the version differs.
+        let crc = crc32(&raw[..36]);
+        raw[36..40].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(dir.join(SNAPSHOT_FILE), &raw).unwrap();
+        match read_snapshot(&dir) {
+            Err(OodbError::UnsupportedFormat {
+                found: 99,
+                supported,
+            }) => {
+                assert_eq!(supported, SNAPSHOT_FORMAT);
+            }
+            other => panic!("expected UnsupportedFormat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_page_detected() {
+        let dir = tmpdir("bitflip");
+        write_snapshot(&dir, &sample_image()).unwrap();
+        let mut raw = std::fs::read(dir.join(SNAPSHOT_FILE)).unwrap();
+        let n = raw.len();
+        raw[n - 1] ^= 0x01;
+        std::fs::write(dir.join(SNAPSHOT_FILE), &raw).unwrap();
+        match read_snapshot(&dir) {
+            Err(OodbError::Corrupt { context }) => {
+                assert!(context.contains("checksum"), "got: {context}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_snapshot_detected() {
+        let dir = tmpdir("trunc");
+        write_snapshot(&dir, &sample_image()).unwrap();
+        let raw = std::fs::read(dir.join(SNAPSHOT_FILE)).unwrap();
+        std::fs::write(dir.join(SNAPSHOT_FILE), &raw[..raw.len() - 10]).unwrap();
+        assert!(matches!(
+            read_snapshot(&dir),
+            Err(OodbError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_page_bodies_roundtrip() {
+        let dir = tmpdir("large");
+        let mut img = sample_image();
+        // Blow past one page with many objects.
+        for i in 0..2000u64 {
+            img.objects.push(StoredObject {
+                oid: Oid(100 + i),
+                class: ClassId(0),
+                value: Tuple::from_fields([("Name", Value::str(&format!("obj-{i}")))]),
+            });
+        }
+        write_snapshot(&dir, &img).unwrap();
+        assert!(std::fs::metadata(dir.join(SNAPSHOT_FILE)).unwrap().len() > PAGE_SIZE as u64);
+        let back = read_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(back.objects.len(), img.objects.len());
+        assert_eq!(back.objects, img.objects);
+    }
+}

@@ -18,11 +18,14 @@
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use crate::durable::DurableCore;
 use crate::error::{OodbError, Result};
 use crate::ids::{ClassId, Oid};
 use crate::index::IndexSet;
 use crate::value::Tuple;
+use crate::wal::WalRecord;
 
 /// Process-global oid allocator. Oids are unique **across databases**, which
 /// is what lets a view import classes from several databases (§3) and still
@@ -37,6 +40,16 @@ pub fn fresh_oid() -> Oid {
         "base oid space exhausted"
     );
     Oid(n)
+}
+
+/// Raises the process-global oid allocator so it never re-issues an oid at
+/// or below `oid`. Recovery calls this with every oid it replays: oids are
+/// unique across databases *and across restarts*.
+pub fn ensure_oid_floor(oid: Oid) {
+    if oid.0 >= crate::ids::IMAGINARY_OID_BASE {
+        return; // imaginary oids have their own allocator
+    }
+    NEXT_OID.fetch_max(oid.0 + 1, Ordering::Relaxed);
 }
 
 /// An object as stored: its oid, the single class it is *real* in, and its
@@ -68,6 +81,10 @@ pub struct Store {
     journal_cap: usize,
     /// Secondary attribute indexes, maintained on every mutation.
     indexes: IndexSet,
+    /// When attached, every mutation is appended to the WAL *before* it is
+    /// applied in memory (redo logging): a failed append leaves the store
+    /// untouched, so a crash recovers exactly a prefix of committed work.
+    durable: Option<Arc<DurableCore>>,
 }
 
 /// Default number of retained journal entries.
@@ -86,6 +103,28 @@ impl Store {
     pub fn set_journal_cap(&mut self, cap: usize) {
         self.journal_cap = cap;
         self.trim_journal();
+    }
+
+    /// Attaches a durability core: from now on every mutation is logged to
+    /// the WAL before it is applied. Called by `Database::open` *after*
+    /// recovery replay, so replay itself is never re-logged.
+    pub fn attach_durable(&mut self, core: Arc<DurableCore>) {
+        self.durable = Some(core);
+    }
+
+    /// The attached durability core, if any.
+    pub fn durable(&self) -> Option<&Arc<DurableCore>> {
+        self.durable.as_ref()
+    }
+
+    /// Appends `rec` to the WAL when a durability core is attached. The
+    /// strict redo-logging path: on `Err` the caller must not apply the
+    /// mutation in memory.
+    fn log_wal(&self, rec: &WalRecord) -> Result<()> {
+        if let Some(core) = &self.durable {
+            core.log(rec)?;
+        }
+        Ok(())
     }
 
     fn record(&mut self, oid: Oid) {
@@ -109,6 +148,15 @@ impl Store {
         if self.indexes.contains(class, attr) {
             return;
         }
+        // Index definitions are logged so recovery rebuilds them; a failed
+        // append degrades (the data is unaffected, only lookup speed) and
+        // the next checkpoint persists the definition anyway.
+        if self
+            .log_wal(&WalRecord::CreateIndex { class, attr })
+            .is_err()
+        {
+            crate::metric_counter!("oodb.index.log_failures").inc();
+        }
         self.indexes.create(class, attr);
         let members: Vec<Oid> = self.extent(class).collect();
         for oid in members {
@@ -123,7 +171,17 @@ impl Store {
 
     /// Drops a secondary index; returns whether it existed.
     pub fn drop_index(&mut self, class: ClassId, attr: crate::Symbol) -> bool {
+        if self.indexes.contains(class, attr)
+            && self.log_wal(&WalRecord::DropIndex { class, attr }).is_err()
+        {
+            crate::metric_counter!("oodb.index.log_failures").inc();
+        }
         self.indexes.drop_index(class, attr)
+    }
+
+    /// The `(class, attr)` pairs currently indexed, for checkpointing.
+    pub fn index_defs(&self) -> Vec<(ClassId, crate::Symbol)> {
+        self.indexes.defs()
     }
 
     /// Indexed lookup over the shallow extent of `class`: the oids whose
@@ -206,15 +264,73 @@ impl Store {
 
     /// Allocates a fresh (globally-unique) oid and inserts an object real in
     /// `class`.
+    ///
+    /// Infallible only on non-durable stores. With a durability core
+    /// attached a WAL append can fail; use [`Store::try_insert`] there —
+    /// this method panics if the append does fail.
     pub fn insert(&mut self, class: ClassId, value: Tuple) -> Oid {
+        self.try_insert(class, value)
+            .expect("WAL append failed; durable stores must use try_insert")
+    }
+
+    /// Like [`Store::insert`] but surfaces WAL append failures. On `Err`
+    /// the store is unchanged (the burned oid is never visible — oids are
+    /// not reused anyway).
+    pub fn try_insert(&mut self, class: ClassId, value: Tuple) -> Result<Oid> {
         let _span = crate::span!("store.insert");
         let oid = fresh_oid();
+        if self.durable.is_some() {
+            self.log_wal(&WalRecord::Insert {
+                oid,
+                class,
+                value: value.clone(),
+            })?;
+        }
         self.objects.insert(oid, StoredObject { oid, class, value });
         self.extents.entry(class).or_default().insert(oid);
         self.indexes
             .on_insert(class, oid, &self.objects[&oid].value);
         self.record(oid);
-        oid
+        Ok(oid)
+    }
+
+    /// Replays an insert with its original oid (crash recovery only — no
+    /// WAL logging; the record being replayed *is* the log entry).
+    pub fn insert_with_oid(&mut self, oid: Oid, class: ClassId, value: Tuple) {
+        ensure_oid_floor(oid);
+        self.objects.insert(oid, StoredObject { oid, class, value });
+        self.extents.entry(class).or_default().insert(oid);
+        self.indexes
+            .on_insert(class, oid, &self.objects[&oid].value);
+        self.record(oid);
+    }
+
+    /// Bulk-loads the store from a checkpoint image: objects and extents
+    /// are seated wholesale, the version counter jumps to the checkpoint
+    /// version, and the journal starts empty with its floor at that
+    /// version (so `changes_since` older than the checkpoint reports a gap
+    /// instead of a silently empty delta). Indexes are *not* built here —
+    /// the caller rebuilds them from the persisted definitions.
+    pub fn restore(&mut self, objects: Vec<StoredObject>, version: u64) {
+        self.objects.clear();
+        self.extents.clear();
+        for obj in objects {
+            ensure_oid_floor(obj.oid);
+            self.extents.entry(obj.class).or_default().insert(obj.oid);
+            self.objects.insert(obj.oid, obj);
+        }
+        self.version = version;
+        self.journal.clear();
+        self.journal_floor = version;
+    }
+
+    /// Finishes recovery: drops the journal entries produced by replay and
+    /// re-seats the floor at the recovered version. Incremental callers
+    /// holding pre-crash versions get `None` (full recompute), never an
+    /// empty delta.
+    pub fn seal_recovery(&mut self) {
+        self.journal.clear();
+        self.journal_floor = self.version;
     }
 
     /// The object with oid `oid`, if present.
@@ -231,6 +347,15 @@ impl Store {
     pub fn update(&mut self, oid: Oid, value: Tuple) -> Result<()> {
         let _span = crate::span!("store.update", oid = oid.0);
         crate::failpoint!("store.update");
+        if !self.objects.contains_key(&oid) {
+            return Err(OodbError::UnknownObject(oid));
+        }
+        if self.durable.is_some() {
+            self.log_wal(&WalRecord::Update {
+                oid,
+                value: value.clone(),
+            })?;
+        }
         let obj = self
             .objects
             .get_mut(&oid)
@@ -248,6 +373,16 @@ impl Store {
     pub fn set_field(&mut self, oid: Oid, name: crate::Symbol, value: crate::Value) -> Result<()> {
         let _span = crate::span!("store.set_field", oid = oid.0, attr = name);
         crate::failpoint!("store.set_field");
+        if !self.objects.contains_key(&oid) {
+            return Err(OodbError::UnknownObject(oid));
+        }
+        if self.durable.is_some() {
+            self.log_wal(&WalRecord::SetField {
+                oid,
+                name,
+                value: value.clone(),
+            })?;
+        }
         let obj = self
             .objects
             .get_mut(&oid)
@@ -266,6 +401,12 @@ impl Store {
     pub fn remove(&mut self, oid: Oid) -> Result<StoredObject> {
         let _span = crate::span!("store.remove", oid = oid.0);
         crate::failpoint!("store.remove");
+        if !self.objects.contains_key(&oid) {
+            return Err(OodbError::UnknownObject(oid));
+        }
+        if self.durable.is_some() {
+            self.log_wal(&WalRecord::Remove { oid })?;
+        }
         let obj = self
             .objects
             .remove(&oid)

@@ -131,7 +131,9 @@ impl Executor<'_> {
                     let class_id = db.schema.require_class(*name)?;
                     for (attr, t) in stored {
                         let ty = resolve_type(t, &db.schema)?;
-                        db.schema.add_attr(class_id, AttrDef::stored(*attr, ty))?;
+                        // Through the database wrapper so durable sessions
+                        // WAL-log the DDL.
+                        db.add_attr(class_id, AttrDef::stored(*attr, ty))?;
                     }
                 }
                 Stmt::AttributeDecl {
@@ -289,7 +291,7 @@ impl Executor<'_> {
                 AttrDef::method(name, param_tys, ty, body.clone())
             }
         };
-        db.schema.add_attr(class_id, def)?;
+        db.add_attr(class_id, def)?;
         Ok(())
     }
 

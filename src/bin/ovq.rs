@@ -4,7 +4,15 @@
 //! cargo run --bin ovq
 //! cargo run --bin ovq -- path/to/script.ovq     # run a script, then prompt
 //! cargo run --bin ovq -- --batch script.ovq     # run a script and exit
+//! cargo run --bin ovq -- --data-dir DIR         # durable session rooted at DIR
+//! cargo run --bin ovq -- --data-dir DIR --durability walsync
 //! ```
+//!
+//! `--data-dir` opens (or creates) a durable session: every database lives
+//! under `DIR/databases/<name>/` with a write-ahead log and snapshot
+//! checkpoints, and view definitions persist in `DIR/views.ovq`.
+//! `--durability` picks the commit level (`none`, `wal` — the default with
+//! `--data-dir` — or `walsync`).
 //!
 //! Statements end with `;` and may span lines. Meta commands:
 //!
@@ -26,6 +34,8 @@
 //! | `.faults …` | fault-injection control (see `.help`) |
 //! | `.budget …` | per-statement execution budget (see `.help`) |
 //! | `.engine …` | predicate engine for scans (see `.help`) |
+//! | `.wal` | per-database WAL status (durable sessions) |
+//! | `.checkpoint` | snapshot every durable database, truncate WALs |
 //! | `.quit` | exit |
 
 use std::io::{BufRead, Write};
@@ -73,6 +83,8 @@ const HELP: &str = "\
 .budget ms N | steps N | rows N | depth N | off\n\
 .engine          current predicate engine (scans show it in .plan/.explain)\n\
 .engine compiled | interp | auto\n\
+.wal             per-database WAL status (durable sessions only)\n\
+.checkpoint      snapshot every durable database and truncate its WAL\n\
 .quit            exit\n\
 \n\
 Anything else is a statement (end with `;`):\n\
@@ -94,6 +106,11 @@ const FAULT_SITES: &[&str] = &[
     "view.scan_chunk",
     "view.population_recompute",
     "view.bind",
+    "wal.append",
+    "wal.torn_write",
+    "wal.fsync",
+    "checkpoint.write",
+    "checkpoint.rename",
 ];
 
 /// Budget knobs applied to every subsequent statement (each statement gets
@@ -133,17 +150,55 @@ impl BudgetSpec {
 }
 
 fn main() {
-    let mut session = Session::new();
     let mut budget = BudgetSpec::default();
     let mut batch = false;
     let mut scripts = Vec::new();
-    for arg in std::env::args().skip(1) {
-        if arg == "--batch" {
-            batch = true;
-        } else {
-            scripts.push(arg);
+    let mut data_dir: Option<String> = None;
+    let mut durability: Option<Durability> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--batch" => batch = true,
+            "--data-dir" => match args.next() {
+                Some(dir) => data_dir = Some(dir),
+                None => {
+                    eprintln!("--data-dir needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "--durability" => match args.next().as_deref().and_then(Durability::parse) {
+                Some(d) => durability = Some(d),
+                None => {
+                    eprintln!("--durability needs one of: none, wal, walsync");
+                    std::process::exit(2);
+                }
+            },
+            _ => scripts.push(arg),
         }
     }
+    if durability.is_some() && data_dir.is_none() {
+        eprintln!("--durability needs --data-dir (in-memory sessions have no WAL)");
+        std::process::exit(2);
+    }
+    let mut session = match &data_dir {
+        Some(dir) => {
+            let level = durability.unwrap_or(Durability::Wal);
+            match Session::open(std::path::Path::new(dir), level) {
+                Ok(s) => {
+                    println!(
+                        "-- durable session at {dir} (durability {})",
+                        level.as_str()
+                    );
+                    s
+                }
+                Err(e) => {
+                    eprintln!("error opening durable session at {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => Session::new(),
+    };
     for path in &scripts {
         if let Err(e) = load_file(&mut session, path) {
             eprintln!("error loading {path}: {e}");
@@ -561,6 +616,30 @@ fn meta(session: &mut Session, budget: &mut BudgetSpec, cmd: &str) -> bool {
                 }
             }
         }
+        ".wal" => {
+            let statuses = session.wal_status();
+            if statuses.is_empty() {
+                println!("-- no durable databases (start with `--data-dir DIR`)");
+            } else {
+                for (db, s) in statuses {
+                    println!(
+                        "-- {db}: durability {}, next lsn {}, {} records since checkpoint, \
+                         {} wal bytes, {} identity entries ({})",
+                        s.durability.as_str(),
+                        s.next_lsn,
+                        s.records_since_reset,
+                        s.wal_bytes,
+                        s.identity_entries,
+                        s.dir.display(),
+                    );
+                }
+            }
+        }
+        ".checkpoint" => match session.checkpoint() {
+            Ok(0) => println!("-- nothing to checkpoint (no durable databases)"),
+            Ok(n) => println!("-- checkpointed {n} database(s); WALs truncated"),
+            Err(e) => eprintln!("error: {e}"),
+        },
         other => eprintln!("unknown meta command `{other}` (try `.help`)"),
     }
     true
@@ -684,6 +763,8 @@ mod tests {
             ".faults",
             ".budget",
             ".engine",
+            ".wal",
+            ".checkpoint",
             ".quit",
         ] {
             assert!(HELP.contains(cmd), "`.help` must document `{cmd}`");

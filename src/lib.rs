@@ -57,7 +57,9 @@ pub use error::Error;
 /// One-stop imports: the surface that examples, tests, and typical
 /// applications touch, flattened from all four layers.
 pub mod prelude {
-    pub use crate::oodb::{sym, ClassId, ConflictPolicy, Oid, Symbol, System, Type, Value};
+    pub use crate::oodb::{
+        sym, ClassId, ConflictPolicy, Durability, Oid, Symbol, System, Type, Value,
+    };
     pub use crate::query::{
         execute_script, run_query, run_query_parallel, DataSource, ParallelConfig,
     };

@@ -19,11 +19,12 @@
 //! can roll a random one. On failure, if `OV_CHAOS_TRACE` names a file,
 //! the flight-recorder span trace is dumped there for the artifact upload.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use objects_and_views::oodb::faults::{self, FaultAction, FaultSchedule};
+use objects_and_views::oodb::Tuple;
 use objects_and_views::prelude::*;
 use objects_and_views::query::{budget, Budget};
 
@@ -337,6 +338,297 @@ fn chaos_fault_mid_revalidation_keeps_catalog_atomic() {
             .transitive_dependents(DepTarget::View(sym("Adults"))),
         vec![sym("Top")]
     );
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery chaos: a durable session's workload interleaved with
+// injected WAL failures and simulated kills (drop without checkpoint, torn
+// tails, failed checkpoints). After every "crash" the session reopens and
+// must recover the exact committed prefix:
+//
+// 6. **exact-prefix recovery** — recovered state equals the pre-crash
+//    in-memory state (WAL-before-apply: a failed append never applied, an
+//    applied mutation was always logged first);
+// 7. **identity durability** — the imaginary identity table survives the
+//    crash bit-for-bit, so imaginary oids stay valid names;
+// 8. **floor re-seating** — the journal floor recovers to the pre-crash
+//    version (never 0), so stale readers get FullRecompute, not an empty
+//    delta.
+// ---------------------------------------------------------------------------
+
+/// xorshift64* — a deterministic op stream per seed, no external crates.
+struct CrashRng(u64);
+
+impl CrashRng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn crash_scratch(seed: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ov-crash-chaos-{}-{seed:x}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The durable identity table for view `V` as a comparable map:
+/// `(class name, core tuple) → oid` is exactly what must survive a crash.
+fn crash_identity(s: &Session) -> BTreeMap<(String, String), Oid> {
+    let db = s.system().database(sym("Staff")).unwrap();
+    let db = db.read();
+    let core = db.durable_core().expect("durable database");
+    core.identity_for_view(sym("V"))
+        .into_iter()
+        .map(|(class, tuple, oid): (Symbol, Tuple, Oid)| {
+            ((class.to_string(), format!("{tuple:?}")), oid)
+        })
+        .collect()
+}
+
+/// Simulates a kill: captures the in-memory (= committed) state, drops the
+/// session, reopens from disk, and asserts exact-prefix recovery.
+fn crash_and_reopen(s: Session, dir: &std::path::Path, seed: u64, label: &str) -> Session {
+    let expected = s.save();
+    let identity = crash_identity(&s);
+    let version = {
+        let db = s.system().database(sym("Staff")).unwrap();
+        let v = db.read().store.version();
+        v
+    };
+    drop(s);
+    let s = Session::open(dir, Durability::Wal)
+        .unwrap_or_else(|e| panic!("seed {seed} [{label}]: reopen failed: {e}"));
+    // Invariant 6: exact committed prefix.
+    assert_eq!(
+        s.save(),
+        expected,
+        "seed {seed} [{label}]: recovered state diverged from the committed prefix"
+    );
+    // Invariant 7: identity table bit-for-bit.
+    assert_eq!(
+        crash_identity(&s),
+        identity,
+        "seed {seed} [{label}]: imaginary identity changed across the crash"
+    );
+    // Invariant 8: version preserved, floor re-seated above stale readers.
+    let db = s.system().database(sym("Staff")).unwrap();
+    {
+        let d = db.read();
+        assert_eq!(
+            d.store.version(),
+            version,
+            "seed {seed} [{label}]: store version moved across recovery"
+        );
+        if version > 0 {
+            assert_eq!(
+                d.store.changes_since(0),
+                None,
+                "seed {seed} [{label}]: journal floor reset to 0 — stale readers \
+                 would see an empty delta instead of FullRecompute"
+            );
+        }
+    }
+    drop(db);
+    s
+}
+
+const CRASH_CYCLES: usize = 4;
+const CRASH_ROUNDS: usize = 25;
+
+/// One full seeded crash-recovery run.
+fn run_crash_chaos(seed: u64) {
+    let _serial = chaos_lock();
+    let _guard = ChaosGuard;
+    let dir = crash_scratch(seed);
+    let mut s = Session::open(&dir, Durability::Wal).unwrap();
+    s.execute(
+        r#"
+        database Staff;
+        class Person type [Name: string, Age: integer, City: string];
+        create view V;
+        import all classes from database Staff;
+        class Adult includes (select P from Person where P.Age >= 21);
+        class CityTag includes imaginary (select [City: P.City] from P in Person);
+        "#,
+    )
+    .unwrap();
+    let cities = ["London", "Paris", "Roma", "Oslo", "Quito"];
+    let mut rng = CrashRng(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut next_name = 0usize;
+    // Seed a base population (durably — these ride the WAL too).
+    {
+        let db = s.system().database(sym("Staff")).unwrap();
+        let mut d = db.write();
+        let person = d.schema.require_class(sym("Person")).unwrap();
+        for i in 0..24 {
+            next_name += 1;
+            d.create_object(
+                person,
+                Value::tuple([
+                    (sym("Name"), Value::str(&format!("p{next_name}"))),
+                    (sym("Age"), Value::Int(i % 90)),
+                    (sym("City"), Value::str(cities[(i % 3) as usize])),
+                ]),
+            )
+            .unwrap();
+        }
+    }
+
+    for cycle in 0..CRASH_CYCLES {
+        // Populate the imaginary extent with faults clear: identity
+        // assignments log strictly here, so the mirror and WAL agree.
+        s.view(sym("V"))
+            .unwrap()
+            .extent_of(sym("CityTag"))
+            .unwrap_or_else(|e| panic!("seed {seed} cycle {cycle}: clean read failed: {e}"));
+
+        // Mutation storm under WAL append failures. A failed append must
+        // leave memory untouched (that is what makes invariant 6 hold).
+        faults::set_seed(seed.wrapping_add(cycle as u64));
+        faults::arm(
+            "wal.append",
+            FaultSchedule::Probability(0.10),
+            FaultAction::Error,
+        );
+        {
+            let db = s.system().database(sym("Staff")).unwrap();
+            let person = {
+                let d = db.read();
+                d.schema.require_class(sym("Person")).unwrap()
+            };
+            for _ in 0..CRASH_ROUNDS {
+                let r = rng.next();
+                let outcome = match r % 4 {
+                    0 => {
+                        next_name += 1;
+                        db.write()
+                            .create_object(
+                                person,
+                                Value::tuple([
+                                    (sym("Name"), Value::str(&format!("p{next_name}"))),
+                                    (sym("Age"), Value::Int((r % 90) as i64)),
+                                    (
+                                        sym("City"),
+                                        Value::str(cities[(r % cities.len() as u64) as usize]),
+                                    ),
+                                ]),
+                            )
+                            .map(|_| ())
+                    }
+                    1 => {
+                        let oids = db.read().store.sorted_oids();
+                        // Keep a core population so extents stay non-trivial.
+                        if oids.len() > 8 {
+                            let victim = oids[(r % oids.len() as u64) as usize];
+                            db.write().delete_object(victim).map(|_| ())
+                        } else {
+                            Ok(())
+                        }
+                    }
+                    _ => {
+                        let oids = db.read().store.sorted_oids();
+                        let victim = oids[(r % oids.len() as u64) as usize];
+                        db.write()
+                            .set_attr(victim, sym("Age"), Value::Int((r % 90) as i64))
+                    }
+                };
+                // Invariant 2 carries over: failures stay typed errors.
+                if let Err(e) = outcome {
+                    assert!(!e.to_string().is_empty());
+                }
+            }
+        }
+        faults::clear();
+
+        // Every other cycle the "crash" is a torn WAL write: a partial
+        // frame at the tail, exactly what a power cut mid-write leaves.
+        if cycle % 2 == 0 {
+            faults::arm("wal.torn_write", FaultSchedule::Nth(1), FaultAction::Error);
+            let db = s.system().database(sym("Staff")).unwrap();
+            let person = {
+                let d = db.read();
+                d.schema.require_class(sym("Person")).unwrap()
+            };
+            let torn = db.write().create_object(
+                person,
+                Value::tuple([
+                    (sym("Name"), Value::str("torn")),
+                    (sym("Age"), Value::Int(1)),
+                    (sym("City"), Value::str("Atlantis")),
+                ]),
+            );
+            assert!(
+                torn.is_err(),
+                "seed {seed} cycle {cycle}: torn write reported success"
+            );
+            faults::clear();
+        }
+
+        s = crash_and_reopen(s, &dir, seed, &format!("cycle {cycle}"));
+
+        // Checkpoints under failpoints: a failed checkpoint must leave the
+        // previous snapshot + WAL fully recoverable.
+        match cycle {
+            1 => {
+                faults::arm(
+                    "checkpoint.write",
+                    FaultSchedule::Nth(1),
+                    FaultAction::Error,
+                );
+                assert!(
+                    s.checkpoint().is_err(),
+                    "seed {seed}: checkpoint survived an injected write failure"
+                );
+                faults::clear();
+                s = crash_and_reopen(s, &dir, seed, "after failed checkpoint.write");
+            }
+            2 => {
+                faults::arm(
+                    "checkpoint.rename",
+                    FaultSchedule::Nth(1),
+                    FaultAction::Error,
+                );
+                assert!(
+                    s.checkpoint().is_err(),
+                    "seed {seed}: checkpoint survived an injected rename failure"
+                );
+                faults::clear();
+                // A clean checkpoint heals, and recovery now starts from
+                // the fresh snapshot plus an (empty) WAL tail.
+                s.checkpoint()
+                    .unwrap_or_else(|e| panic!("seed {seed}: clean checkpoint failed: {e}"));
+                s = crash_and_reopen(s, &dir, seed, "after healed checkpoint");
+            }
+            _ => {}
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_chaos_fixed_seed_a() {
+    run_crash_chaos(0x0b1ec75);
+}
+
+#[test]
+fn crash_chaos_fixed_seed_b() {
+    run_crash_chaos(1991);
+}
+
+/// CI rolls a random seed into `CHAOS_SEED`; locally this repeats seed A.
+#[test]
+fn crash_chaos_env_seed() {
+    let seed = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x0b1ec75);
+    println!("crash_chaos_env_seed: CHAOS_SEED={seed}");
+    run_crash_chaos(seed);
 }
 
 #[test]

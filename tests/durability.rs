@@ -1,0 +1,246 @@
+//! Durable-session integration tests: WAL + snapshot recovery through the
+//! full stack (session → view → database → store), with the paper's
+//! headline guarantee on top — **imaginary-object identity is stable
+//! across process restarts**. An imaginary oid is a name a user may have
+//! written down; reopening the session must hand back the same oid for the
+//! same core tuple.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use objects_and_views::oodb::{Oid, Tuple};
+use objects_and_views::prelude::*;
+
+/// A fresh scratch directory under the system temp dir (no tempfile crate:
+/// pid + tag keep concurrent test binaries apart).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ov-durability-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds the standard fixture in a durable session: a `Staff` base with
+/// people, and a view stacking a virtual class and an imaginary class.
+fn build_fixture(session: &mut Session) {
+    session
+        .execute(
+            r#"
+            database Staff;
+            class Person type [Name: string, Age: integer, City: string];
+            object #0 in Person value [Name: "Ada", Age: 36, City: "London"];
+            object #1 in Person value [Name: "Bob", Age: 17, City: "Paris"];
+            object #2 in Person value [Name: "Cleo", Age: 64, City: "London"];
+            name ada = #0;
+            create view V;
+            import all classes from database Staff;
+            class Adult includes (select P from Person where P.Age >= 21);
+            class CityTag includes imaginary (select [City: P.City] from P in Person);
+            "#,
+        )
+        .unwrap();
+}
+
+/// The identity table the durable core would recover for view `V`, as a
+/// comparable map. `(class name, core tuple) → oid` is exactly the mapping
+/// that must survive a restart.
+fn identity_map(session: &Session) -> BTreeMap<(String, String), Oid> {
+    let db = session.system().database(sym("Staff")).unwrap();
+    let db = db.read();
+    let core = db.durable_core().expect("durable database");
+    core.identity_for_view(sym("V"))
+        .into_iter()
+        .map(|(class, tuple, oid): (Symbol, Tuple, Oid)| {
+            ((class.to_string(), format!("{tuple:?}")), oid)
+        })
+        .collect()
+}
+
+#[test]
+fn durable_session_recovers_data_views_and_imaginary_identity() {
+    let dir = scratch("headline");
+    let (saved, identity_before, tags_before) = {
+        let mut s = Session::open(&dir, Durability::Wal).unwrap();
+        build_fixture(&mut s);
+        // Materialize the imaginary extent so identity exists to persist.
+        let tags: Vec<Oid> = s.view(sym("V")).unwrap().extent_of(sym("CityTag")).unwrap();
+        assert_eq!(tags.len(), 2, "two distinct cities");
+        (s.save(), identity_map(&s), tags)
+        // Dropped without checkpoint: recovery must come from the WAL alone.
+    };
+
+    let mut s = Session::open(&dir, Durability::Wal).unwrap();
+    // Base data, names, schema, and view definitions all round-tripped.
+    assert_eq!(
+        s.save(),
+        saved,
+        "recovered session diverged from the saved one"
+    );
+    // Queries over recovered base data work.
+    let outcomes = s.execute("database Staff; count(Person);").unwrap();
+    assert_eq!(outcomes.last(), Some(&Outcome::Value(Value::Int(3))));
+    assert_eq!(s.query(sym("V"), "count(Adult)").unwrap(), Value::Int(2));
+    // The imaginary identity table recovered bit-for-bit…
+    assert_eq!(
+        identity_map(&s),
+        identity_before,
+        "identity table changed across reopen"
+    );
+    // …and a fresh population hands back the *same* oids, in any order.
+    let mut tags_after: Vec<Oid> = s.view(sym("V")).unwrap().extent_of(sym("CityTag")).unwrap();
+    let mut tags_before = tags_before;
+    tags_before.sort();
+    tags_after.sort();
+    assert_eq!(
+        tags_after, tags_before,
+        "imaginary oids changed across reopen"
+    );
+    // The recovered session keeps working: new writes land and propagate.
+    s.execute(r#"database Staff; insert Person value [Name: "Dan", Age: 41, City: "Roma"];"#)
+        .unwrap();
+    assert_eq!(s.query(sym("V"), "count(Adult)").unwrap(), Value::Int(3));
+    assert_eq!(
+        s.view(sym("V"))
+            .unwrap()
+            .extent_of(sym("CityTag"))
+            .unwrap()
+            .len(),
+        3
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_truncates_wal_and_recovers_identically() {
+    let dir = scratch("checkpoint");
+    let saved = {
+        let mut s = Session::open(&dir, Durability::Wal).unwrap();
+        build_fixture(&mut s);
+        s.view(sym("V")).unwrap().extent_of(sym("CityTag")).unwrap();
+        assert_eq!(s.checkpoint().unwrap(), 1, "one durable database");
+        // Post-checkpoint writes land in the (now short) WAL tail.
+        s.execute(r#"database Staff; insert Person value [Name: "Eve", Age: 29, City: "Oslo"];"#)
+            .unwrap();
+        s.save()
+    };
+    let wal = dir.join("databases/Staff").join("wal.ovl");
+    assert!(wal.exists(), "WAL file missing after checkpoint");
+    let s = Session::open(&dir, Durability::Wal).unwrap();
+    assert_eq!(s.save(), saved, "snapshot + WAL tail recovery diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite regression: reopening a database must re-seat the journal
+/// floor at the recovered version, **not** at zero. A dependent view
+/// holding a pre-restart version must get `None` from `changes_since`
+/// (forcing a full recompute) rather than a bogus empty delta.
+#[test]
+fn reopen_reseats_journal_floor_for_stale_view_deltas() {
+    let dir = scratch("floor");
+    let version_before = {
+        let mut s = Session::open(&dir, Durability::Wal).unwrap();
+        build_fixture(&mut s);
+        let db = s.system().database(sym("Staff")).unwrap();
+        let v = db.read().store.version();
+        assert!(v > 0);
+        v
+    };
+    let s = Session::open(&dir, Durability::Wal).unwrap();
+    let db = s.system().database(sym("Staff")).unwrap();
+    let db = db.read();
+    assert_eq!(
+        db.store.version(),
+        version_before,
+        "recovery must not rewind the store version"
+    );
+    // A stale pre-restart version (e.g. a view's remembered generation)
+    // is below the recovered floor: no delta, full recompute.
+    assert_eq!(
+        db.store.changes_since(0),
+        None,
+        "journal floor was reset to 0 on reopen: stale readers would get an empty delta"
+    );
+    // The current version is a clean empty delta, as always.
+    assert_eq!(db.store.changes_since(version_before), Some(Vec::new()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn walsync_session_survives_crash_without_checkpoint() {
+    let dir = scratch("walsync");
+    {
+        let mut s = Session::open(&dir, Durability::WalSync).unwrap();
+        build_fixture(&mut s);
+        // No checkpoint, no clean shutdown: everything rides the WAL.
+    }
+    let mut s = Session::open(&dir, Durability::WalSync).unwrap();
+    assert_eq!(s.query(sym("V"), "count(Adult)").unwrap(), Value::Int(2));
+    assert_eq!(
+        s.execute("database Staff; ada.Name;").unwrap().pop(),
+        Some(Outcome::Value(Value::str("Ada")))
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_is_truncated_on_reopen() {
+    use std::io::Write as _;
+    let dir = scratch("torn");
+    let saved = {
+        let mut s = Session::open(&dir, Durability::Wal).unwrap();
+        build_fixture(&mut s);
+        s.save()
+    };
+    // Simulate a crash mid-append: garbage bytes at the tail of the WAL.
+    let wal = dir.join("databases/Staff").join("wal.ovl");
+    let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+    f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+    drop(f);
+    let s = Session::open(&dir, Durability::Wal).unwrap();
+    assert_eq!(
+        s.save(),
+        saved,
+        "torn tail must be truncated, committed prefix kept"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_views_script_is_rejected_with_typed_error() {
+    let dir = scratch("views-corrupt");
+    {
+        let mut s = Session::open(&dir, Durability::Wal).unwrap();
+        build_fixture(&mut s);
+    }
+    // Flip view DDL behind the checksum's back.
+    let path = dir.join("views.ovq");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        text.starts_with("-- ovdump"),
+        "views.ovq must be a checked dump"
+    );
+    std::fs::write(&path, text.replace("Adult", "Adolt")).unwrap();
+    let Err(err) = Session::open(&dir, Durability::Wal) else {
+        panic!("corrupt views.ovq accepted");
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("checksum"), "untyped or wrong error: {msg}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_database_file_is_rejected_not_panicking() {
+    let dir = scratch("foreign");
+    let db_dir = dir.join("databases/Staff");
+    std::fs::create_dir_all(&db_dir).unwrap();
+    // A foreign snapshot file: recovery must refuse with a typed error.
+    std::fs::write(
+        db_dir.join("snapshot.ovp"),
+        b"#!/bin/sh\n# definitely not a snapshot, but long enough to parse\nexit 1\n",
+    )
+    .unwrap();
+    let Err(err) = Session::open(&dir, Durability::Wal) else {
+        panic!("foreign snapshot accepted");
+    };
+    assert!(!err.to_string().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
