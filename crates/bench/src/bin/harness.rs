@@ -31,7 +31,7 @@
 //!   `--baseline`; a cell regresses when `new/old > X` and the absolute
 //!   delta clears a small noise floor.
 //!
-//! Each section corresponds to an experiment id (E1–E17) in EXPERIMENTS.md,
+//! Each section corresponds to an experiment id (E1–E19) in EXPERIMENTS.md,
 //! which maps them back to the paper's sections. Timings are coarse
 //! wall-clock means (use the Criterion benches for statistically careful
 //! numbers); the semantic rows are exact.
@@ -89,6 +89,7 @@ fn main() {
     e16_batched_execution();
     e17_profiling_overhead();
     e18_durability(&args);
+    e19_planner();
     write_metrics_and_trace(&args);
     if let Some(path) = &args.save_baseline {
         let json = baseline::to_json(&baseline::snapshot());
@@ -1766,5 +1767,143 @@ fn e12_relational() {
                 tcell(&label, "restage", t_restage),
             ],
         );
+    }
+}
+
+fn e19_planner() {
+    header(
+        "E19",
+        "cost-based planner vs fixed heuristics: strategy selection from statistics (extension)",
+    );
+    row(
+        "n",
+        &[
+            "uniform-on".into(),
+            "uniform-off".into(),
+            "skewed-on".into(),
+            "skewed-off".into(),
+            "join-on".into(),
+            "join-off".into(),
+        ],
+    );
+    for &n in &[1_000usize, 10_000, 100_000] {
+        // A fresh statistics plane and plan cache per size: the sketches
+        // are keyed by class name, so leftovers from other experiments
+        // (or the previous `n`) would skew the estimates.
+        ov_oodb::stats::stats().clear();
+        ov_query::clear_plan_cache();
+        let sys = people(n);
+        let db = sys.database(sym("Staff")).unwrap();
+        // A small dimension class for the multi-binding join: 16 rows,
+        // `Id` 0..16, so `P.Kids = D.Id` matches exactly one `D` per
+        // person. The query below binds `D` *first*, which is the worst
+        // order; the planner must discover that from the statistics.
+        {
+            let mut d = db.write();
+            let person = d.schema.class_by_name(sym("Person")).unwrap();
+            d.create_index(person, sym("Name")).unwrap();
+            d.create_index(person, sym("Sex")).unwrap();
+            let dept = d
+                .create_class(
+                    sym("Dept"),
+                    &[],
+                    vec![ov_oodb::AttrDef::stored(sym("Id"), ov_oodb::Type::Int)],
+                )
+                .unwrap();
+            for i in 0..16 {
+                d.create_object(
+                    dept,
+                    Value::Tuple(ov_oodb::Tuple::from_fields([(sym("Id"), Value::Int(i))])),
+                )
+                .unwrap();
+            }
+        }
+        // Warm the statistics: profiled sequential scans sample the
+        // prefetched columns (Name, Age, Sex, Kids) into the sketches.
+        // Planner off so the eq probes don't take the index-pushdown
+        // path, which bypasses the sampling loop.
+        let was_profiling = ov_oodb::metrics::profiling_enabled();
+        ov_oodb::metrics::set_profiling(true);
+        ov_query::with_planner(false, || {
+            let d = db.read();
+            ov_query::run_query(&*d, "select P.Name from P in Person where P.Age >= 0").unwrap();
+            ov_query::run_query(&*d, "select P.Kids from P in Person where P.Sex = \"none\"")
+                .unwrap();
+            ov_query::run_query(&*d, "select D.Id from D in Dept where D.Id >= 0").unwrap();
+        });
+        ov_oodb::metrics::set_profiling(was_profiling);
+
+        // uniform: unique-key equality probe. The planner reads NDV ≈
+        // cardinality from the sketch and picks the `Name` index; the
+        // fixed heuristic (planner off) runs the compiled seq scan.
+        let uniform = format!(
+            "select P.Name from P in Person where P.Name = \"p{}\"",
+            n / 2
+        );
+        // skewed: 2-NDV equality leg. The planner vetoes the `Sex` index
+        // (half the extent behind one posting list) and stays sequential,
+        // so both cells should be within noise of each other.
+        let skewed = "select P.Name from P in Person where P.Sex = \"male\" and P.Age >= 90";
+        // join: selective unique-key leg on `P`, cross leg to the 16-row
+        // dimension, written in the worst binding order. The planner
+        // reorders `P` first and evaluates the `Name` probe at depth 0;
+        // planner off runs the compiled nested loop in textual order.
+        let join = format!(
+            "select P.Name from D in Dept, P in Person where P.Name = \"p{}\" and P.Kids = D.Id",
+            n / 2
+        );
+        let mut cells = Vec::new();
+        for q in [uniform.as_str(), skewed, join.as_str()] {
+            let mut results = Vec::new();
+            let mut times = Vec::new();
+            for on in [true, false] {
+                ov_query::with_planner(on, || {
+                    let d = db.read();
+                    results.push(ov_query::run_query(&*d, q).unwrap());
+                    times.push(time_ns(if n >= 100_000 { 3 } else { 5 }, || {
+                        std::hint::black_box(ov_query::run_query(&*d, q).unwrap());
+                    }));
+                });
+            }
+            assert_eq!(results[0], results[1], "planner on/off must agree on {q}");
+            times.truncate(2);
+            cells.push(times);
+        }
+        let label = n.to_string();
+        row(
+            &label,
+            &[
+                tcell(&label, "uniform-on", cells[0][0]),
+                tcell(&label, "uniform-off", cells[0][1]),
+                tcell(&label, "skewed-on", cells[1][0]),
+                tcell(&label, "skewed-off", cells[1][1]),
+                tcell(&label, "join-on", cells[2][0]),
+                tcell(&label, "join-off", cells[2][1]),
+            ],
+        );
+        // Misestimate canary: on the uniform workload the estimate must
+        // stay within 10x of the actual row count, or the drift eviction
+        // threshold would be churning the plan cache on a well-behaved
+        // query. CI greps for the MISESTIMATE marker.
+        let d = db.read();
+        let (val, trace) = ov_query::run_query_traced(&*d, &uniform).unwrap();
+        let actual = match &val {
+            Value::Set(s) => s.len() as u64,
+            Value::List(l) => l.len() as u64,
+            _ => 1,
+        };
+        match &trace.planner {
+            Some(p) => {
+                let est = p.est_rows.max(1);
+                let act = actual.max(1);
+                let ratio = est.max(act) as f64 / est.min(act) as f64;
+                let verdict = if ratio > 10.0 { "MISESTIMATE" } else { "ok" };
+                println!(
+                    "E19/canary/{n} est={} actual={actual} ratio={ratio:.1}x {verdict}",
+                    p.est_rows
+                );
+            }
+            None => println!("E19/canary/{n} no plan recorded MISESTIMATE"),
+        }
     }
 }

@@ -1923,12 +1923,27 @@ impl View {
     /// state — the in-progress population set (cycle guard) and the
     /// privileged-visibility depth — so the filter sees exactly what a
     /// sequential scan would see. The first error (in chunk order) wins.
+    /// The planner's row estimate for a canonical specialization query:
+    /// estimated class cardinality × filter selectivity, from the
+    /// statistics plane. `None` when the planner is off, the query is not
+    /// a single-binding class scan, or the class has no warm cardinality.
+    fn scan_estimate(&self, q: &SelectExpr) -> Option<u64> {
+        if !ov_query::planner_enabled() {
+            return None;
+        }
+        let [(var, Expr::Name(class_name))] = q.bindings.as_slice() else {
+            return None;
+        };
+        ov_query::estimate_select(*class_name, *var, q.filter.as_deref())
+    }
+
     fn parallel_filter(
         &self,
         extent: &[Oid],
         var: Symbol,
         filter: Option<&Expr>,
         compiled: Option<&ov_query::Program>,
+        est_rows: Option<u64>,
     ) -> ov_query::Result<BTreeSet<Oid>> {
         let (populating, depth) = self.with_eval(|s| (s.populating.clone(), s.body_depth));
         // Batch size is thread-scoped; read it on the coordinator and apply
@@ -2065,7 +2080,11 @@ impl View {
             }
             Ok(out)
         });
-        plan::record_scan(plan::ScanKind::Parallel { chunks, engine }, actuals);
+        plan::record_scan_est(
+            plan::ScanKind::Parallel { chunks, engine },
+            actuals,
+            est_rows,
+        );
         result
     }
 
@@ -2099,6 +2118,7 @@ impl View {
                     // equality conjunct on an indexed stored attribute is
                     // answered from the index instead of scanning the
                     // extent.
+                    let est = self.scan_estimate(q);
                     if let Some((candidates, index)) = self.index_candidates(q) {
                         self.bump_stat(Stat::IndexPushdown);
                         let engine = if compiled.is_some() {
@@ -2158,7 +2178,11 @@ impl View {
                             plan::add_actuals(&actuals);
                             r
                         });
-                        plan::record_scan(plan::ScanKind::IndexPushdown { index, engine }, actuals);
+                        plan::record_scan_est(
+                            plan::ScanKind::IndexPushdown { index, engine },
+                            actuals,
+                            est,
+                        );
                         r?;
                         continue;
                     }
@@ -2175,13 +2199,30 @@ impl View {
                         if !q.the && ov_query::DataSource::named_object(self, *coll_name).is_none()
                         {
                             let extent = DataSource::extent(self, class)?;
-                            if self.parallel.should_split(extent.len())
+                            // Strategy choice: the cost model weighs the
+                            // split's fixed overhead against the per-worker
+                            // share; planner off keeps the fixed threshold.
+                            let split = if ov_query::planner_enabled() {
+                                ov_query::planner::choose_split(
+                                    extent.len(),
+                                    self.parallel.workers_for(extent.len()),
+                                    self.parallel.threshold,
+                                )
+                            } else {
+                                self.parallel.should_split(extent.len())
+                            };
+                            if split
                                 && self.parallel_strikes.load(Ordering::Relaxed)
                                     < PARALLEL_STRIKE_LIMIT
                             {
                                 self.bump_stat(Stat::ParallelScan);
-                                match self.parallel_filter(&extent, var, filter.as_ref(), compiled)
-                                {
+                                match self.parallel_filter(
+                                    &extent,
+                                    var,
+                                    filter.as_ref(),
+                                    compiled,
+                                    est,
+                                ) {
                                     Ok(set) => {
                                         self.parallel_strikes.store(0, Ordering::Relaxed);
                                         out.extend(set);
@@ -2260,11 +2301,12 @@ impl View {
                                         r
                                     },
                                 );
-                                plan::record_scan(
+                                plan::record_scan_est(
                                     plan::ScanKind::Sequential {
                                         engine: plan::Engine::compiled_now(),
                                     },
                                     actuals,
+                                    est,
                                 );
                                 out.extend(r?);
                                 continue;
@@ -2272,11 +2314,12 @@ impl View {
                         }
                     }
                     let (r, actuals) = plan::with_scan_actuals(|| eval_select(self, q));
-                    plan::record_scan(
+                    plan::record_scan_est(
                         plan::ScanKind::Sequential {
                             engine: plan::Engine::Interpreted,
                         },
                         actuals,
+                        est,
                     );
                     let v = r?;
                     let Value::Set(items) = v else {
@@ -2365,6 +2408,13 @@ impl View {
         // Find an equality conjunct `var.A = lit` (either orientation).
         let filter = q.filter.as_deref()?;
         let (attr, value) = find_eq_conjunct(filter, *var)?;
+        // Cost-based veto: on a low-NDV attribute each index posting list
+        // is a large fraction of the extent, so probing the index and then
+        // re-filtering loses to the straight compiled scan. Unmeasured
+        // attributes keep the historical pushdown-always behavior.
+        if ov_query::planner_enabled() && !ov_query::planner::index_worthwhile(*class_name, attr) {
+            return None;
+        }
         let db = self.sources[source].read();
         let candidates = db.indexed_deep_lookup(orig, attr, &value)?;
         let label = format!("{}.{attr}", db.schema.class(orig).name);

@@ -170,7 +170,11 @@ impl fmt::Debug for DurableCore {
 /// What [`DurableCore::open`] recovers: the core itself, the latest
 /// snapshot (if any), and the WAL tail — the records appended after that
 /// snapshot — for the caller to replay.
-pub type RecoveredCore = (Arc<DurableCore>, Option<SnapshotImage>, Vec<(u64, WalRecord)>);
+pub type RecoveredCore = (
+    Arc<DurableCore>,
+    Option<SnapshotImage>,
+    Vec<(u64, WalRecord)>,
+);
 
 impl DurableCore {
     /// Opens (creating if needed) the durability directory `dir`.

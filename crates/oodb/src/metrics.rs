@@ -385,6 +385,12 @@ pub struct WorkloadEntry {
     pub pop_recomputes: Counter,
     /// Stale populations served during executions (degraded mode).
     pub pop_stale_serves: Counter,
+    /// Executions whose plan was served from the fingerprint-keyed plan
+    /// cache.
+    pub plan_cache_hits: Counter,
+    /// Executions that planned from scratch (cold cache, generation bump,
+    /// or drift eviction).
+    pub plan_cache_misses: Counter,
 }
 
 /// A process-wide registry of [`WorkloadEntry`]s keyed by fingerprint.
@@ -461,7 +467,8 @@ impl WorkloadRegistry {
                 "{sep}\n  {{\"fingerprint\": {}, \"normalized\": {}, \"calls\": {}, \
                  \"rows\": {}, \"total_ns\": {}, \"mean_ns\": {:.0}, \"p95_ns\": {}, \
                  \"compiled\": {}, \"interpreted\": {}, \"pop_cache_hits\": {}, \
-                 \"pop_deltas\": {}, \"pop_recomputes\": {}, \"pop_stale_serves\": {}}}",
+                 \"pop_deltas\": {}, \"pop_recomputes\": {}, \"pop_stale_serves\": {}, \
+                 \"plan_cache_hits\": {}, \"plan_cache_misses\": {}}}",
                 json_str(fp),
                 json_str(&e.normalized),
                 e.calls.get(),
@@ -475,6 +482,8 @@ impl WorkloadRegistry {
                 e.pop_deltas.get(),
                 e.pop_recomputes.get(),
                 e.pop_stale_serves.get(),
+                e.plan_cache_hits.get(),
+                e.plan_cache_misses.get(),
             );
         }
         out.push_str("\n]\n");

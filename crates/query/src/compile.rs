@@ -74,9 +74,10 @@ pub enum EngineMode {
     /// Compile where the expression is covered, fall back otherwise
     /// (the default).
     Auto,
-    /// Same behavior as [`EngineMode::Auto`] today (compile when covered,
-    /// interpret otherwise); kept distinct so tooling can express intent
-    /// explicitly.
+    /// Compile when covered like [`EngineMode::Auto`], but *count* every
+    /// top-level query that still falls back to the interpreter in the
+    /// `compile.fallbacks` metric (surfaced by ovq `.engine`) — forcing
+    /// the engine makes coverage regressions visible instead of silent.
     Compiled,
     /// Never compile; every scan runs the tree-walking interpreter.
     Interp,
@@ -157,6 +158,20 @@ pub fn with_engine_mode<R>(mode: EngineMode, f: impl FnOnce() -> R) -> R {
 /// Should scan paths attempt compiled execution at all?
 pub fn compiled_enabled() -> bool {
     engine_mode() != EngineMode::Interp
+}
+
+/// Interpreter fallbacks observed while the engine was forced to
+/// [`EngineMode::Compiled`]: top-level queries the compiler could not
+/// cover. Zero under a healthy forced-compiled workload; a growing count
+/// is a coverage regression.
+pub fn compile_fallbacks() -> u64 {
+    ov_oodb::metric_counter!("compile.fallbacks").get()
+}
+
+/// Records one forced-mode interpreter fallback (only called when
+/// [`engine_mode`] is [`EngineMode::Compiled`]).
+fn note_fallback() {
+    ov_oodb::metric_counter!("compile.fallbacks").inc();
 }
 
 // --- batch sizing ---------------------------------------------------------
@@ -240,6 +255,12 @@ enum Inst {
     MakeSet { n: usize },
     /// Pop `n` values, build a list.
     MakeList { n: usize },
+    /// Run sub-select `sub` (of the program's [`Program::subs`] table) as
+    /// a subroutine at depth `base + rel`, pushing its result: a set (or
+    /// bare element for `select the`), or a boolean for `exists`. The
+    /// subroutine drives its binding loops row-at-a-time with the
+    /// interpreter's exact depth/step charges.
+    Select { sub: usize, rel: usize },
     /// Frame entry of a compiled computed-attribute body: the
     /// `DataSource::enter_body` bracket the interpreter's `run_computed`
     /// opens before evaluating the body.
@@ -266,7 +287,45 @@ pub struct Program {
     slot_recv: Vec<Option<usize>>,
     /// Field-name shapes for `MakeTuple`, in shape order.
     shapes: Vec<Vec<Symbol>>,
+    /// Compiled sub-selects, indexed by [`Inst::Select`].
+    subs: Vec<Arc<SubSelect>>,
     n_regs: usize,
+}
+
+/// How a sub-select binding's collection is produced, once per enclosing
+/// iteration (the interpreter re-evaluates collections each time the
+/// outer bindings advance, and so does the compiled form).
+#[derive(Debug)]
+enum CollPlan {
+    /// A compiled collection expression (a variable path, a constructed
+    /// set, an earlier binding's attribute, …).
+    Prog(Arc<Program>),
+    /// A free name, resolved per iteration exactly like the evaluator's
+    /// `resolve_name` tail: named object first, then class extent, else
+    /// the unknown-name error — so mid-scan rebinds and repopulations
+    /// behave identically to the interpreter.
+    Free(Symbol),
+}
+
+/// One `var in collection` binding of a compiled sub-select.
+#[derive(Debug)]
+struct SubBinding {
+    var: Symbol,
+    /// The frame-relative register the variable binds into (past the
+    /// enclosing program's registers; the file grows on demand).
+    reg: usize,
+    coll: CollPlan,
+}
+
+/// A nested `select` (or `exists`) compiled as a subroutine: collection
+/// plans per binding, a compiled filter, and a compiled projection —
+/// `None` for `exists`, which only probes for a first match.
+#[derive(Debug)]
+struct SubSelect {
+    the: bool,
+    bindings: Vec<SubBinding>,
+    filter: Option<Arc<Program>>,
+    proj: Option<Arc<Program>>,
 }
 
 impl Program {
@@ -288,19 +347,13 @@ pub fn compile_predicate(expr: &Expr, vars: &[Symbol]) -> Option<Program> {
         slots: Vec::new(),
         slot_recv: Vec::new(),
         shapes: Vec::new(),
-        vars,
+        subs: Vec::new(),
+        vars: vars.to_vec(),
         reg_base: 0,
         self_reg: None,
     };
     c.emit(expr, 0)?;
-    Some(Program {
-        insts: c.insts,
-        consts: c.consts,
-        slots: c.slots,
-        slot_recv: c.slot_recv,
-        shapes: c.shapes,
-        n_regs: vars.len(),
-    })
+    Some(c.finish())
 }
 
 /// Lowers a computed-attribute body to a [`Program`] with `self` in
@@ -316,29 +369,28 @@ fn compile_body(params: &[Symbol], body: &Expr) -> Option<Program> {
         slots: Vec::new(),
         slot_recv: Vec::new(),
         shapes: Vec::new(),
-        vars: params,
+        subs: Vec::new(),
+        vars: params.to_vec(),
         reg_base: 1,
         self_reg: Some(0),
     };
     c.emit(body, 0)?;
     c.insts.push(Inst::ExitBody);
-    Some(Program {
-        insts: c.insts,
-        consts: c.consts,
-        slots: c.slots,
-        slot_recv: c.slot_recv,
-        shapes: c.shapes,
-        n_regs: 1 + params.len(),
-    })
+    Some(c.finish())
 }
 
-struct Compiler<'a> {
+struct Compiler {
     insts: Vec<Inst>,
     consts: Vec<Value>,
     slots: Vec<Symbol>,
     slot_recv: Vec<Option<usize>>,
     shapes: Vec<Vec<Symbol>>,
-    vars: &'a [Symbol],
+    subs: Vec<Arc<SubSelect>>,
+    /// In-scope variables, innermost last: the program's own scan
+    /// variables (or body parameters), extended transiently with
+    /// sub-select binding variables while their filter/projection
+    /// compile.
+    vars: Vec<Symbol>,
     /// First register for `vars` (1 in body programs, where register 0 is
     /// `self`).
     reg_base: usize,
@@ -346,7 +398,86 @@ struct Compiler<'a> {
     self_reg: Option<usize>,
 }
 
-impl Compiler<'_> {
+impl Compiler {
+    /// Seals the compiled state into a [`Program`]. `n_regs` counts only
+    /// the program's *own* registers — sub-select variables bind past
+    /// this count into a register file that grows on demand and is
+    /// truncated back at every [`Scan::run`].
+    fn finish(self) -> Program {
+        Program {
+            insts: self.insts,
+            consts: self.consts,
+            slots: self.slots,
+            slot_recv: self.slot_recv,
+            shapes: self.shapes,
+            subs: self.subs,
+            n_regs: self.reg_base + self.vars.len(),
+        }
+    }
+
+    /// Compiles `e` as a standalone child [`Program`] (a sub-select
+    /// collection, filter, or projection) sharing this compiler's
+    /// frame-relative register layout: same `reg_base`/`self_reg`, and
+    /// the current variable scope — including enclosing sub-select
+    /// variables — resolves to the same registers.
+    fn compile_child(&self, e: &Expr) -> Option<Program> {
+        let mut c = Compiler {
+            insts: Vec::new(),
+            consts: Vec::new(),
+            slots: Vec::new(),
+            slot_recv: Vec::new(),
+            shapes: Vec::new(),
+            subs: Vec::new(),
+            vars: self.vars.clone(),
+            reg_base: self.reg_base,
+            self_reg: self.self_reg,
+        };
+        c.emit(e, 0)?;
+        Some(c.finish())
+    }
+
+    /// Compiles a nested `select`/`exists` into a [`SubSelect`] table
+    /// entry. Binding collections compile before their variable enters
+    /// scope (matching `iterate_bindings`: later collections may refer
+    /// to earlier variables); the filter and projection see every
+    /// binding. Any uncovered piece fails the whole enclosing compile.
+    fn compile_sub(&mut self, q: &SelectExpr, exists: bool) -> Option<usize> {
+        let outer = self.vars.len();
+        let mut bindings = Vec::with_capacity(q.bindings.len());
+        for (var, coll) in &q.bindings {
+            let plan = match coll {
+                // A name not bound by any in-scope variable resolves at
+                // runtime (named object / class extent), per iteration.
+                Expr::Name(n) if !self.vars.contains(n) => CollPlan::Free(*n),
+                _ => CollPlan::Prog(Arc::new(self.compile_child(coll)?)),
+            };
+            let reg = self.reg_base + self.vars.len();
+            self.vars.push(*var);
+            bindings.push(SubBinding {
+                var: *var,
+                reg,
+                coll: plan,
+            });
+        }
+        let filter = match q.filter.as_deref() {
+            Some(f) => Some(Arc::new(self.compile_child(f)?)),
+            None => None,
+        };
+        let proj = if exists {
+            None
+        } else {
+            Some(Arc::new(self.compile_child(&q.proj)?))
+        };
+        self.vars.truncate(outer);
+        self.subs.push(Arc::new(SubSelect {
+            the: q.the,
+            bindings,
+            filter,
+            proj,
+        }));
+        Some(self.subs.len() - 1)
+    }
+
     /// The register `e` reads directly, if `e` is exactly a register read.
     fn reg_of(&self, e: &Expr) -> Option<usize> {
         match e {
@@ -459,8 +590,16 @@ impl Compiler<'_> {
                 let end = self.insts.len();
                 self.insts[jump] = Inst::Jump { to: end };
             }
-            // Everything else — selects, aggregates, free names, `isa`,
-            // `Apply` — is interpreter territory.
+            Expr::Select(q) => {
+                let sub = self.compile_sub(q, false)?;
+                self.insts.push(Inst::Select { sub, rel });
+            }
+            Expr::Exists(q) => {
+                let sub = self.compile_sub(q, true)?;
+                self.insts.push(Inst::Select { sub, rel });
+            }
+            // Everything else — aggregates, free names, `isa`, `Apply` —
+            // is interpreter territory.
             _ => return None,
         }
         Some(())
@@ -612,6 +751,17 @@ impl<'a> Scan<'a> {
 
     /// Writes the scan variable in register `reg` for the next `run`.
     pub fn bind(&mut self, reg: usize, v: Value) {
+        self.regs[reg] = v;
+    }
+
+    /// Writes a register, growing the file as needed — sub-select
+    /// variables live past the program's own `n_regs` (and past any body
+    /// frame in flight) and are dropped by the truncation in
+    /// [`Scan::run`] / [`Scan::run_body`].
+    fn set_reg(&mut self, reg: usize, v: Value) {
+        if reg >= self.regs.len() {
+            self.regs.resize(reg + 1, Value::Null);
+        }
         self.regs[reg] = v;
     }
 
@@ -807,6 +957,11 @@ impl<'a> Scan<'a> {
                     let vals = self.stack.split_off(self.stack.len() - n);
                     self.stack.push(Value::List(vals));
                 }
+                Inst::Select { sub, rel } => {
+                    let s = prog.subs[sub].clone();
+                    let v = self.run_sub(&s, base + rel, frame)?;
+                    self.stack.push(v);
+                }
                 Inst::EnterBody => {
                     self.src.enter_body();
                     self.open_bodies += 1;
@@ -831,6 +986,155 @@ impl<'a> Scan<'a> {
         } else {
             None
         }
+    }
+
+    /// Runs a compiled sub-select with its `select`/`exists` node at
+    /// `depth`, mirroring the interpreter's `select_depth`/`iterate`/
+    /// `iterate_bindings` chain instruction for instruction: the same
+    /// evaluation order, the same depth and budget charges, the same
+    /// actuals frame (reported on success *and* error, like `iterate`),
+    /// and the same error surfaces — filter and collection errors
+    /// propagate immediately, projection errors and `note_rows` breaches
+    /// stop the iteration and surface after the actuals are folded in.
+    fn run_sub(&mut self, sub: &SubSelect, depth: usize, frame: usize) -> Result<Value> {
+        let mut actuals = crate::plan::ScanActuals::default();
+        let mut out = BTreeSet::new();
+        let mut err: Option<QueryError> = None;
+        let mut found = false;
+        let r = self.sub_bindings(
+            sub,
+            0,
+            depth,
+            frame,
+            &mut actuals,
+            &mut out,
+            &mut err,
+            &mut found,
+        );
+        crate::plan::add_actuals(&actuals);
+        r?;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        if sub.proj.is_none() {
+            // `exists`: the interpreter never looks at `the` or the
+            // projection — a first match is the whole answer.
+            return Ok(Value::Bool(found));
+        }
+        if sub.the {
+            if out.len() == 1 {
+                Ok(out.into_iter().next().expect("len checked"))
+            } else {
+                Err(QueryError::TheCardinality { got: out.len() })
+            }
+        } else {
+            Ok(Value::Set(out))
+        }
+    }
+
+    /// The binding loops of a compiled sub-select, recursion mirroring
+    /// `iterate_bindings`: collections re-evaluate per enclosing
+    /// iteration at `depth + 1`, the leaf charges the filter and
+    /// projection at `depth + 1`, and `Ok(false)` short-circuits the
+    /// whole nest (first `exists` match, captured projection error,
+    /// row-budget breach).
+    #[allow(clippy::too_many_arguments)]
+    fn sub_bindings(
+        &mut self,
+        sub: &SubSelect,
+        i: usize,
+        depth: usize,
+        frame: usize,
+        actuals: &mut crate::plan::ScanActuals,
+        out: &mut BTreeSet<Value>,
+        err: &mut Option<QueryError>,
+        found: &mut bool,
+    ) -> Result<bool> {
+        if i == sub.bindings.len() {
+            actuals.rows_scanned += 1;
+            if let Some(f) = &sub.filter {
+                let keep = self.run_child(f, depth + 1, frame)?;
+                if !truthy(&keep) {
+                    return Ok(true);
+                }
+            }
+            actuals.rows_matched += 1;
+            return match &sub.proj {
+                None => {
+                    *found = true;
+                    Ok(false)
+                }
+                Some(p) => match self.run_child(p, depth + 1, frame) {
+                    Ok(v) => {
+                        if out.insert(v) {
+                            if let Some(b) = &self.budget {
+                                if let Err(e) = b.note_rows(1) {
+                                    *err = Some(e);
+                                    return Ok(false);
+                                }
+                            }
+                        }
+                        Ok(true)
+                    }
+                    Err(e) => {
+                        *err = Some(e);
+                        Ok(false)
+                    }
+                },
+            };
+        }
+        let b = &sub.bindings[i];
+        let (var, reg) = (b.var, b.reg);
+        let coll = match &b.coll {
+            CollPlan::Prog(p) => self.run_child(p, depth + 1, frame)?,
+            CollPlan::Free(n) => self.free_name(*n, depth + 1)?,
+        };
+        let items: Vec<Value> = match coll {
+            Value::Set(s) => s.into_iter().collect(),
+            Value::List(l) => l,
+            Value::Null => Vec::new(),
+            other => {
+                return Err(QueryError::eval(format!(
+                    "`from {var} in …` needs a set or list, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        for item in items {
+            self.set_reg(frame + reg, item);
+            let cont = self.sub_bindings(sub, i + 1, depth, frame, actuals, out, err, found)?;
+            if !cont {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Executes a child program (a sub-select piece) with its root at
+    /// depth `base`, sharing this scan's register file at `frame` and
+    /// registering the program's resolution slots on first use.
+    fn run_child(&mut self, prog: &Arc<Program>, base: usize, frame: usize) -> Result<Value> {
+        let slot_base = self.slot_base_for(prog);
+        let p = prog.clone();
+        self.exec(&p, base, frame, slot_base)
+    }
+
+    /// Resolves a free name at `depth`, exactly like the evaluator: the
+    /// node prologue (depth check + budget step), then named object →
+    /// class extent → unknown-name error. Resolution is per call, so a
+    /// rebind or repopulation mid-scan is observed like the interpreter
+    /// would observe it.
+    fn free_name(&mut self, name: Symbol, depth: usize) -> Result<Value> {
+        self.step(depth)?;
+        if let Some(oid) = self.src.named_object(name) {
+            return Ok(Value::Oid(oid));
+        }
+        if let Some(class) = self.src.class_by_name(name) {
+            return crate::source::extent_value(self.src, class);
+        }
+        Err(QueryError::eval(format!(
+            "unknown name `{name}` (not a variable, named object, or class)"
+        )))
     }
 
     /// Attribute access, mirroring `Evaluator::access`/`attr_of` byte for
@@ -1074,16 +1378,353 @@ pub fn compile_select_scan(src: &dyn DataSource, q: &SelectExpr) -> Option<Selec
 /// Attempts compiled execution of a whole top-level expression. `None`
 /// means the engine is off or the shape is not covered — the caller falls
 /// back to the interpreter. `Some(result)` is bit-identical to what
-/// `eval_expr` would have produced (values, errors, budget accounting).
+/// `eval_expr` would have produced (values, errors, budget accounting),
+/// with one documented exception: when the cost-based planner is enabled
+/// and may reorder a multi-binding select (no budget installed,
+/// independent class-extent bindings), the *values* are identical but a
+/// filter that errors on some rows may surface a different row's error
+/// (standard predicate-reorder semantics; see `planner`).
 pub(crate) fn try_run_compiled(src: &dyn DataSource, expr: &Expr) -> Option<Result<Value>> {
     if !compiled_enabled() {
         return None;
     }
+    let forced = engine_mode() == EngineMode::Compiled;
+    crate::planner::clear_last_decision();
     let Expr::Select(q) = expr else {
+        // Non-select top levels (including a bare `exists(...)`) compile
+        // when covered and run as a single program evaluation.
+        match compile_predicate(expr, &[]) {
+            Some(prog) => return Some(run_compiled_expr(src, &prog)),
+            None => {
+                if forced {
+                    note_fallback();
+                }
+                return None;
+            }
+        }
+    };
+    // Canonical single-binding class scan: the batched fast path, with
+    // the planner choosing between sequential scan and index pushdown.
+    if let Some(scan) = compile_select_scan(src, q) {
+        if crate::planner::planner_enabled() {
+            return Some(run_planned_select(src, expr, q, &scan));
+        }
+        return Some(run_select_scan(src, q, &scan));
+    }
+    // Multi-binding over independent class extents: the planner may pick
+    // a cheapest-first binding order. Only when no budget is installed —
+    // reordering preserves values but not the exact charge sequence.
+    if crate::planner::planner_enabled() && budget::current().is_none() {
+        if let Some(r) = try_run_planned_join(src, expr, q) {
+            return Some(r);
+        }
+    }
+    // General shapes — multi-binding, nested selects — compile into
+    // sub-select subroutines with the interpreter's exact semantics.
+    match compile_predicate(expr, &[]) {
+        Some(prog) => Some(run_compiled_expr(src, &prog)),
+        None => {
+            if forced {
+                note_fallback();
+            }
+            None
+        }
+    }
+}
+
+/// Runs a fully compiled general expression (multi-binding or nested
+/// selects, a bare `exists`): the program roots at depth 0, sub-selects
+/// do their own row accounting and actuals reporting, and the scan's
+/// cache/batch counters fold into the actuals frame.
+fn run_compiled_expr(src: &dyn DataSource, prog: &Program) -> Result<Value> {
+    let _span = ov_oodb::span!("query.compiled_scan");
+    let mut scan = Scan::new(prog, src);
+    let r = scan.run(0);
+    crate::plan::add_actuals(&scan.take_actuals());
+    r
+}
+
+/// Runs a planned single-binding scan: consult the plan cache / cost
+/// model, execute the chosen strategy (validating it — a pushdown whose
+/// index is missing demotes to sequential), then feed the actual row
+/// count back for drift detection and publish the decision for EXPLAIN.
+fn run_planned_select(
+    src: &dyn DataSource,
+    expr: &Expr,
+    q: &SelectExpr,
+    scan: &SelectScan,
+) -> Result<Value> {
+    let decision = crate::planner::plan_select(src, expr, q);
+    let r = match &decision.strategy {
+        crate::planner::Strategy::IndexPushdown { attr, value } => {
+            match src.indexed_lookup(scan.class, *attr, value) {
+                Some(candidates) => run_pushdown_scan(src, q, scan, candidates),
+                None => {
+                    // The plan assumed an index that isn't there (cold
+                    // statistics, dropped index): demote the cached plan
+                    // so later executions skip the doomed probe.
+                    crate::planner::demote_to_seq(expr);
+                    run_select_scan(src, q, scan)
+                }
+            }
+        }
+        _ => run_select_scan(src, q, scan),
+    };
+    let rows = match &r {
+        Ok(Value::Set(s)) => Some(s.len() as u64),
+        Ok(_) => Some(1),
+        Err(_) => None,
+    };
+    crate::planner::record_outcome(expr, decision, rows);
+    r
+}
+
+/// Runs a compiled single-binding scan over index `candidates` instead
+/// of the full extent. Candidates are re-tested against the full
+/// compiled filter (the index only served one equality conjunct), in
+/// oid order, batched like the sequential scan. Only reachable through
+/// the planner, which owns the cost decision; results are identical to
+/// the sequential scan because the index is exact on its conjunct and
+/// the filter re-runs in full.
+fn run_pushdown_scan(
+    src: &dyn DataSource,
+    q: &SelectExpr,
+    scan: &SelectScan,
+    candidates: Vec<Oid>,
+) -> Result<Value> {
+    let _span = ov_oodb::span!("query.compiled_scan");
+    let budget = budget::current();
+    let mut filter = scan.filter.as_ref().map(|p| Scan::new(p, src));
+    let mut proj = Scan::new(&scan.proj, src);
+    let mut actuals = crate::plan::ScanActuals::default();
+    let result = (|| -> Result<BTreeSet<Value>> {
+        proj.step(0)?; // the `select` node itself
+        proj.step(1)?; // the collection name
+        let batch = batch_rows();
+        let chunk_len = if batch == 0 {
+            candidates.len().max(1)
+        } else {
+            batch
+        };
+        let mut out = BTreeSet::new();
+        for chunk in candidates.chunks(chunk_len) {
+            let rows: Vec<Value> = chunk.iter().map(|&o| Value::Oid(o)).collect();
+            if batch > 0 {
+                if let Some(f) = &mut filter {
+                    f.begin_batch(0, &rows);
+                }
+                proj.begin_batch(0, &rows);
+            }
+            for (i, row) in rows.iter().enumerate() {
+                actuals.rows_scanned += 1;
+                if let Some(f) = &mut filter {
+                    f.bind(0, row.clone());
+                    if !truthy(&f.run_row(1, i)?) {
+                        continue;
+                    }
+                }
+                actuals.rows_matched += 1;
+                proj.bind(0, row.clone());
+                let v = proj.run_row(1, i)?;
+                if out.insert(v) {
+                    if let Some(b) = &budget {
+                        b.note_rows(1)?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    })();
+    if let Some(f) = &mut filter {
+        actuals.absorb(&f.take_actuals());
+    }
+    actuals.absorb(&proj.take_actuals());
+    crate::plan::add_actuals(&actuals);
+    let out = result?;
+    if q.the {
+        if out.len() == 1 {
+            Ok(out.into_iter().next().expect("len checked"))
+        } else {
+            Err(QueryError::TheCardinality { got: out.len() })
+        }
+    } else {
+        Ok(Value::Set(out))
+    }
+}
+
+/// Attempts the planner's reordered nested-loop join for a multi-binding
+/// select. Applicability is strict — every collection a free class name
+/// (independent extents, so order cannot change the result set),
+/// distinct variables, every filter leg analyzable and free of nested
+/// selects / free names / `self`, everything compiles — and `None`
+/// falls through to the exact-order compiled path. Filter legs are
+/// pushed down to the outermost binding level that has all their
+/// variables in scope, so a selective leg prunes whole subtrees of the
+/// loop nest.
+fn try_run_planned_join(
+    src: &dyn DataSource,
+    expr: &Expr,
+    q: &SelectExpr,
+) -> Option<Result<Value>> {
+    use crate::planner::{mentioned_vars, plan_join, record_outcome, Strategy};
+    if q.bindings.len() < 2 {
+        return None;
+    }
+    let vars: Vec<Symbol> = q.bindings.iter().map(|(v, _)| *v).collect();
+    for (i, v) in vars.iter().enumerate() {
+        if vars[..i].contains(v) {
+            return None; // shadowed variables need exact-order scoping
+        }
+    }
+    let mut classes = Vec::with_capacity(vars.len());
+    for (_, coll) in &q.bindings {
+        let Expr::Name(n) = coll else { return None };
+        if vars.contains(n) || src.named_object(*n).is_some() {
+            return None;
+        }
+        classes.push((*n, src.class_by_name(*n)?));
+    }
+    // Every leg must be reorder-safe, and we need its variable set to
+    // assign it a level.
+    let legs: Vec<&Expr> = q
+        .filter
+        .as_deref()
+        .map(crate::planner::conjuncts)
+        .unwrap_or_default();
+    let mut leg_vars = Vec::with_capacity(legs.len());
+    for leg in &legs {
+        leg_vars.push(mentioned_vars(leg, &vars)?);
+    }
+    // Extents are fetched once (the exact path re-evaluates per
+    // iteration; with independent class extents and a shared snapshot
+    // the sets are identical).
+    let mut extents = Vec::with_capacity(classes.len());
+    let mut cards = Vec::with_capacity(classes.len());
+    for (_, class) in &classes {
+        let ext = src.extent(*class).ok()?;
+        cards.push(ext.len() as u64);
+        extents.push(ext);
+    }
+    let class_names: Vec<Symbol> = classes.iter().map(|(n, _)| *n).collect();
+    let decision = plan_join(src, expr, q, &class_names, &cards);
+    let Strategy::Join { order } = &decision.strategy else {
         return None;
     };
-    let scan = compile_select_scan(src, q)?;
-    Some(run_select_scan(src, q, &scan))
+    // A cached plan could in principle disagree with this query's shape
+    // (fingerprint collision): validate it is a permutation of our
+    // binding indices before trusting it.
+    let mut seen = vec![false; vars.len()];
+    let valid = order.len() == vars.len()
+        && order
+            .iter()
+            .all(|&i| i < vars.len() && !std::mem::replace(&mut seen[i], true));
+    if !valid {
+        return None;
+    }
+    // Reordered scopes: position p in the nest binds original binding
+    // order[p] into register p.
+    let order_vars: Vec<Symbol> = order.iter().map(|&i| vars[i]).collect();
+    let pos_of = |orig: usize| order.iter().position(|&i| i == orig).expect("permutation");
+    // Assign each leg to the innermost nest position that completes its
+    // variable set (legs with no variables run at position 0).
+    let mut level_filters: Vec<Option<Expr>> = vec![None; vars.len()];
+    for (leg, lv) in legs.iter().zip(&leg_vars) {
+        let level = lv.iter().map(|&orig| pos_of(orig)).max().unwrap_or(0);
+        level_filters[level] = Some(match level_filters[level].take() {
+            None => (*leg).clone(),
+            Some(acc) => Expr::bin(BinOp::And, acc, (*leg).clone()),
+        });
+    }
+    let mut filter_progs: Vec<Option<Program>> = Vec::with_capacity(vars.len());
+    for (p, f) in level_filters.iter().enumerate() {
+        match f {
+            None => filter_progs.push(None),
+            Some(f) => filter_progs.push(Some(compile_predicate(f, &order_vars[..=p])?)),
+        }
+    }
+    let proj_prog = compile_predicate(&q.proj, &order_vars)?;
+    // Execute the nest.
+    let _span = ov_oodb::span!("query.compiled_scan");
+    let mut filter_scans: Vec<Option<Scan>> = filter_progs
+        .iter()
+        .map(|p| p.as_ref().map(|p| Scan::new(p, src)))
+        .collect();
+    let mut proj_scan = Scan::new(&proj_prog, src);
+    let ordered_extents: Vec<&[Oid]> = order.iter().map(|&i| extents[i].as_slice()).collect();
+    let mut actuals = crate::plan::ScanActuals::default();
+    let mut out = BTreeSet::new();
+    let mut row: Vec<Value> = Vec::with_capacity(vars.len());
+    let result = join_nest(
+        &ordered_extents,
+        &mut filter_scans,
+        &mut row,
+        &mut proj_scan,
+        &mut out,
+        &mut actuals,
+    );
+    for f in filter_scans.iter_mut().flatten() {
+        actuals.absorb(&f.take_actuals());
+    }
+    actuals.absorb(&proj_scan.take_actuals());
+    crate::plan::add_actuals(&actuals);
+    let rows = out.len() as u64;
+    let r = (|| -> Result<Value> {
+        result?;
+        if q.the {
+            if out.len() == 1 {
+                Ok(out.into_iter().next().expect("len checked"))
+            } else {
+                Err(QueryError::TheCardinality { got: out.len() })
+            }
+        } else {
+            Ok(Value::Set(out))
+        }
+    })();
+    record_outcome(expr, decision, r.as_ref().ok().map(|_| rows));
+    Some(r)
+}
+
+/// One level of the reordered join nest: iterate this level's extent,
+/// apply the level's pushed-down filter with registers `0..=level`
+/// bound, and recurse. Leaves project with every register bound.
+fn join_nest(
+    extents: &[&[Oid]],
+    filters: &mut [Option<Scan>],
+    row: &mut Vec<Value>,
+    proj: &mut Scan,
+    out: &mut BTreeSet<Value>,
+    actuals: &mut crate::plan::ScanActuals,
+) -> Result<()> {
+    let Some((ext, rest_ext)) = extents.split_first() else {
+        actuals.rows_matched += 1;
+        for (r, v) in row.iter().enumerate() {
+            proj.bind(r, v.clone());
+        }
+        let v = proj.run(1)?;
+        out.insert(v);
+        return Ok(());
+    };
+    let (filter, rest_f) = filters
+        .split_first_mut()
+        .expect("one filter slot per level");
+    for &oid in *ext {
+        row.push(Value::Oid(oid));
+        let keep = match filter {
+            None => true,
+            Some(scan) => {
+                actuals.rows_scanned += 1;
+                for (r, v) in row.iter().enumerate() {
+                    scan.bind(r, v.clone());
+                }
+                truthy(&scan.run(1)?)
+            }
+        };
+        if keep {
+            join_nest(rest_ext, rest_f, row, proj, out, actuals)?;
+        }
+        row.pop();
+    }
+    Ok(())
 }
 
 /// Runs a compiled canonical scan, charging the budget exactly as the
@@ -1302,7 +1943,6 @@ mod tests {
     fn uncovered_shapes_do_not_compile() {
         for src in [
             "count((select Q from Q in Person))",
-            "exists(select Q from Q in Person)",
             "P in Person", // free name `Person`
             "self.Age",    // `self` is not a scan variable
             "maggy.Age",   // free name
@@ -1313,6 +1953,93 @@ mod tests {
                 "`{src}` should not compile"
             );
         }
+    }
+
+    #[test]
+    fn nested_selects_agree_with_interpreter() {
+        let db = staff();
+        for src in [
+            "exists(select Q from Q in Person where Q.Age > P.Age)",
+            "exists(select Q from Q in Person where Q.Age > 100)",
+            "(select the Q.Age from Q in Person where Q.Name = P.Name) = P.Age",
+            "(select Q.Name from Q in Person where Q.Age >= P.Age) = {P.Name}",
+            // `the` over a non-singleton errors; error must match bit-for-bit.
+            "(select the Q.Name from Q in Person) = P.Name",
+            // Sub-select over a sub-select (free class name two levels down).
+            "exists(select Q from Q in (select R from R in Person where R.Age > 60) \
+             where Q.Age > P.Age)",
+            // Correlated inner collection: the outer row's value drives it.
+            "exists(select X from X in {P.Age, 1} where X > 50)",
+        ] {
+            assert_differential(&db, src);
+        }
+    }
+
+    #[test]
+    fn multi_binding_and_nested_selects_run_compiled_at_top_level() {
+        let db = staff();
+        for src in [
+            "select P.Name from P in Person, Q in Person where P.Age < Q.Age",
+            "select [A: P.Name, B: Q.Name] from P in Person, Q in Person \
+             where P.Age + Q.Age = 135",
+            "select P.Name from P in Person \
+             where exists(select Q from Q in Person where Q.Age > P.Age)",
+            "select P.Name from P in Person, Q in Person",
+        ] {
+            let expr = parse_expr(src).unwrap();
+            let interp = crate::eval::eval_expr(&db, &expr);
+            let on = crate::planner::with_planner(true, || try_run_compiled(&db, &expr))
+                .unwrap_or_else(|| panic!("`{src}` should take a compiled path (planner on)"));
+            let off = crate::planner::with_planner(false, || try_run_compiled(&db, &expr))
+                .unwrap_or_else(|| panic!("`{src}` should take a compiled path (planner off)"));
+            assert_eq!(on, interp, "planner-on divergence on `{src}`");
+            assert_eq!(off, interp, "planner-off divergence on `{src}`");
+        }
+    }
+
+    #[test]
+    fn sub_select_budget_charges_match_the_interpreter() {
+        let db = staff();
+        for src in [
+            "select P.Name from P in Person, Q in Person where P.Age < Q.Age",
+            "select P.Name from P in Person \
+             where exists(select Q from Q in Person where Q.Age > P.Age)",
+        ] {
+            let expr = parse_expr(src).unwrap();
+            let interp_budget = std::sync::Arc::new(crate::Budget::new());
+            let interp =
+                crate::budget::with(interp_budget.clone(), || crate::eval::eval_expr(&db, &expr));
+            let comp_budget = std::sync::Arc::new(crate::Budget::new());
+            let compiled = crate::budget::with(comp_budget.clone(), || {
+                try_run_compiled(&db, &expr)
+                    .unwrap_or_else(|| panic!("`{src}` should take a compiled path"))
+            });
+            assert_eq!(compiled, interp, "value divergence on `{src}`");
+            assert_eq!(
+                comp_budget.steps_used(),
+                interp_budget.steps_used(),
+                "step-charge divergence on `{src}`"
+            );
+            assert_eq!(
+                comp_budget.rows_used(),
+                interp_budget.rows_used(),
+                "row-charge divergence on `{src}`"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_mode_counts_interpreter_fallbacks() {
+        let db = staff();
+        let before = compile_fallbacks();
+        let expr = parse_expr("count((select Q from Q in Person))").unwrap();
+        with_engine_mode(EngineMode::Compiled, || {
+            assert!(try_run_compiled(&db, &expr).is_none());
+        });
+        assert!(
+            compile_fallbacks() > before,
+            "forced-compiled fallback should bump compile.fallbacks"
+        );
     }
 
     #[test]

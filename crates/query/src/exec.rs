@@ -476,6 +476,9 @@ fn run_expr_profiled(
     use crate::plan::{self, Engine, QueryTrace, Stage};
     let t0 = std::time::Instant::now();
     let (fingerprint, normalized) = crate::fingerprint::fingerprint_expr(e);
+    // Fold constants before planning/execution so literals substituted by
+    // parameterized-class instantiation feed selectivity estimation.
+    let e = &crate::optimize::optimize_expr(e);
     let ((result, populations), actuals) = {
         let _exec = ov_oodb::span!("query.execute");
         plan::with_scan_actuals(|| {
@@ -502,6 +505,14 @@ fn run_expr_profiled(
         Engine::Compiled { .. } => entry.compiled.inc(),
         Engine::Interpreted => entry.interpreted.inc(),
     }
+    let plan_choice = crate::planner::take_last_decision();
+    if let Some(d) = &plan_choice {
+        if d.cache_hit {
+            entry.plan_cache_hits.inc();
+        } else {
+            entry.plan_cache_misses.inc();
+        }
+    }
     for p in &populations {
         match &p.path {
             plan::PopPath::CacheHit => entry.pop_cache_hits.inc(),
@@ -524,6 +535,11 @@ fn run_expr_profiled(
             engine: Some(engine),
             fingerprint: fingerprint.clone(),
             normalized,
+            planner: plan_choice.map(|d| plan::PlanChoice {
+                strategy: d.strategy.to_string(),
+                est_rows: d.est_rows,
+                cache_hit: d.cache_hit,
+            }),
         };
         log.record(ov_oodb::metrics::SlowQuery {
             query: query.map(str::to_string).unwrap_or_else(|| e.to_string()),
@@ -544,6 +560,8 @@ pub fn run_expr(src: &dyn crate::source::DataSource, e: &Expr) -> Result<Value> 
     if ov_oodb::metrics::profiling_enabled() && !crate::plan::tracing_active() {
         return run_expr_profiled(src, e, None);
     }
+    // Fold constants before planning/execution (see `run_expr_profiled`).
+    let e = &crate::optimize::optimize_expr(e);
     match crate::compile::try_run_compiled(src, e) {
         Some(r) => r,
         None => eval_expr(src, e),

@@ -37,15 +37,16 @@ pub mod optimize;
 pub mod parallel;
 pub mod parser;
 pub mod plan;
+pub mod planner;
 pub mod source;
 pub mod typecheck;
 
 pub use ast::{ImportWhat, IncludeSpec, Stmt, TypeExpr};
 pub use budget::{Budget, BudgetBreach};
 pub use compile::{
-    batch_rows, compile_predicate, compile_select_scan, compiled_enabled, engine_mode,
-    set_engine_mode, with_batch_rows, with_engine_mode, EngineMode, Program, Scan, SelectScan,
-    DEFAULT_BATCH_ROWS,
+    batch_rows, compile_fallbacks, compile_predicate, compile_select_scan, compiled_enabled,
+    engine_mode, set_engine_mode, with_batch_rows, with_engine_mode, EngineMode, Program, Scan,
+    SelectScan, DEFAULT_BATCH_ROWS,
 };
 pub use error::{Pos, QueryError, Result};
 pub use eval::{eval_attr, eval_expr, eval_select, truthy, value_eq, Env, Evaluator};
@@ -58,8 +59,12 @@ pub use optimize::{optimize_expr, optimize_select};
 pub use parallel::{eval_select_parallel, panic_message, run_query_parallel, ParallelConfig};
 pub use parser::{parse_expr, parse_program, parse_select, parse_type};
 pub use plan::{
-    run_query_traced, Engine, PopOutcome, PopPath, PopulationTrace, QueryTrace, ScanActuals,
-    ScanEvent, ScanKind, Stage,
+    run_query_traced, Engine, PlanChoice, PopOutcome, PopPath, PopulationTrace, QueryTrace,
+    ScanActuals, ScanEvent, ScanKind, Stage,
+};
+pub use planner::{
+    clear_plan_cache, estimate_select, planner_enabled, set_planner_enabled, with_planner,
+    Decision as PlanDecision, Strategy as PlanStrategy,
 };
 pub use source::{require_class, DataSource, PrefetchedColumns, ResolvedAttr, SourceGraph};
 pub use typecheck::{

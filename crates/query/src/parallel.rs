@@ -95,7 +95,15 @@ pub fn eval_select_parallel(
             )))
         }
     };
-    if !cfg.should_split(items.len()) {
+    // Strategy choice: the cost-based planner weighs the split's fixed
+    // overhead (~one threshold's worth of rows) against the per-worker
+    // share; with the planner off, the fixed threshold heuristic decides.
+    let split = if crate::planner::planner_enabled() {
+        crate::planner::choose_split(items.len(), cfg.workers_for(items.len()), cfg.threshold)
+    } else {
+        cfg.should_split(items.len())
+    };
+    if !split {
         return Evaluator::new(src).select(q, &mut Env::new());
     }
     // Compile the filter and projection once on the coordinator; every

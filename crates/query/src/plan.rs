@@ -183,11 +183,17 @@ pub struct ScanEvent {
     /// What the scan measured ([`ScanActuals::default`] when the scan ran
     /// without an actuals frame, e.g. from a pre-actuals caller).
     pub actuals: ScanActuals,
+    /// The planner's row estimate for this scan, when one was produced
+    /// (`None` for pre-planner callers or cold statistics).
+    pub est_rows: Option<u64>,
 }
 
 impl fmt::Display for ScanEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.kind)?;
+        if let Some(est) = self.est_rows {
+            write!(f, " est_rows={est}")?;
+        }
         if !self.actuals.is_zero() {
             write!(f, " ({})", self.actuals)?;
         }
@@ -325,6 +331,33 @@ pub struct QueryTrace {
     pub fingerprint: String,
     /// The literal-normalized query text the fingerprint hashes.
     pub normalized: String,
+    /// The planner's decision for the top-level scan, when the cost-based
+    /// planner ran (see [`crate::planner`]).
+    pub planner: Option<PlanChoice>,
+}
+
+/// The planner decision a traced query surfaces: chosen strategy, row
+/// estimate, and whether the plan came from the fingerprint-keyed cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanChoice {
+    /// Rendered strategy (`seq`, `index(Attr)`, `parallel x4`, `join(…)`).
+    pub strategy: String,
+    /// Estimated result rows at planning time.
+    pub est_rows: u64,
+    /// Whether the plan was served from the plan cache.
+    pub cache_hit: bool,
+}
+
+impl fmt::Display for PlanChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "strategy={} est_rows={} plan_cache={}",
+            self.strategy,
+            self.est_rows,
+            if self.cache_hit { "h" } else { "m" }
+        )
+    }
 }
 
 impl fmt::Display for QueryTrace {
@@ -337,6 +370,9 @@ impl fmt::Display for QueryTrace {
         }
         if let Some(engine) = self.engine {
             writeln!(f, "engine: {engine}")?;
+        }
+        if let Some(planner) = &self.planner {
+            writeln!(f, "planner: {planner}")?;
         }
         if !self.actuals.is_zero() {
             writeln!(f, "actuals: {}", self.actuals)?;
@@ -452,10 +488,20 @@ pub fn begin_population() {
 /// executed, together with what it measured. No-op without a collector or
 /// an open frame.
 pub fn record_scan(kind: ScanKind, actuals: ScanActuals) {
+    record_scan_est(kind, actuals, None);
+}
+
+/// Like [`record_scan`], but also attaches the planner's row estimate for
+/// the scan when one was produced.
+pub fn record_scan_est(kind: ScanKind, actuals: ScanActuals, est_rows: Option<u64>) {
     COLLECTOR.with(|c| {
         if let Some(col) = c.borrow_mut().as_mut() {
             if let Some(frame) = col.frames.last_mut() {
-                frame.push(ScanEvent { kind, actuals });
+                frame.push(ScanEvent {
+                    kind,
+                    actuals,
+                    est_rows,
+                });
             }
         }
     });
@@ -585,6 +631,11 @@ pub fn run_query_traced(src: &dyn DataSource, query: &str) -> Result<(ov_oodb::V
     trace.populations = populations;
     trace.actuals = actuals;
     trace.engine = Some(engine);
+    trace.planner = crate::planner::take_last_decision().map(|d| PlanChoice {
+        strategy: d.strategy.to_string(),
+        est_rows: d.est_rows,
+        cache_hit: d.cache_hit,
+    });
     let value = value?;
     trace.rows = match &value {
         ov_oodb::Value::Set(s) => Some(s.len()),
@@ -611,6 +662,7 @@ mod tests {
         ScanEvent {
             kind,
             actuals: ScanActuals::default(),
+            est_rows: None,
         }
     }
 
@@ -851,6 +903,7 @@ mod tests {
                 cache_hits: 5,
                 cache_misses: 1,
             },
+            est_rows: None,
         };
         assert_eq!(
             measured.to_string(),

@@ -171,6 +171,16 @@ pub trait DataSource {
         None
     }
 
+    /// The oids whose stored attribute `attr` equals `value`, within the
+    /// deep extent of `class`, served from an equality index — or `None`
+    /// when the source maintains no such index (the planner then demotes
+    /// a pushdown plan to a sequential scan). The result must be exact
+    /// on the indexed conjunct and in oid order; callers still re-test
+    /// candidates against the full filter.
+    fn indexed_lookup(&self, _class: ClassId, _attr: Symbol, _value: &Value) -> Option<Vec<Oid>> {
+        None
+    }
+
     /// Called by the evaluator when it starts evaluating the body of a
     /// computed attribute, and…
     fn enter_body(&self) {}
@@ -298,6 +308,10 @@ impl DataSource for Database {
             obj.class,
             obj.value.get(name).cloned().unwrap_or(Value::Null),
         ))
+    }
+
+    fn indexed_lookup(&self, class: ClassId, attr: Symbol, value: &Value) -> Option<Vec<Oid>> {
+        self.indexed_deep_lookup(class, attr, value)
     }
 
     fn prefetch_attr_columns(

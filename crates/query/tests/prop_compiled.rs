@@ -361,6 +361,217 @@ proptest! {
     }
 }
 
+/// Random predicates over two scan variables `a` and `b` — the raw
+/// material for multi-binding filters and correlated sub-select filters.
+fn arb_pred2(a: &'static str, b: &'static str) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_lit(),
+        Just(Expr::name(a)),
+        Just(Expr::attr(Expr::name(a), "Age")),
+        Just(Expr::attr(Expr::name(a), "Name")),
+        Just(Expr::attr(Expr::name(a), "Senior")),
+        Just(Expr::name(b)),
+        Just(Expr::attr(Expr::name(b), "Age")),
+        Just(Expr::attr(Expr::name(b), "Name")),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Div),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::bin(op, l, r)),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e),
+            }),
+        ]
+    })
+}
+
+/// A predicate over `V` that embeds a sub-select over `Q in Person` with a
+/// (possibly correlated) random filter. `exists` picks `Exists` vs a value
+/// comparison of the inner `Select`; `the` exercises the single-row
+/// cardinality error path.
+fn nested_pred(exists: bool, the: bool, filter: Expr) -> Expr {
+    let q = ov_oodb::SelectExpr {
+        distinct: false,
+        the,
+        proj: Box::new(Expr::attr(Expr::name("Q"), "Age")),
+        bindings: vec![(sym("Q"), Expr::name("Person"))],
+        filter: Some(Box::new(filter)),
+    };
+    if exists {
+        Expr::Exists(q)
+    } else {
+        Expr::bin(BinOp::Ne, Expr::Select(q), Expr::Lit(Value::Null))
+    }
+}
+
+/// A top-level two-binding select over `V, W in Person` with a random
+/// filter and one of three projections (outer attr, inner attr, tuple of
+/// both).
+fn select2(the: bool, proj_idx: usize, filter: Expr) -> Expr {
+    Expr::Select(ov_oodb::SelectExpr {
+        distinct: false,
+        the,
+        proj: Box::new(match proj_idx {
+            0 => Expr::attr(Expr::name("V"), "Name"),
+            1 => Expr::attr(Expr::name("W"), "Age"),
+            _ => Expr::TupleCons(vec![
+                (sym("A"), Expr::attr(Expr::name("V"), "Age")),
+                (sym("B"), Expr::attr(Expr::name("W"), "Name")),
+            ]),
+        }),
+        bindings: vec![
+            (sym("V"), Expr::name("Person")),
+            (sym("W"), Expr::name("Person")),
+        ],
+        filter: Some(Box::new(filter)),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Nested sub-selects (correlated and not, `exists` and value-compared,
+    /// `the` and plain): values, error variants, budget breach points, and
+    /// step counts are identical across engines and batch widths.
+    #[test]
+    fn nested_selects_are_bit_identical(
+        filter in arb_pred2("Q", "V"),
+        exists in any::<bool>(),
+        the in any::<bool>(),
+        max_steps in 0u64..400,
+    ) {
+        let db = db();
+        let rows = rows(&db);
+        let e = nested_pred(exists, the, filter);
+        let bi = Arc::new(Budget::new().with_max_steps(max_steps));
+        let want = interp_scan_all(&db, &e, &rows, bi.clone());
+        for batch in [0usize, 1, 3, 1024] {
+            let bc = Arc::new(Budget::new().with_max_steps(max_steps));
+            let Some(got) = ov_query::with_batch_rows(batch, || {
+                compiled_scan_all(&db, &e, &rows, batch, bc.clone())
+            }) else {
+                return Ok(()); // uncovered tail shape
+            };
+            prop_assert_eq!(&got, &want, "expr: {} (batch={}, max_steps={})", e, batch, max_steps);
+            prop_assert_eq!(
+                bc.steps_used(),
+                bi.steps_used(),
+                "step divergence on {} (batch={}, max_steps={})",
+                e,
+                batch,
+                max_steps
+            );
+        }
+    }
+
+    /// Top-level multi-binding selects: the compiled nested-loop produces
+    /// the same value (or the same error, at the same budget breach point,
+    /// with the same step count) as the interpreter, at every batch width.
+    #[test]
+    fn multi_binding_selects_are_bit_identical(
+        filter in arb_pred2("V", "W"),
+        the in any::<bool>(),
+        proj_idx in 0usize..3,
+        max_steps in 0u64..600,
+    ) {
+        let db = db();
+        let e = select2(the, proj_idx, filter);
+        let bi = Arc::new(Budget::new().with_max_steps(max_steps));
+        let want = ov_query::budget::with(bi.clone(), || {
+            Evaluator::new(&db).eval(&e, &mut Env::new())
+        });
+        let Some(prog) = compile_predicate(&e, &[]) else {
+            return Ok(()); // uncovered tail shape in the filter
+        };
+        for batch in [0usize, 1, 3, 1024] {
+            let bc = Arc::new(Budget::new().with_max_steps(max_steps));
+            let got = ov_query::with_batch_rows(batch, || {
+                ov_query::budget::with(bc.clone(), || Scan::new(&prog, &db).run(0))
+            });
+            prop_assert_eq!(&got, &want, "expr: {} (batch={}, max_steps={})", e, batch, max_steps);
+            prop_assert_eq!(
+                bc.steps_used(),
+                bi.steps_used(),
+                "step divergence on {} (batch={}, max_steps={})",
+                e,
+                batch,
+                max_steps
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The planner's strategy choice (index pushdown vs sequential scan vs
+    /// reordered join) never changes query results: planner-on, planner-off,
+    /// and the forced interpreter agree on every error-free workload.
+    #[test]
+    fn planner_choice_never_changes_results(t in 0i64..100, pick in 0usize..4) {
+        use ov_query::{run_query, with_planner, EngineMode};
+        let mut db = Database::new(sym("PlanDb"));
+        let person = db
+            .create_class(
+                sym("Person"),
+                &[],
+                vec![
+                    AttrDef::stored(sym("Name"), Type::Str),
+                    AttrDef::stored(sym("Age"), Type::Int),
+                ],
+            )
+            .unwrap();
+        for i in 0..48 {
+            db.create_object(
+                person,
+                Value::tuple([
+                    ("Name", Value::str(&format!("p{i}"))),
+                    ("Age", Value::Int(i % 24)),
+                ]),
+            )
+            .unwrap();
+        }
+        db.create_index(person, sym("Age")).unwrap();
+        let queries = [
+            format!("select P from P in Person where P.Age = {t}"),
+            format!("select P.Name from P in Person where P.Age >= {t}"),
+            format!(
+                "select P.Name from P in Person, D in Person \
+                 where P.Age = D.Age and P.Age >= {t}"
+            ),
+            format!(
+                "select P.Name from P in Person \
+                 where exists(select Q from Q in Person where Q.Age > P.Age + {t})"
+            ),
+        ];
+        let q = &queries[pick];
+        // Warm the statistics plane so planning runs from measured
+        // cardinality/NDV, then compare every strategy's verdict.
+        ov_oodb::metrics::set_profiling(true);
+        let _ = run_query(&db, "select P.Name from P in Person where P.Age >= 0");
+        ov_oodb::metrics::set_profiling(false);
+        let want = ov_query::with_engine_mode(EngineMode::Interp, || run_query(&db, q));
+        let on = with_planner(true, || run_query(&db, q));
+        let off = with_planner(false, || run_query(&db, q));
+        prop_assert_eq!(&on, &want, "planner-on divergence on `{}`", q);
+        prop_assert_eq!(&off, &want, "planner-off divergence on `{}`", q);
+    }
+}
+
 /// An injected fault mid-scan surfaces identically through both engines
 /// and at every batch size (a fault firing mid-batch must not change the
 /// error, and prefetching must not change what a fault observes): the
@@ -369,8 +580,7 @@ proptest! {
 /// cleared, everyone agrees on the result.
 #[test]
 fn injected_faults_surface_identically() {
-    use ov_oodb::faults::{arm, clear, FaultAction, FaultSchedule};
-    use ov_query::{run_query_parallel, EngineMode, ParallelConfig};
+    use ov_query::ParallelConfig;
 
     let mut db = Database::new(sym("FaultDb"));
     let person = db
@@ -388,14 +598,27 @@ fn injected_faults_surface_identically() {
         threads: 4,
         threshold: 1,
     };
-    let q = "select P from P in Person where P.Age >= 21";
+    // The second query carries a nested sub-select in its filter, so the
+    // fault also exercises the compiled sub-select path.
+    for q in [
+        "select P from P in Person where P.Age >= 21",
+        "select P from P in Person \
+         where P.Age >= 21 and exists(select Q from Q in Person where Q.Age > P.Age)",
+    ] {
+        injected_faults_surface_identically_for(&db, &cfg, q);
+    }
+}
+
+fn injected_faults_surface_identically_for(db: &Database, cfg: &ov_query::ParallelConfig, q: &str) {
+    use ov_oodb::faults::{arm, clear, FaultAction, FaultSchedule};
+    use ov_query::{run_query_parallel, EngineMode};
 
     // Thread-scoped overrides: this test no longer mutates the process
     // default, so it cannot leak engine mode into concurrently running
     // tests.
     let run_with = |mode: EngineMode, batch: usize| {
         ov_query::with_engine_mode(mode, || {
-            ov_query::with_batch_rows(batch, || run_query_parallel(&db, &cfg, q))
+            ov_query::with_batch_rows(batch, || run_query_parallel(db, cfg, q))
         })
     };
 

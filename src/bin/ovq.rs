@@ -83,6 +83,8 @@ const HELP: &str = "\
 .budget ms N | steps N | rows N | depth N | off\n\
 .engine          current predicate engine (scans show it in .plan/.explain)\n\
 .engine compiled | interp | auto\n\
+.planner         cost-based planner status + plan-cache hit/miss/replan counts\n\
+.planner on|off  enable/disable statistics-driven strategy selection\n\
 .wal             per-database WAL status (durable sessions only)\n\
 .checkpoint      snapshot every durable database and truncate its WAL\n\
 .quit            exit\n\
@@ -323,13 +325,15 @@ fn meta(session: &mut Session, budget: &mut BudgetSpec, cmd: &str) -> bool {
                         let lat = e.latency.snapshot();
                         println!(
                             "{fp} calls={} rows={} mean={} p95={} compiled={} interp={} \
-                             pop[hit={} delta={} recompute={} stale={}]\n  {}",
+                             plan={}h/{}m pop[hit={} delta={} recompute={} stale={}]\n  {}",
                             e.calls.get(),
                             e.rows.get(),
                             objects_and_views::query::plan::fmt_ns(lat.mean() as u64),
                             objects_and_views::query::plan::fmt_ns(lat.p95()),
                             e.compiled.get(),
                             e.interpreted.get(),
+                            e.plan_cache_hits.get(),
+                            e.plan_cache_misses.get(),
                             e.pop_cache_hits.get(),
                             e.pop_deltas.get(),
                             e.pop_recomputes.get(),
@@ -603,6 +607,11 @@ fn meta(session: &mut Session, budget: &mut BudgetSpec, cmd: &str) -> bool {
                     "-- engine: {} (scans report Compiled/Interpreted in .plan and .explain)",
                     engine_mode_name(mode)
                 );
+                println!(
+                    "-- compile fallbacks: {} (forced-compiled runs that dropped to the \
+                     interpreter on an uncovered shape)",
+                    objects_and_views::query::compile_fallbacks()
+                );
             } else {
                 match parse_engine_mode(arg) {
                     Some(mode) => {
@@ -616,6 +625,26 @@ fn meta(session: &mut Session, budget: &mut BudgetSpec, cmd: &str) -> bool {
                 }
             }
         }
+        ".planner" => match arg {
+            "on" | "off" => {
+                objects_and_views::query::set_planner_enabled(arg == "on");
+                println!("-- planner: {arg}");
+            }
+            "" => {
+                let (hits, misses, replans) =
+                    objects_and_views::query::planner::plan_cache_counters();
+                println!(
+                    "-- planner: {} (plan cache: {hits} hits, {misses} misses, \
+                     {replans} drift replans)",
+                    if objects_and_views::query::planner_enabled() {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                );
+            }
+            _ => eprintln!("usage: .planner [on | off]"),
+        },
         ".wal" => {
             let statuses = session.wal_status();
             if statuses.is_empty() {
@@ -763,6 +792,7 @@ mod tests {
             ".faults",
             ".budget",
             ".engine",
+            ".planner",
             ".wal",
             ".checkpoint",
             ".quit",
